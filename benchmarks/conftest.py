@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+CI-friendly scale (shorter horizon, two-point load axis), prints the
+same rows/series the paper reports, and asserts the qualitative shape
+(who wins, where the target is met).  The recorded full-scale numbers
+live in EXPERIMENTS.md (produced by ``scripts/run_experiments.py``).
+
+Scale knobs can be raised via environment variables::
+
+    REPRO_BENCH_DURATION=2000 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+#: Horizon (simulated seconds) used by the CI-sized benchmark runs.
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "300"))
+#: Offered-load axis used by the sweep benchmarks.
+BENCH_LOADS = (100.0, 300.0)
+
+
+@pytest.fixture
+def bench_duration():
+    return BENCH_DURATION
+
+
+@pytest.fixture
+def bench_loads():
+    return BENCH_LOADS
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,25 @@
+"""Ablation: sensitivity of AC3 to the N_quad history depth (§3.1).
+
+With a handful of quadruplets per (prev, next) pair the estimator is
+noisy; the paper's N_quad = 100 is comfortably past the knee.  P_HD
+must stay bounded at every depth — the window controller compensates
+for estimator inaccuracy — while B_r efficiency varies.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_ablation_estimator_depth
+
+
+def test_estimator_history_depth(benchmark, bench_duration):
+    output = run_once(
+        benchmark,
+        run_ablation_estimator_depth,
+        depths=(5, 100),
+        duration=max(bench_duration, 400.0),
+    )
+    print()
+    print(output.render())
+    rows = {row[0]: row for row in output.tables["history depth"].rows}
+    for depth, row in rows.items():
+        assert row[2] <= 0.03, f"P_HD unbounded at N_quad={depth}"
+        assert row[3] >= 0.0

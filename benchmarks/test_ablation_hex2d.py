@@ -1,0 +1,27 @@
+"""Ablation: the scheme on a 2-D hex grid (the paper's §7 future work).
+
+Six neighbours per cell: the estimator must learn richer (prev, next)
+structure and AC3's hybrid test saves proportionally more signaling.
+Static reservation vs AC3 on a mixed vehicular/pedestrian/stationary
+population.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_ablation_hex2d
+
+
+def test_hex_grid_deployment(benchmark, bench_duration):
+    output = run_once(
+        benchmark,
+        run_ablation_hex2d,
+        duration=max(bench_duration, 600.0),
+    )
+    print()
+    print(output.render())
+    rows = {row[0]: row for row in output.tables["hex grid"].rows}
+    assert set(rows) == {"static", "AC3"}
+    # AC3 bounds drops on the grid too (slack for the short horizon).
+    assert rows["AC3"][2] <= 0.03
+    # The hybrid test stays far below the 7 calcs AC2 would need.
+    assert rows["AC3"][3] <= 4.0
+    assert rows["static"][3] == 0.0

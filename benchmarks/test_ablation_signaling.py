@@ -1,0 +1,25 @@
+"""Ablation: backhaul signaling cost under the Figure 1 interconnects.
+
+Every B_r computation costs one round-trip per neighbour; a star
+topology doubles the transport hops (BS -> MSC -> BS).  AC3's hybrid
+test should cost far fewer messages than AC2 under either layout.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_ablation_signaling
+
+
+def test_signaling_cost(benchmark, bench_duration):
+    output = run_once(
+        benchmark, run_ablation_signaling, duration=bench_duration
+    )
+    print()
+    print(output.render())
+    rows = {row[0]: row for row in output.tables["signaling"].rows}
+    for scheme, row in rows.items():
+        logical, mesh_hops, star_hops = row[1], row[2], row[3]
+        # Tolerances absorb the x1000 rounding in the hop conversion.
+        assert star_hops >= 2 * mesh_hops - 1e-2
+        assert mesh_hops >= logical - 1e-2
+    assert rows["AC2"][1] > rows["AC3"][1] > 0
+    assert rows["AC3"][1] >= rows["AC1"][1]

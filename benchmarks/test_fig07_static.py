@@ -1,0 +1,33 @@
+"""Figure 7: static reservation (G=10) P_CB and P_HD vs offered load.
+
+Paper shape: 10 BUs of guard band hold the 1% hand-off-drop target for
+pure voice but fail once video enters the mix (R_vo = 0.5) at high
+mobility — static reservation cannot track traffic composition.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import run_fig07_static
+
+
+def test_fig07_static_reservation(benchmark, bench_duration, bench_loads):
+    output = run_once(
+        benchmark,
+        run_fig07_static,
+        loads=bench_loads,
+        voice_ratios=(1.0, 0.5),
+        high_mobility=True,
+        duration=bench_duration,
+    )
+    print()
+    print(output.render())
+
+    def final_phd(name):
+        return output.series_by_name(name).points[-1][1]
+
+    # Voice-only: the guard band is generous; mixed video: it is not.
+    assert final_phd("PHD Rvo=1") <= 0.012
+    assert final_phd("PHD Rvo=0.5") > final_phd("PHD Rvo=1")
+    # Blocking rises with load for every mix.
+    for ratio in ("1", "0.5"):
+        points = output.series_by_name(f"PCB Rvo={ratio}").points
+        assert points[-1][1] > points[0][1]

@@ -1,0 +1,50 @@
+"""Figure 8: AC3 keeps P_HD at or below the 1% target across the grid.
+
+Paper shape: for every offered load, voice ratio and mobility level,
+P_HD <= ~P_HD,target while P_CB absorbs the overload; the P_CB-P_HD gap
+shrinks as the load drops (less bandwidth is reserved when fewer
+hand-offs are expected).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import run_fig08_fig09_ac3
+
+
+def _run(benchmark, duration, loads, high_mobility):
+    # Short CI horizons need a warm-up: the paper's own Figure 11 shows
+    # P_HD spiking above target while the caches are cold.  Low mobility
+    # adapts on a slower timescale (fewer hand-offs per second), so it
+    # gets a longer floor.  The recorded full-scale runs (EXPERIMENTS.md)
+    # use warmup=0 over 2000 s.
+    duration = max(duration, 600.0 if high_mobility else 1200.0)
+    fig8, _fig9 = run_once(
+        benchmark,
+        run_fig08_fig09_ac3,
+        loads=loads,
+        voice_ratios=(1.0, 0.5),
+        high_mobility=high_mobility,
+        duration=duration,
+        warmup=duration / 3.0,
+    )
+    print()
+    print(fig8.render())
+    return fig8
+
+
+def test_fig08_high_mobility(benchmark, bench_duration, bench_loads):
+    fig8 = _run(benchmark, bench_duration, bench_loads, high_mobility=True)
+    for ratio in ("1", "0.5"):
+        for _load, phd in fig8.series_by_name(f"PHD Rvo={ratio}").points:
+            # CI-sized run: allow slack over the 0.01 target.
+            assert phd <= 0.02
+        pcb = fig8.series_by_name(f"PCB Rvo={ratio}").points
+        phd = fig8.series_by_name(f"PHD Rvo={ratio}").points
+        # Blocking dominates dropping under overload.
+        assert pcb[-1][1] > phd[-1][1]
+
+
+def test_fig08_low_mobility(benchmark, bench_duration, bench_loads):
+    fig8 = _run(benchmark, bench_duration, bench_loads, high_mobility=False)
+    for ratio in ("1", "0.5"):
+        for _load, phd in fig8.series_by_name(f"PHD Rvo={ratio}").points:
+            assert phd <= 0.02

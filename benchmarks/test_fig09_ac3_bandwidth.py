@@ -1,0 +1,52 @@
+"""Figure 9: AC3's average target reservation B_r and used bandwidth B_u.
+
+Paper shape: B_r grows with offered load and saturates in the
+over-loaded region; more video (lower R_vo) and higher mobility both
+raise B_r; B_u moves inversely to B_r.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import run_fig08_fig09_ac3
+
+
+def test_fig09_reservation_vs_load(benchmark, bench_duration, bench_loads):
+    _fig8, fig9 = run_once(
+        benchmark,
+        run_fig08_fig09_ac3,
+        loads=bench_loads,
+        voice_ratios=(1.0, 0.5),
+        high_mobility=True,
+        duration=bench_duration,
+    )
+    print()
+    print(fig9.render())
+    for ratio in ("1", "0.5"):
+        reservation = fig9.series_by_name(f"Br Rvo={ratio}").points
+        used = fig9.series_by_name(f"Bu Rvo={ratio}").points
+        # B_r increases with load; B_u stays within capacity.
+        assert reservation[-1][1] >= reservation[0][1]
+        assert all(0.0 <= value <= 100.0 for _, value in used)
+    # More video -> more reserved bandwidth (at the overloaded point).
+    voice_only = fig9.series_by_name("Br Rvo=1").points[-1][1]
+    half_video = fig9.series_by_name("Br Rvo=0.5").points[-1][1]
+    assert half_video > voice_only
+
+
+def test_fig09_mobility_raises_reservation(benchmark, bench_duration):
+    loads = (300.0,)
+    _f8_high, fig9_high = run_fig08_fig09_ac3(
+        loads=loads, voice_ratios=(1.0,), high_mobility=True,
+        duration=bench_duration,
+    )
+
+    def low():
+        return run_fig08_fig09_ac3(
+            loads=loads, voice_ratios=(1.0,), high_mobility=False,
+            duration=bench_duration,
+        )
+
+    _f8_low, fig9_low = run_once(benchmark, low)
+    high_br = fig9_high.series_by_name("Br Rvo=1").points[0][1]
+    low_br = fig9_low.series_by_name("Br Rvo=1").points[0][1]
+    print(f"\nB_r at L=300: high mobility {high_br:.2f}, low {low_br:.2f}")
+    assert high_br > low_br

@@ -1,0 +1,26 @@
+"""Figure 10: T_est and B_r over time in cells <5> and <6> (L=300, AC3).
+
+Paper shape: T_est fluctuates (every increase coincides with a drop)
+rather than settling at an optimum; B_r moves with T_est and with the
+neighbour cells' occupancy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.traces import run_fig10_fig11, run_trace_experiment
+
+
+def test_fig10_window_and_reservation_traces(benchmark, bench_duration):
+    result = run_once(
+        benchmark, run_trace_experiment, duration=max(bench_duration, 300.0)
+    )
+    fig10, _fig11 = run_fig10_fig11(result=result)
+    print()
+    print(fig10.render())
+    for cell_id in (4, 5):
+        t_est_values = [p.value for p in result.t_est_traces[cell_id]]
+        assert t_est_values, "expected sampled T_est trace"
+        assert all(value >= 1.0 for value in t_est_values)
+        # Under heavy load the controller moves off its initial value.
+        assert max(t_est_values) > 1.0
+        reservation = [p.value for p in result.reservation_traces[cell_id]]
+        assert max(reservation) > 0.0

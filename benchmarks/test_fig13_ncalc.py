@@ -1,0 +1,34 @@
+"""Figure 13: average number of B_r calculations per admission test.
+
+Paper shape: N_calc(AC1) = 1 and N_calc(AC2) = 3 exactly (1-D ring);
+AC3 sits at 1 when under-loaded, starts climbing around L ~ 80 and
+stays below ~1.5 even at L = 300.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import run_fig12_fig13_comparison
+
+
+def test_fig13_complexity(benchmark, bench_duration):
+    loads = (60.0, 150.0, 300.0)
+    _fig12, fig13 = run_once(
+        benchmark,
+        run_fig12_fig13_comparison,
+        loads=loads,
+        voice_ratio=1.0,
+        high_mobility=True,
+        duration=bench_duration,
+    )
+    print()
+    print(fig13.render())
+    ac1 = dict(fig13.series_by_name("Ncalc AC1").points)
+    ac2 = dict(fig13.series_by_name("Ncalc AC2").points)
+    ac3 = dict(fig13.series_by_name("Ncalc AC3").points)
+    for load in loads:
+        assert ac1[load] == 1.0
+        assert ac2[load] == 3.0
+        assert 1.0 <= ac3[load] <= 2.0
+    # AC3's hybrid cost grows with load but stays well under AC2's.
+    assert ac3[60.0] < 1.1
+    assert ac3[300.0] > ac3[60.0]
+    assert ac3[300.0] < 0.6 * ac2[300.0]

@@ -1,0 +1,38 @@
+"""Figure 14: two profile-driven days with retries, AC1/AC2/AC3.
+
+Paper shape: off-peak both probabilities are negligible; during the
+rush-hour peaks P_HD stays bounded by the target for all three schemes
+while P_CB rises (amplified by the retry positive feedback, which also
+pushes the actual offered load L_a above the original L_o).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.timevarying import run_fig14
+
+
+def test_fig14_two_day_cycle(benchmark):
+    output = run_once(
+        benchmark,
+        run_fig14,
+        schemes=("AC1", "AC3"),
+        days=2.0,
+        time_compression=96.0,  # one "day" = 15 simulated minutes
+    )
+    print()
+    print(output.render())
+
+    def series(name):
+        return dict(output.series_by_name(name).points)
+
+    for scheme in ("AC1", "AC3"):
+        pcb = series(f"PCB {scheme}")
+        night = [pcb[hour] for hour in pcb if 0 <= (hour % 24) < 6]
+        peak = [pcb[hour] for hour in pcb if (hour % 24) in (8.5, 9.5, 17.5)]
+        # Off-peak blocking is negligible; rush hours are not.
+        assert max(night, default=0.0) <= 0.05
+        assert max(peak) > 0.2
+    # Retry feedback: the actual load exceeds the original at the peak.
+    original = series("profile Lo")
+    actual = series("La AC3")
+    peak_hour = 9.5
+    assert actual[peak_hour] > 0.8 * original[peak_hour]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the hot paths (not tied to a paper artifact).
+
+These time the two operations that dominate a run — the Bayes Eq. 4
+query and the full Eq. 6 reservation update — plus the raw event loop,
+so performance regressions show up independently of the experiment
+suites.
+"""
+
+import random
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.des import Engine
+from repro.estimation.cache import CacheConfig
+from repro.estimation.estimator import MobilityEstimator
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection
+
+
+def build_estimator(entries=100):
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    rng = random.Random(0)
+    for index in range(entries):
+        estimator.record_departure(
+            float(index), 1, rng.choice((0, 2)), rng.uniform(10.0, 60.0)
+        )
+    return estimator
+
+
+def test_bench_handoff_probability(benchmark):
+    estimator = build_estimator()
+    estimator.function_for(1000.0, 1)  # warm the snapshot
+
+    def query():
+        return estimator.handoff_probability(1000.0, 1, 20.0, 2, 15.0)
+
+    result = benchmark(query)
+    assert 0.0 <= result <= 1.0
+
+
+def test_bench_reservation_update(benchmark):
+    network = CellularNetwork(
+        LinearTopology(10),
+        cache_config=CacheConfig(interval=None),
+    )
+    rng = random.Random(1)
+    for neighbor in (1, 9):
+        station = network.station(neighbor)
+        for index in range(100):
+            station.estimator.record_departure(
+                float(index), None, 0, rng.uniform(10.0, 60.0)
+            )
+        for _ in range(80):
+            connection = Connection(
+                VOICE, 0.0, neighbor, cell_entry_time=rng.uniform(0, 90)
+            )
+            network.cell(neighbor).attach(connection)
+    station = network.station(0)
+    station.window.t_est = 10.0
+
+    reservation = benchmark(station.update_target_reservation, 100.0)
+    assert reservation >= 0.0
+
+
+def test_bench_event_loop(benchmark):
+    def run_10k_events():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.call_in(1.0, tick)
+
+        engine.call_in(1.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000

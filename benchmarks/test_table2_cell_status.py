@@ -1,0 +1,31 @@
+"""Table 2: per-cell end state on the over-loaded ring, AC1 vs AC3.
+
+Paper shape: AC1's per-cell performance oscillates — alternating cells
+show very high P_CB and over-target P_HD — while AC3 balances P_CB
+across the ring and keeps every cell's P_HD bounded.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro.experiments.celltables import run_table2
+
+
+def test_table2_per_cell_balance(benchmark, bench_duration):
+    output = run_once(
+        benchmark, run_table2, duration=max(bench_duration, 600.0)
+    )
+    print()
+    print(output.render())
+
+    def pcbs(scheme):
+        return [row[1] for row in output.tables[f"({scheme})"].rows]
+
+    def phds(scheme):
+        return [row[2] for row in output.tables[f"({scheme})"].rows]
+
+    # AC3 bounds every cell; AC1's worst cell drops more.
+    assert max(phds("AC3")) <= 0.025
+    assert max(phds("AC1")) >= max(phds("AC3"))
+    # Balance: AC1's P_CB spread across cells exceeds AC3's.
+    assert statistics.pstdev(pcbs("AC1")) > statistics.pstdev(pcbs("AC3"))

@@ -1,0 +1,28 @@
+"""Table 3: one-directional mobiles on an open road, AC1 vs AC3.
+
+Paper shape: cell <1> has no incoming hand-offs (P_HD = 0 there; under
+AC1 even P_CB = 0 since it ignores its downstream neighbour); AC1
+over-admits upstream and starves alternating downstream cells past the
+1% target, while AC3 rebalances and bounds every cell.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.celltables import run_table3
+
+
+def test_table3_one_way_flow(benchmark, bench_duration):
+    output = run_once(
+        benchmark, run_table3, duration=max(bench_duration, 600.0)
+    )
+    print()
+    print(output.render())
+    ac1 = output.tables["(AC1)"].rows
+    ac3 = output.tables["(AC3)"].rows
+    # Cell <1>: no incoming hand-offs under either scheme.
+    assert ac1[0][2] == 0.0 and ac3[0][2] == 0.0
+    # AC1 admits everything in cell <1> (it never checks cell <2>).
+    assert ac1[0][1] <= 0.02
+    # Downstream, AC1's worst cell exceeds AC3's worst.
+    assert max(row[2] for row in ac1[1:]) >= max(row[2] for row in ac3[1:])
+    # AC3 keeps every cell at/near the target.
+    assert max(row[2] for row in ac3) <= 0.025

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""QoS adaptation on top of the reservation scheme (paper §1).
+
+The paper notes its scheme composes with adaptive QoS: a video hand-off
+that does not fit at 4 BUs can be accepted degraded (down to its 1-BU
+base layer) instead of being dropped, freed bandwidth upgrades degraded
+sessions back, and the reservation targets are computed on the minimum
+QoS basis.  This example runs the same over-loaded mixed-traffic highway
+with and without the adaptation layer and shows where the hand-off
+losses went.
+"""
+
+from dataclasses import replace
+
+from repro.core.qos import AdaptiveQoSPolicy
+from repro.simulation import CellularSimulator, stationary
+
+
+def main() -> None:
+    base = stationary(
+        "AC3",
+        offered_load=250.0,
+        voice_ratio=0.5,
+        duration=1500.0,
+        warmup=500.0,
+        seed=9,
+    )
+    print("over-loaded highway, 50% video, AC3\n")
+    print(f"{'variant':<14} {'P_CB':>7} {'P_HD':>8} {'degraded':>9} "
+          f"{'upgraded':>9}")
+    for label, config in (
+        ("rigid", base),
+        ("adaptive QoS", replace(base, adaptive_qos=True)),
+    ):
+        simulator = CellularSimulator(config)
+        result = simulator.run()
+        policy = simulator.policy
+        degradations = getattr(policy, "degradations", 0)
+        upgrades = getattr(policy, "upgrades", 0)
+        print(
+            f"{label:<14} {result.blocking_probability:>7.3f} "
+            f"{result.dropping_probability:>8.4f} {degradations:>9} "
+            f"{upgrades:>9}"
+        )
+        if isinstance(policy, AdaptiveQoSPolicy):
+            drops = sum(c.handoff_drops for c in result.cells)
+            print(
+                f"\n{degradations} hand-offs continued at reduced rate"
+                f" instead of joining the {drops} hard drops;"
+                f"\n{upgrades} upgrades restored full rate when bandwidth"
+                " freed up."
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""CDMA soft capacity and soft hand-off (the paper's §7 future work).
+
+The paper excludes CDMA's two drop-reducing mechanisms from its model
+and names them as planned extensions:
+
+* **soft capacity** — a CDMA cell's capacity is an interference budget,
+  not a channel count; hand-offs can be accepted at a slightly higher
+  interference level (here: up to ``capacity * 1.10``);
+* **soft hand-off** — near the boundary a mobile can communicate via
+  both base stations, so a blocked hand-off retries during the overlap
+  window instead of dropping.
+
+Both are single config switches here.  To isolate their effect we use
+the *static* scheme (no adaptive reservation compensating), mixed
+voice/video traffic, over-loaded.
+"""
+
+from dataclasses import replace
+
+from repro.simulation import CellularSimulator, stationary
+
+
+def main() -> None:
+    base = stationary(
+        "static",
+        offered_load=250.0,
+        voice_ratio=0.5,
+        duration=1500.0,
+        warmup=300.0,
+        seed=3,
+    )
+    variants = [
+        ("hard hand-off (paper)", base),
+        ("soft capacity +10%", replace(base, handoff_overload=1.10)),
+        ("soft hand-off 5 s", replace(base, soft_handoff_window=5.0)),
+        ("both", replace(base, handoff_overload=1.10,
+                         soft_handoff_window=5.0)),
+    ]
+    print("static guard G=10, L=250, 50% video (worst case for drops)\n")
+    print(f"{'variant':<24} {'P_CB':>7} {'P_HD':>8}")
+    for label, config in variants:
+        result = CellularSimulator(config).run()
+        print(
+            f"{label:<24} {result.blocking_probability:>7.3f} "
+            f"{result.dropping_probability:>8.4f}"
+        )
+    print(
+        "\nEach mechanism alone cuts drops several-fold; combined they"
+        "\npush even the dumb static scheme under the 1% target — at a"
+        "\nsmall P_CB cost (overload head-room and waiting mobiles both"
+        "\noccupy bandwidth new calls cannot take)."
+    )
+
+
+if __name__ == "__main__":
+    main()

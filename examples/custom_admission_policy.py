@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Plugging a custom admission policy into the simulator.
+
+The library's :class:`~repro.core.AdmissionPolicy` interface lets you
+experiment with your own schemes.  Here we build a *hedged AC1* that
+inflates the predictive reservation target by a safety factor — a
+one-line idea the paper's framework makes trivial to test — and sweep
+the factor to see the P_CB vs P_HD trade-off it buys.
+"""
+
+from repro.core import AC1, AdmissionDecision
+from repro.simulation import CellularSimulator, stationary
+
+
+class HedgedAC1(AC1):
+    """AC1 with the reservation target inflated by ``margin``."""
+
+    def __init__(self, margin: float) -> None:
+        self.margin = margin
+        self.name = f"AC1x{margin:g}"
+
+    def admit_new(self, network, cell_id, bandwidth, now) -> AdmissionDecision:
+        station = network.station(cell_id)
+        messages_before = network.total_messages()
+        station.update_target_reservation(now)
+        station.cell.reserved_target *= self.margin
+        admitted = station.cell.fits_new_connection(bandwidth)
+        return AdmissionDecision(
+            admitted=admitted,
+            calculations=1,
+            messages=network.total_messages() - messages_before,
+        )
+
+
+def main() -> None:
+    print("hedged AC1 on the L=300 highway (paper's worst case for AC1)\n")
+    print(f"{'policy':<10} {'P_CB':>7} {'P_HD':>8}")
+    config = stationary("AC1", offered_load=300.0, duration=900.0, seed=5)
+    for margin in (1.0, 1.5, 2.0, 3.0):
+        simulator = CellularSimulator(config, policy=HedgedAC1(margin))
+        result = simulator.run()
+        print(
+            f"{simulator.policy.name:<10} {result.blocking_probability:>7.3f}"
+            f" {result.dropping_probability:>8.4f}"
+        )
+        config = stationary("AC1", offered_load=300.0, duration=900.0, seed=5)
+    print(
+        "\nInflating the target trades new-connection blocking for fewer"
+        "\nhand-off drops — but unlike AC3 it cannot fix AC1's structural"
+        "\nblindness to saturated neighbours (compare one_way_convoy.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

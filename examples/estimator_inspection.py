@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Inspecting the mobility estimator: footprints and Bayes updates.
+
+Uses the estimation API directly (no simulator) to show how a base
+station turns its hand-off history into predictions — the Figure 4/5
+story.  We synthesize a cell whose traffic from the west (prev=1)
+either continues east quickly (cell 2) or turns off slowly (cell 4),
+and then watch the hand-off probability evolve as a mobile lingers.
+"""
+
+import random
+
+from repro.estimation import CacheConfig, MobilityEstimator
+
+
+def main() -> None:
+    rng = random.Random(0)
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    # History: 70% of westbound mobiles cross to cell 2 within 18-40 s
+    # (highway), 30% turn toward cell 4 after 90-150 s (local road).
+    for index in range(200):
+        if rng.random() < 0.7:
+            estimator.record_departure(
+                float(index), 1, 2, rng.uniform(18.0, 40.0)
+            )
+        else:
+            estimator.record_departure(
+                float(index), 1, 4, rng.uniform(90.0, 150.0)
+            )
+
+    snapshot = estimator.function_for(1000.0, 1)
+    print("F_HOE footprint for prev=1 (mass per next cell):")
+    for next_cell in sorted(snapshot.next_cells()):
+        mass = snapshot.mass_above(next_cell, 0.0)
+        largest = max(s for s, _ in snapshot.footprint()[next_cell])
+        print(f"  next={next_cell}: mass={mass:.0f}, max sojourn={largest:.0f}s")
+
+    print("\nBayes update as a mobile from cell 1 lingers (T_est = 30 s):")
+    print(f"{'extant sojourn':>15} {'p(-> 2)':>9} {'p(-> 4)':>9} {'verdict'}")
+    for extant in (0.0, 25.0, 50.0, 100.0, 200.0):
+        to_highway = estimator.handoff_probability(1000.0, 1, extant, 2, 30.0)
+        to_local = estimator.handoff_probability(1000.0, 1, extant, 4, 30.0)
+        if estimator.is_stationary(1000.0, 1, extant):
+            verdict = "estimated stationary"
+        elif max(to_highway, to_local) < 0.05:
+            verdict = "no hand-off expected within 30 s"
+        elif to_highway > to_local:
+            verdict = "probably continuing east"
+        else:
+            verdict = "probably turning off"
+        print(f"{extant:>13.0f}s {to_highway:>9.3f} {to_local:>9.3f} {verdict}")
+
+    print(
+        "\nA fresh mobile looks like highway traffic; once it has stayed"
+        "\npast ~40 s the highway mass is ruled out and the estimator"
+        "\nreassigns all probability to the slow turn — and past the"
+        "\nlongest observed sojourn it declares the mobile stationary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""2-D city deployment: the paper's stated future work (§7), working.
+
+A wrapped hexagonal grid of cells with a mixed population — vehicles
+(fast, strong heading persistence), pedestrians (slow, wandering) and
+stationary users — drives the same estimator/reservation/admission
+machinery that the 1-D experiments use.  The estimator learns the
+(prev, next)-cell correlations created by heading persistence with no
+topology-specific code.
+"""
+
+from repro.cellular.topology import HexTopology
+from repro.mobility.models import HexMobilityModel, PopulationClass
+from repro.simulation import CellularSimulator, stationary
+
+POPULATION = (
+    PopulationClass("vehicular", 0.30, 45.0, heading_persistence=0.85),
+    PopulationClass("pedestrian", 0.45, 300.0, heading_persistence=0.6),
+    PopulationClass("stationary", 0.25, 0.0),
+)
+
+
+def main() -> None:
+    topology = HexTopology(4, 5, wrap=True)
+    print(
+        f"hex city: {topology.rows}x{topology.cols} cells, "
+        f"6 neighbours each, mixed population\n"
+    )
+    print(f"{'scheme':<8} {'P_CB':>7} {'P_HD':>8} {'N_calc':>7}")
+    for scheme in ("static", "AC1", "AC3"):
+        config = stationary(
+            scheme,
+            offered_load=130.0,
+            voice_ratio=0.8,
+            duration=1200.0,
+            seed=11,
+        )
+        simulator = CellularSimulator(
+            config,
+            mobility_model=HexMobilityModel(topology, POPULATION),
+        )
+        result = simulator.run()
+        print(
+            f"{scheme:<8} {result.blocking_probability:>7.3f} "
+            f"{result.dropping_probability:>8.4f} "
+            f"{result.average_calculations:>7.2f}"
+        )
+    print(
+        "\nWith six neighbours, a full AC2 test would need 7 B_r"
+        "\ncalculations per request; AC3's hybrid stays close to 1 until"
+        "\ncells actually saturate — the 1-D conclusion carries over."
+    )
+
+
+if __name__ == "__main__":
+    main()

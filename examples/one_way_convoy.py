@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""One-directional traffic on an open road (the paper's Table 3 case).
+
+Every mobile drives from cell <1> toward cell <10> and leaves the
+system at the end; the borders are disconnected.  This is the scenario
+where checking only the local cell (AC1) visibly breaks: upstream cells
+admit greedily and starve the cells downstream of them, in an
+alternating pattern.  AC3 makes each cell care about its downstream
+neighbour and rebalances the whole road.
+"""
+
+from repro import simulate, one_directional
+
+
+def show(result, scheme: str) -> None:
+    print(f"\n{scheme}: per-cell state after 30 simulated minutes")
+    print(f"{'cell':>4} {'P_CB':>7} {'P_HD':>8} {'T_est':>6} {'B_r':>7}")
+    for status in result.statuses:
+        over = "  <- over target" if status.dropping_probability > 0.01 else ""
+        print(
+            f"{status.cell_id + 1:>4} {status.blocking_probability:>7.3f} "
+            f"{status.dropping_probability:>8.4f} {status.t_est:>6.0f} "
+            f"{status.reserved_target:>7.2f}{over}"
+        )
+
+
+def main() -> None:
+    for scheme in ("AC1", "AC3"):
+        result = simulate(
+            one_directional(scheme, offered_load=300.0, duration=1800.0,
+                            seed=7)
+        )
+        show(result, scheme)
+    print(
+        "\nAC1 starves alternating cells (very high P_CB, P_HD over the"
+        "\n1% target) because cell <i> never looks at cell <i+1>;"
+        "\nAC3's hybrid test spreads the blocking evenly and keeps every"
+        "\ncell's P_HD bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

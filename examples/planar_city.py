@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Geometric 2-D mobility: straight-line travel on a hex-tiled plane.
+
+The paper's future work (§7) asks for "more realistic moving patterns"
+in two dimensions.  :class:`~repro.mobility.PlanarHexModel` gives every
+mobile real coordinates: it travels in a straight line at constant
+speed (the 2-D analogue of assumption A4), and hand-offs happen exactly
+where its path crosses a Voronoi boundary between cell centers.
+
+Straight lines make mobility *predictable from history*: a mobile that
+entered a cell from the west almost surely exits east.  This example
+runs AC3 on a 4x6-cell district and then interrogates one base
+station's learned estimation function to show it discovered that
+structure on its own — no coordinates ever reach the estimator.
+"""
+
+from repro.cellular.topology import HexTopology
+from repro.mobility import (
+    HexGeometry,
+    PlanarHexModel,
+    UniformSpeedSampler,
+)
+from repro.simulation import CellularSimulator, stationary
+
+
+def main() -> None:
+    topology = HexTopology(4, 6, wrap=False)
+    geometry = HexGeometry(topology)  # 1 km cells
+    model = PlanarHexModel(
+        geometry,
+        UniformSpeedSampler(60.0, 100.0),
+        stationary_fraction=0.25,
+    )
+    config = stationary("AC3", offered_load=120.0, voice_ratio=0.8,
+                        duration=1500.0, seed=12)
+    simulator = CellularSimulator(config, mobility_model=model)
+    result = simulator.run()
+    print(
+        f"4x6 hex district, 25% stationary users:"
+        f" P_CB={result.blocking_probability:.3f}"
+        f" P_HD={result.dropping_probability:.4f}\n"
+    )
+
+    center = topology.cell_id(2, 2)
+    station = simulator.network.station(center)
+    print(f"what cell ({2},{2})'s base station learned "
+          "(hand-off probability by previous cell, T_est=60 s):")
+    for prev_name, prev in (("west", topology.cell_id(2, 1)),
+                            ("east", topology.cell_id(2, 3))):
+        probabilities = station.estimator.handoff_probabilities(
+            config.duration, prev, extant_sojourn=5.0, t_est=60.0
+        )
+        ranked = sorted(
+            probabilities.items(), key=lambda item: -item[1]
+        )[:3]
+        rendered = ", ".join(
+            f"{topology.coordinates(cell)}:{probability:.2f}"
+            for cell, probability in ranked
+        )
+        print(f"  entered from the {prev_name}: {rendered}")
+    print(
+        "\nStraight lines never turn back: the learned mass sits on the"
+        "\nforward and lateral edges and essentially none on the edge the"
+        "\nmobile came through — the aggregate quadruplet history alone"
+        "\nrecovered the geometry, no coordinates needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

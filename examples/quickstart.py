@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: hold the hand-off drop rate below 1% on a loaded highway.
+
+Runs the paper's ring-of-10 highway at an offered load of 200 BUs/cell
+twice — once with the mid-80s static guard-channel baseline, once with
+the paper's predictive/adaptive AC3 scheme — and compares the two
+connection-level QoS probabilities:
+
+* ``P_CB`` — probability a *new* connection request is blocked;
+* ``P_HD`` — probability an ongoing connection's *hand-off* is dropped
+  (the paper's target: keep this below 0.01).
+"""
+
+from repro import simulate, stationary
+
+
+def main() -> None:
+    load = 200.0
+    print(f"highway, 10 cells, offered load {load:g} BUs/cell, "
+          "30% video traffic, 80-120 km/h\n")
+    print(f"{'scheme':<10} {'P_CB':>8} {'P_HD':>9} {'avg B_r':>9}")
+    for scheme in ("static", "AC3"):
+        config = stationary(
+            scheme,
+            offered_load=load,
+            voice_ratio=0.7,
+            high_mobility=True,
+            duration=1200.0,
+            seed=42,
+        )
+        result = simulate(config)
+        flag = "" if result.dropping_probability <= 0.01 else "  <- over target!"
+        print(
+            f"{scheme:<10} {result.blocking_probability:>8.3f} "
+            f"{result.dropping_probability:>9.4f} "
+            f"{result.average_reservation:>9.2f}{flag}"
+        )
+    print(
+        "\nAC3 reserves just enough bandwidth for the hand-offs its"
+        "\nmobility estimator predicts, so P_HD stays under the 1% target"
+        "\nwhile the static guard either over- or under-reserves."
+    )
+
+
+if __name__ == "__main__":
+    main()

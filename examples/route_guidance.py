@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Route-guidance mobiles (ITS/GPS): the paper's §7 extension, working.
+
+When a mobile's route is known (e.g. from an in-car navigation system),
+the base station no longer has to *guess* its next cell — the aggregate
+history is needed only for the sojourn time.  On the two-way highway
+this halves the wasted reservations: a history-only estimator spreads
+each mobile's hand-off mass over both neighbours, while the route-aware
+one concentrates it on the real destination.
+
+Run AC3 with both estimators and compare the blocking probability at
+the same bounded drop rate.
+"""
+
+from repro.estimation import CacheConfig, KnownPathEstimator
+from repro.simulation import CellularSimulator, stationary
+
+
+def direction_oracle(connection):
+    """The 1-D road makes routes trivial: next cell follows direction."""
+    mobile = connection.mobile
+    if mobile is None or not mobile.is_moving:
+        return None
+    # Ring of 10 cells; EXIT never happens here.
+    return (mobile.cell_id + mobile.direction) % 10
+
+
+def run(label, estimator_factory):
+    config = stationary(
+        "AC3",
+        offered_load=250.0,
+        voice_ratio=0.8,
+        duration=1500.0,
+        warmup=500.0,
+        seed=21,
+    )
+    simulator = CellularSimulator(config)
+    if estimator_factory is not None:
+        # Swap every station's estimator before the run starts.
+        for station in simulator.network.stations:
+            station.estimator = estimator_factory()
+    result = simulator.run()
+    print(
+        f"{label:<22} P_CB={result.blocking_probability:.3f} "
+        f"P_HD={result.dropping_probability:.4f} "
+        f"avg B_r={result.average_reservation:.2f}"
+    )
+    return result
+
+
+def main() -> None:
+    print("AC3 on the two-way highway, L=250, 20% video\n")
+    run("history-only (Eq. 4)", None)
+    run(
+        "route-aware (§7)",
+        lambda: KnownPathEstimator(
+            CacheConfig(interval=None), route_oracle=direction_oracle
+        ),
+    )
+    print(
+        "\nKnowing the direction removes the 50/50 split of each mobile's"
+        "\nhand-off mass between its two neighbours.  The adaptive window"
+        "\nalready compensates for estimation spread, so the visible win"
+        "\nis a moderate B_r/P_CB saving at the same bounded drop rate —"
+        "\nnot the naive 2x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""A compressed rush-hour day: time-varying load, speeds and retries.
+
+Replays the paper's §5.3 scenario — offered load peaking around 9 am,
+1 pm and 5-6 pm while traffic slows down, with blocked users retrying
+every 5 s with probability ``1 - 0.1 * N_ret`` — on a time-compressed
+day (1 "day" = 30 simulated minutes) so it finishes in seconds.
+
+Prints the hourly P_CB / P_HD table of Figure 14(b) for AC3.
+"""
+
+from repro import simulate, time_varying
+
+
+def bar(value: float, scale: float, width: int = 30) -> str:
+    filled = min(int(value / scale * width), width)
+    return "#" * filled
+
+
+def main() -> None:
+    config = time_varying("AC3", days=1.0, time_compression=48.0, seed=3)
+    print("simulating one profile-driven day (compressed 48x) ...")
+    result = simulate(config)
+    print(f"\n{'hour':>4} {'requests':>9} {'P_CB':>7} {'P_HD':>8}  load")
+    for bucket in result.hourly:
+        print(
+            f"{bucket.hour % 24:>4} {bucket.new_requests:>9} "
+            f"{bucket.blocking_probability:>7.3f} "
+            f"{bucket.dropping_probability:>8.4f}  "
+            f"{bar(bucket.new_requests, 600)}"
+        )
+    peak = max(b.dropping_probability for b in result.hourly)
+    print(
+        f"\noverall: P_CB={result.blocking_probability:.3f} "
+        f"P_HD={result.dropping_probability:.4f} "
+        f"(worst hour P_HD={peak:.4f}, target 0.01)"
+    )
+    print(
+        "off-peak hours are effectively free; during the rush-hour peaks"
+        "\nblocking rises (amplified by retries) while hand-off drops stay"
+        "\nbounded — the scheme sheds load at connection setup, never"
+        " mid-call."
+    )
+
+
+if __name__ == "__main__":
+    main()

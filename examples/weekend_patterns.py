@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Weekday vs weekend pattern sets (paper §3.1's T_week machinery).
+
+Mobility on weekends differs enough from weekdays that the paper keeps
+*separate* sets of quadruplets for them, building the weekend estimation
+functions over the weekly period T_week.  This example shows the
+mechanism directly: a cell sees commuter traffic (fast, eastbound) on
+weekdays and leisure traffic (slow, both ways) on weekends; a single
+pooled estimator blurs the two, the calendar estimator keeps them
+apart.
+"""
+
+import random
+
+from repro.estimation import (
+    CacheConfig,
+    CalendarEstimator,
+    MobilityEstimator,
+    WeekSchedule,
+)
+
+DAY = 1000.0  # compressed day, in seconds
+
+
+def feed(estimator, rng, weeks=3):
+    """Record two simulated weeks of hand-off history."""
+    for day in range(int(7 * weeks)):
+        base = day * DAY
+        weekend = day % 7 >= 5
+        for index in range(40):
+            event_time = base + 100.0 + index * 20.0
+            if weekend:
+                # Leisure: slow, either direction.
+                next_cell = 2 if rng.random() < 0.5 else 4
+                sojourn = rng.uniform(80.0, 140.0)
+            else:
+                # Commute: fast, almost all continue east (cell 2).
+                next_cell = 2 if rng.random() < 0.95 else 4
+                sojourn = rng.uniform(25.0, 40.0)
+            estimator.record_departure(event_time, 1, next_cell, sojourn)
+
+
+def probe(estimator, label, now):
+    ph = estimator.handoff_probabilities(now, 1, extant_sojourn=10.0,
+                                         t_est=40.0)
+    east = ph.get(2, 0.0)
+    south = ph.get(4, 0.0)
+    print(f"  {label:<22} p(east)={east:.2f} p(south)={south:.2f}")
+
+
+def main() -> None:
+    rng = random.Random(0)
+    pooled = MobilityEstimator(CacheConfig(interval=None))
+    feed(pooled, random.Random(0))
+    calendar = CalendarEstimator(
+        schedule=WeekSchedule(day_seconds=DAY), interval=DAY / 2
+    )
+    feed(calendar, random.Random(0))
+
+    weekday_noon = 21 * DAY + 500.0   # day 21 = a Monday
+    weekend_noon = 26 * DAY + 500.0   # day 26 = a Saturday
+    print("probability of handing off within 40 s, mobile here for 10 s\n")
+    print("pooled history (no pattern sets):")
+    probe(pooled, "any day", weekday_noon)
+    print("\ncalendar estimator (weekday/weekend sets):")
+    probe(calendar, "weekday query", weekday_noon)
+    probe(calendar, "weekend query", weekend_noon)
+    print(
+        "\nThe pooled estimator mixes commuters with weekend wanderers"
+        "\nand hedges both predictions; the calendar estimator answers"
+        "\nweekday queries from weekday history (fast, eastbound) and"
+        "\nweekend queries from weekend history (slow: in 40 s almost"
+        "\nnobody leaves)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Run the full reproduction suite and record rendered outputs.
+
+Writes one text file per experiment under ``results/`` plus a combined
+``results/ALL.txt``.  This is the recorded-scale run behind
+EXPERIMENTS.md; the pytest benchmarks run the same code CI-sized.
+
+Usage:  python scripts/run_experiments.py [experiment-id ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Recorded-scale parameters per experiment (paper-comparable horizons).
+SCALES: dict[str, dict[str, object]] = {
+    "fig7": {"duration": 2000.0},
+    "fig8+9": {"duration": 2000.0},
+    "fig10+11": {"duration": 2000.0},
+    "fig12+13": {"duration": 2000.0},
+    "fig14": {"time_compression": 12.0},
+    "table2": {"duration": 2000.0},
+    "table3": {"duration": 2000.0},
+    "ablation-window-steps": {"duration": 1500.0},
+    "ablation-estimator-depth": {"duration": 1500.0},
+    "ablation-signaling": {"duration": 800.0},
+    "ablation-hex2d": {"duration": 1500.0},
+    "ablation-cdma": {"duration": 1500.0},
+    "ablation-wired": {"duration": 1200.0},
+    "comparison-ns": {"duration": 600.0},
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    results_dir = Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    combined: list[str] = []
+    for name in names:
+        kwargs = SCALES.get(name, {})
+        started = time.perf_counter()
+        print(f"[{time.strftime('%H:%M:%S')}] running {name} {kwargs} ...",
+              flush=True)
+        outputs = run_experiment(name, **kwargs)
+        elapsed = time.perf_counter() - started
+        for output in outputs:
+            rendered = output.render()
+            path = results_dir / f"{output.experiment_id}.txt"
+            path.write_text(rendered + "\n")
+            combined.append(rendered)
+            print(f"  wrote {path} ({elapsed:.1f}s total for {name})",
+                  flush=True)
+    if not argv:
+        # Only a full run may rewrite the combined file; partial runs
+        # would otherwise clobber it with a subset.
+        (results_dir / "ALL.txt").write_text(
+            "\n\n".join(combined) + "\n"
+        )
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,71 @@
+"""repro — Predictive and adaptive bandwidth reservation for hand-offs.
+
+A from-scratch reproduction of Choi & Shin, *"Predictive and Adaptive
+Bandwidth Reservation for Hand-Offs in QoS-Sensitive Cellular
+Networks"*, ACM SIGCOMM 1998.
+
+Quickstart
+----------
+>>> from repro import simulate, stationary
+>>> result = simulate(stationary("AC3", offered_load=150, duration=300))
+>>> 0.0 <= result.dropping_probability <= 1.0
+True
+
+Packages
+--------
+* :mod:`repro.des` — discrete-event simulation kernel.
+* :mod:`repro.cellular` — cells, topologies, base stations.
+* :mod:`repro.mobility` — mobiles and movement models.
+* :mod:`repro.traffic` — arrivals, traffic classes, day profiles.
+* :mod:`repro.estimation` — the paper's mobility estimation (§3).
+* :mod:`repro.core` — reservation (Eqs. 5–6), window control (Fig. 6),
+  admission schemes (Static / AC1 / AC2 / AC3).
+* :mod:`repro.simulation` — the evaluation harness.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.core import (
+    AC1,
+    AC2,
+    AC3,
+    AdmissionPolicy,
+    EstimationWindowController,
+    StaticReservationPolicy,
+    WindowControllerConfig,
+    make_policy,
+)
+from repro.estimation import CacheConfig, MobilityEstimator
+from repro.simulation import (
+    CellularSimulator,
+    SimulationConfig,
+    SimulationResult,
+    one_directional,
+    simulate,
+    stationary,
+    sweep_offered_load,
+    time_varying,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AC1",
+    "AC2",
+    "AC3",
+    "AdmissionPolicy",
+    "CacheConfig",
+    "CellularSimulator",
+    "EstimationWindowController",
+    "MobilityEstimator",
+    "SimulationConfig",
+    "SimulationResult",
+    "StaticReservationPolicy",
+    "WindowControllerConfig",
+    "__version__",
+    "make_policy",
+    "one_directional",
+    "simulate",
+    "stationary",
+    "sweep_offered_load",
+    "time_varying",
+]

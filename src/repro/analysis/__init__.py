@@ -1,0 +1,29 @@
+"""Analysis utilities: intervals, replications, analytic models."""
+
+from repro.analysis.guard_channel import (
+    GuardChannelResult,
+    analytic_static_baseline,
+    road_model_rates,
+    solve_guard_channel,
+)
+from repro.analysis.stats import (
+    ProportionEstimate,
+    ReplicationSummary,
+    blocking_estimate,
+    dropping_estimate,
+    replicate,
+    wilson_interval,
+)
+
+__all__ = [
+    "GuardChannelResult",
+    "ProportionEstimate",
+    "ReplicationSummary",
+    "blocking_estimate",
+    "analytic_static_baseline",
+    "dropping_estimate",
+    "replicate",
+    "road_model_rates",
+    "solve_guard_channel",
+    "wilson_interval",
+]

@@ -1,0 +1,131 @@
+"""Statistics helpers for simulation studies.
+
+Single runs of a stochastic simulator give point estimates; a credible
+comparison needs replications and interval estimates.  This module
+provides Wilson score intervals for the two QoS probabilities (they are
+binomial proportions) and a replication runner that sweeps seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.simulator import CellularSimulator
+
+#: z for a 95% two-sided normal interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True, slots=True)
+class ProportionEstimate:
+    """A binomial proportion with a Wilson score confidence interval."""
+
+    successes: int
+    trials: int
+    point: float
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        return f"{self.point:.4f} [{self.low:.4f}, {self.high:.4f}]"
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> ProportionEstimate:
+    """Wilson score interval — well-behaved at small counts and p ~ 0.
+
+    Exactly what P_HD estimation needs: drops are rare events, so the
+    naive normal interval would collapse to [p, p] or go negative.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts {successes}/{trials}")
+    if trials == 0:
+        return ProportionEstimate(0, 0, 0.0, 0.0, 1.0)
+    p = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    low = max(center - margin, 0.0)
+    high = min(center + margin, 1.0)
+    # Exact bounds at the extremes (kill floating-point residue).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return ProportionEstimate(successes, trials, p, low, high)
+
+
+def blocking_estimate(result: SimulationResult) -> ProportionEstimate:
+    """P_CB of a run with its Wilson 95% interval."""
+    requests = sum(cell.new_requests for cell in result.cells)
+    blocked = sum(cell.blocked for cell in result.cells)
+    return wilson_interval(blocked, requests)
+
+
+def dropping_estimate(result: SimulationResult) -> ProportionEstimate:
+    """P_HD of a run with its Wilson 95% interval."""
+    attempts = sum(cell.handoff_attempts for cell in result.cells)
+    drops = sum(cell.handoff_drops for cell in result.cells)
+    return wilson_interval(drops, attempts)
+
+
+@dataclass
+class ReplicationSummary:
+    """Pooled statistics over independent same-config replications."""
+
+    results: list[SimulationResult]
+    blocking: ProportionEstimate
+    dropping: ProportionEstimate
+
+    @property
+    def replications(self) -> int:
+        return len(self.results)
+
+    def mean_of(self, metric: Callable[[SimulationResult], float]) -> float:
+        if not self.results:
+            return 0.0
+        return sum(metric(result) for result in self.results) / len(
+            self.results
+        )
+
+
+def replicate(
+    config: SimulationConfig,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> ReplicationSummary:
+    """Run the same scenario under several seeds and pool the counts.
+
+    Pooling (rather than averaging per-run probabilities) weights every
+    hand-off equally, which is the right estimator for rare drops.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [
+        CellularSimulator(replace(config, seed=seed)).run() for seed in seeds
+    ]
+    requests = sum(
+        cell.new_requests for result in results for cell in result.cells
+    )
+    blocked = sum(
+        cell.blocked for result in results for cell in result.cells
+    )
+    attempts = sum(
+        cell.handoff_attempts for result in results for cell in result.cells
+    )
+    drops = sum(
+        cell.handoff_drops for result in results for cell in result.cells
+    )
+    return ReplicationSummary(
+        results=results,
+        blocking=wilson_interval(blocked, requests),
+        dropping=wilson_interval(drops, attempts),
+    )

@@ -1,0 +1,35 @@
+"""Cellular infrastructure substrate (S2): cells, topologies, stations.
+
+Public surface:
+
+* :class:`Cell` — FCA capacity accounting with a reserved hand-off band.
+* :class:`LinearTopology` / :class:`HexTopology` — 1-D road and 2-D grid.
+* :class:`BaseStation` — per-cell control plane (estimator + window +
+  distributed Eq. 5/6 reservation protocol).
+* :class:`CellularNetwork` — cells wired by a topology.
+* :mod:`repro.cellular.signaling` — star vs full-mesh backhaul costs.
+"""
+
+from repro.cellular.base_station import EXIT_CELL, BaseStation
+from repro.cellular.cell import CapacityError, Cell
+from repro.cellular.network import CellularNetwork
+from repro.cellular.signaling import (
+    Interconnect,
+    SignalingAccountant,
+    SignalingReport,
+)
+from repro.cellular.topology import HexTopology, LinearTopology, Topology
+
+__all__ = [
+    "EXIT_CELL",
+    "BaseStation",
+    "CapacityError",
+    "Cell",
+    "CellularNetwork",
+    "HexTopology",
+    "Interconnect",
+    "LinearTopology",
+    "SignalingAccountant",
+    "SignalingReport",
+    "Topology",
+]

@@ -1,0 +1,180 @@
+"""A cell: the radio coverage area of one base station.
+
+The cell tracks its fixed link capacity (FCA, in bandwidth units — one
+BU is the bandwidth of a voice connection, paper §2) and the set of
+admitted connections.  Two admission paths exist, mirroring the paper:
+
+* **new connections** must fit under ``capacity - reserved_target``
+  (Eq. 1) — the reserved band is off-limits to them;
+* **hand-offs** may use the whole capacity, including the reserved band.
+
+The cell itself only does bandwidth accounting; *which* reservation
+target applies is decided by the admission policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.traffic.connection import Connection
+
+
+class CapacityError(ValueError):
+    """Raised when bandwidth accounting would go out of [0, C]."""
+
+
+class Cell:
+    """One cell with fixed link capacity.
+
+    Parameters
+    ----------
+    cell_id:
+        Index of the cell in its network (0-based).
+    capacity:
+        Wireless link capacity ``C(i)`` in BUs (paper assumption A6 uses
+        100 BUs for every cell).
+    """
+
+    def __init__(
+        self,
+        cell_id: int,
+        capacity: float,
+        handoff_overload: float = 1.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if handoff_overload < 1.0:
+            raise ValueError(
+                f"hand-off overload factor must be >= 1, got"
+                f" {handoff_overload}"
+            )
+        self.cell_id = cell_id
+        self.capacity = float(capacity)
+        #: CDMA-style *soft capacity* (paper §7): hand-offs may push the
+        #: cell up to ``capacity * handoff_overload`` by accepting a
+        #: higher interference level; new connections never may.
+        self.handoff_capacity = float(capacity) * float(handoff_overload)
+        self.used_bandwidth = 0.0
+        #: Target reservation bandwidth ``B_r`` most recently computed for
+        #: this cell (``B_r^{prev}`` in the AC3 description, §4.3).  For the
+        #: static scheme this is the constant guard band ``G``.
+        self.reserved_target = 0.0
+        self._connections: dict[int, "Connection"] = {}
+
+    # ------------------------------------------------------------------
+    # capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def free_bandwidth(self) -> float:
+        """Bandwidth not used by any existing connection."""
+        return self.capacity - self.used_bandwidth
+
+    @property
+    def connection_count(self) -> int:
+        """Number of connections currently carried by this cell."""
+        return len(self._connections)
+
+    def connections(self) -> Iterator["Connection"]:
+        """Iterate over the connections currently in this cell."""
+        return iter(self._connections.values())
+
+    def fits_new_connection(self, bandwidth: float) -> bool:
+        """Admission test of Eq. (1): new traffic must respect ``B_r``."""
+        return (
+            self.used_bandwidth + bandwidth
+            <= self.capacity - self.reserved_target + 1e-9
+        )
+
+    def fits_handoff(self, bandwidth: float) -> bool:
+        """Hand-offs may consume reserved bandwidth and (in soft-capacity
+        deployments) the interference margin above the nominal capacity."""
+        return self.used_bandwidth + bandwidth <= self.handoff_capacity + 1e-9
+
+    def can_reserve_target(self) -> bool:
+        """Whether the current ``B_r`` target is actually reservable.
+
+        ``False`` means the cell is *suspect* in AC3 terms: its existing
+        connections already overlap the reserved band
+        (``sum b_j + B_r^{prev} > C``).
+        """
+        return (
+            self.used_bandwidth + self.reserved_target <= self.capacity + 1e-9
+        )
+
+    # ------------------------------------------------------------------
+    # bandwidth accounting
+    # ------------------------------------------------------------------
+    def attach(self, connection: "Connection") -> None:
+        """Account a connection into this cell (admission already decided)."""
+        if connection.connection_id in self._connections:
+            raise CapacityError(
+                f"connection {connection.connection_id} already in cell"
+                f" {self.cell_id}"
+            )
+        if (
+            self.used_bandwidth + connection.bandwidth
+            > self.handoff_capacity + 1e-9
+        ):
+            raise CapacityError(
+                f"cell {self.cell_id}: attaching {connection.bandwidth} BU"
+                f" exceeds capacity ({self.used_bandwidth}/"
+                f"{self.handoff_capacity})"
+            )
+        self._connections[connection.connection_id] = connection
+        self.used_bandwidth += connection.bandwidth
+
+    def detach(self, connection: "Connection") -> None:
+        """Release a connection's bandwidth (hand-off out or completion)."""
+        stored = self._connections.pop(connection.connection_id, None)
+        if stored is None:
+            raise CapacityError(
+                f"connection {connection.connection_id} not in cell"
+                f" {self.cell_id}"
+            )
+        self.used_bandwidth -= connection.bandwidth
+        if self.used_bandwidth < -1e-9:
+            raise CapacityError(
+                f"cell {self.cell_id}: used bandwidth went negative"
+            )
+        if self.used_bandwidth < 0:
+            self.used_bandwidth = 0.0
+
+    def adjust_bandwidth(
+        self, connection: "Connection", new_bandwidth: float
+    ) -> None:
+        """Re-size an attached connection's allocation (QoS adaptation).
+
+        Keeps the cell's accounting consistent while a degraded
+        connection is squeezed further or upgraded back toward its full
+        rate.  The new allocation must respect both the class's floor
+        and the cell capacity.
+        """
+        if connection.connection_id not in self._connections:
+            raise CapacityError(
+                f"connection {connection.connection_id} not in cell"
+                f" {self.cell_id}"
+            )
+        if new_bandwidth < connection.min_bandwidth - 1e-9:
+            raise ValueError(
+                f"allocation {new_bandwidth} below the class floor"
+                f" {connection.min_bandwidth}"
+            )
+        if new_bandwidth > connection.full_bandwidth + 1e-9:
+            raise ValueError(
+                f"allocation {new_bandwidth} above the class rate"
+                f" {connection.full_bandwidth}"
+            )
+        delta = new_bandwidth - connection.bandwidth
+        if self.used_bandwidth + delta > self.capacity + 1e-9:
+            raise CapacityError(
+                f"cell {self.cell_id}: adjustment exceeds capacity"
+            )
+        self.used_bandwidth += delta
+        connection.allocated_bandwidth = new_bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cell({self.cell_id}, used={self.used_bandwidth:.1f}/"
+            f"{self.capacity:.0f}, B_r={self.reserved_target:.2f})"
+        )

@@ -1,0 +1,96 @@
+"""The cellular network: cells, topology, and their base stations."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.cellular.base_station import BaseStation
+from repro.cellular.cell import Cell
+from repro.cellular.topology import Topology
+from repro.core.window import EstimationWindowController, WindowControllerConfig
+from repro.estimation.cache import CacheConfig
+from repro.estimation.estimator import MobilityEstimator
+
+
+class CellularNetwork:
+    """A set of cells wired together by a topology.
+
+    Parameters
+    ----------
+    topology:
+        Adjacency (and, for 1-D roads, geometry) of the cells.
+    capacity:
+        Wireless link capacity per cell in BUs (A6: 100), or a callable
+        mapping cell id to capacity for heterogeneous deployments.
+    cache_config:
+        Estimator cache parameters shared by all stations.
+    window_config:
+        Window-controller parameters shared by all stations.
+    estimator_factory:
+        Override to plug a custom estimator (e.g. ``KnownPathEstimator``).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        capacity: float | Callable[[int], float] = 100.0,
+        cache_config: CacheConfig | None = None,
+        window_config: WindowControllerConfig | None = None,
+        estimator_factory: Callable[[int], MobilityEstimator] | None = None,
+        handoff_overload: float = 1.0,
+    ) -> None:
+        self.topology = topology
+        self.cells: list[Cell] = []
+        self.stations: list[BaseStation] = []
+        for cell_id in range(topology.num_cells):
+            if callable(capacity):
+                cell_capacity = capacity(cell_id)
+            else:
+                cell_capacity = float(capacity)
+            cell = Cell(
+                cell_id, cell_capacity, handoff_overload=handoff_overload
+            )
+            if estimator_factory is not None:
+                estimator = estimator_factory(cell_id)
+            else:
+                estimator = MobilityEstimator(cache_config)
+            controller = EstimationWindowController(
+                window_config or WindowControllerConfig()
+            )
+            self.cells.append(cell)
+            self.stations.append(
+                BaseStation(cell, self, estimator, controller)
+            )
+
+    @property
+    def num_cells(self) -> int:
+        return self.topology.num_cells
+
+    def cell(self, cell_id: int) -> Cell:
+        """Cell by id."""
+        return self.cells[cell_id]
+
+    def station(self, cell_id: int) -> BaseStation:
+        """Base station by cell id."""
+        return self.stations[cell_id]
+
+    def neighbors(self, cell_id: int) -> tuple[int, ...]:
+        """Adjacent cell ids."""
+        return tuple(self.topology.neighbors(cell_id))
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def total_used_bandwidth(self) -> float:
+        """Bandwidth in use across the whole network (BUs)."""
+        return sum(cell.used_bandwidth for cell in self.cells)
+
+    def total_messages(self) -> int:
+        """Inter-BS messages sent by all stations so far."""
+        return sum(station.messages_sent for station in self.stations)
+
+    def total_reservation_calculations(self) -> int:
+        """``B_r`` (Eq. 6) computations performed by all stations so far."""
+        return sum(
+            station.reservation_calculations for station in self.stations
+        )

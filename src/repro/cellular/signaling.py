@@ -1,0 +1,81 @@
+"""Backhaul signaling accounting: star (MSC) vs fully-connected BSs.
+
+Figure 1 of the paper shows the two interconnect options for the wired
+backbone.  The reservation protocol exchanges the same *logical*
+messages either way (``T_est`` announcements and Eq. 5 replies); what
+differs is the transport cost and where Eq. 6 is evaluated:
+
+* **star** — BSs talk only to the MSC, so one logical BS-to-BS message
+  costs two hops, and the MSC computes the targets centrally;
+* **full mesh** — BSs talk directly (one hop) and compute locally.
+
+:class:`SignalingAccountant` converts logical message counts into hop
+counts so deployments can be compared (the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Interconnect(enum.Enum):
+    """Wired interconnect layout between the MSC and the base stations."""
+
+    STAR = "star"
+    FULL_MESH = "full_mesh"
+
+
+@dataclass
+class SignalingReport:
+    """Transport cost of a batch of logical control messages."""
+
+    interconnect: Interconnect
+    logical_messages: int
+    transport_hops: int
+    msc_transits: int
+
+    def hops_per_message(self) -> float:
+        if self.logical_messages == 0:
+            return 0.0
+        return self.transport_hops / self.logical_messages
+
+
+class SignalingAccountant:
+    """Accumulates signaling cost under a chosen interconnect."""
+
+    def __init__(self, interconnect: Interconnect = Interconnect.FULL_MESH):
+        self.interconnect = interconnect
+        self.logical_messages = 0
+        self.transport_hops = 0
+        self.msc_transits = 0
+
+    def account(self, logical_messages: int) -> None:
+        """Register ``logical_messages`` BS-to-BS control messages."""
+        if logical_messages < 0:
+            raise ValueError("message count cannot be negative")
+        self.logical_messages += logical_messages
+        if self.interconnect is Interconnect.STAR:
+            self.transport_hops += 2 * logical_messages
+            self.msc_transits += logical_messages
+        else:
+            self.transport_hops += logical_messages
+
+    def report(self) -> SignalingReport:
+        """Snapshot of the accumulated transport cost."""
+        return SignalingReport(
+            self.interconnect,
+            self.logical_messages,
+            self.transport_hops,
+            self.msc_transits,
+        )
+
+    @staticmethod
+    def compare(logical_messages: int) -> dict[str, SignalingReport]:
+        """Cost of the same logical load under both interconnects."""
+        reports = {}
+        for interconnect in Interconnect:
+            accountant = SignalingAccountant(interconnect)
+            accountant.account(logical_messages)
+            reports[interconnect.value] = accountant.report()
+        return reports

@@ -1,0 +1,194 @@
+"""Command-line interface: run scenarios and paper experiments.
+
+Examples
+--------
+::
+
+    python -m repro run --scheme AC3 --load 200 --rvo 0.8
+    python -m repro run --scheme static --guard 10 --low-mobility
+    python -m repro sweep --scheme AC3 --loads 60,150,300
+    python -m repro experiment table3
+    python -m repro list-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import Table
+from repro.mobility.models import TravelDirections
+from repro.simulation.runner import sweep_offered_load
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Predictive and adaptive bandwidth reservation for hand-offs"
+            " (Choi & Shin, SIGCOMM 1998)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run one scenario and print the per-cell report"
+    )
+    _add_scenario_arguments(run_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="sweep the offered load and print P_CB / P_HD"
+    )
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--loads",
+        default="60,100,150,200,250,300",
+        help="comma-separated offered loads (BUs per cell)",
+    )
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment_parser.add_argument("name", help="experiment id, e.g. fig8+9")
+    experiment_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the simulated horizon (seconds)",
+    )
+
+    commands.add_parser(
+        "list-experiments", help="list the registered experiment ids"
+    )
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", default="AC3",
+                        choices=["static", "AC1", "AC2", "AC3"])
+    parser.add_argument("--load", type=float, default=200.0,
+                        help="offered load in BUs per cell (Eq. 7)")
+    parser.add_argument("--rvo", type=float, default=1.0,
+                        help="voice ratio R_vo in [0, 1]")
+    parser.add_argument("--duration", type=float, default=1000.0,
+                        help="simulated seconds")
+    parser.add_argument("--warmup", type=float, default=0.0,
+                        help="seconds excluded from the statistics")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--cells", type=int, default=10)
+    parser.add_argument("--guard", type=float, default=10.0,
+                        help="static guard band G in BUs")
+    parser.add_argument("--low-mobility", action="store_true",
+                        help="speeds U[40,60] km/h instead of U[80,120]")
+    parser.add_argument("--one-way", action="store_true",
+                        help="all mobiles drive one direction, open road")
+    parser.add_argument("--adaptive-qos", action="store_true",
+                        help="degradable video + min-QoS reservation (§1)")
+    parser.add_argument("--soft-handoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="CDMA soft hand-off overlap window (§7)")
+    parser.add_argument("--overload", type=float, default=1.0,
+                        metavar="FACTOR",
+                        help="CDMA soft-capacity hand-off margin (§7)")
+
+
+def _build_config(args: argparse.Namespace, load: float | None = None):
+    overrides = {
+        "num_cells": args.cells,
+        "static_guard": args.guard,
+        "warmup": args.warmup,
+        "adaptive_qos": args.adaptive_qos,
+        "soft_handoff_window": args.soft_handoff,
+        "handoff_overload": args.overload,
+    }
+    if args.one_way:
+        overrides["directions"] = TravelDirections.ONE_WAY
+        overrides["ring"] = False
+    return stationary(
+        args.scheme,
+        offered_load=load if load is not None else args.load,
+        voice_ratio=args.rvo,
+        high_mobility=not args.low_mobility,
+        duration=args.duration,
+        seed=args.seed,
+        **overrides,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = CellularSimulator(_build_config(args)).run()
+    print(f"scheme={result.scheme}  L={result.offered_load:g}"
+          f"  duration={result.duration:g}s")
+    print(f"P_CB = {result.blocking_probability:.4f}")
+    print(f"P_HD = {result.dropping_probability:.4f}")
+    print(f"avg B_r = {result.average_reservation:.2f} BUs,"
+          f" avg B_u = {result.average_used:.2f} BUs,"
+          f" N_calc = {result.average_calculations:.2f}")
+    rows = [
+        [
+            status.cell_id + 1,
+            status.blocking_probability,
+            status.dropping_probability,
+            status.t_est,
+            status.reserved_target,
+            status.used_bandwidth,
+        ]
+        for status in result.statuses
+    ]
+    print()
+    print(Table(["Cell", "PCB", "PHD", "Test", "Br", "Bu"], rows).render())
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    loads = [float(piece) for piece in args.loads.split(",") if piece]
+    pairs = sweep_offered_load(
+        lambda load: _build_config(args, load=load), loads=loads
+    )
+    rows = [
+        [
+            load,
+            result.blocking_probability,
+            result.dropping_probability,
+            result.average_reservation,
+            result.average_calculations,
+        ]
+        for load, result in pairs
+    ]
+    print(Table(["L", "PCB", "PHD", "avg Br", "Ncalc"], rows).render())
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    outputs = run_experiment(args.name, **kwargs)
+    for output in outputs:
+        print(output.render())
+        print()
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "experiment": _command_experiment,
+        "list-experiments": _command_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

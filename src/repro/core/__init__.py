@@ -1,0 +1,46 @@
+"""The paper's primary contribution (S6 + S7).
+
+* :mod:`repro.core.reservation` — Eqs. 5–6 target reservation bandwidth.
+* :mod:`repro.core.window` — the Figure-6 adaptive ``T_est`` controller.
+* :mod:`repro.core.admission` — Static / AC1 / AC2 / AC3 policies.
+"""
+
+from repro.core.admission import (
+    AC1,
+    AC2,
+    AC3,
+    AdmissionDecision,
+    AdmissionPolicy,
+    StaticReservationPolicy,
+    make_policy,
+)
+from repro.core.qos import AdaptiveQoSPolicy
+from repro.core.related import NaghshinehSchwartzPolicy
+from repro.core.reservation import (
+    aggregate_reservation,
+    expected_handoff_bandwidth,
+)
+from repro.core.window import (
+    EstimationWindowController,
+    StepPolicy,
+    WindowAdjustment,
+    WindowControllerConfig,
+)
+
+__all__ = [
+    "AC1",
+    "AC2",
+    "AC3",
+    "AdaptiveQoSPolicy",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "EstimationWindowController",
+    "NaghshinehSchwartzPolicy",
+    "StaticReservationPolicy",
+    "StepPolicy",
+    "WindowAdjustment",
+    "WindowControllerConfig",
+    "aggregate_reservation",
+    "expected_handoff_bandwidth",
+    "make_policy",
+]

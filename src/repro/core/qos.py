@@ -1,0 +1,111 @@
+"""QoS adaptation layered over any admission policy (paper §1).
+
+The paper observes that its reservation scheme composes with adaptive
+QoS: a hand-off that does not fit at the connection's full rate can be
+accepted *degraded* (down to the class's minimum), and freed bandwidth
+can be used to *upgrade* degraded connections back toward their full
+rate.  Reservation itself is computed on the minimum QoS basis (handled
+by ``Connection.reservation_basis``).
+
+:class:`AdaptiveQoSPolicy` wraps any :class:`AdmissionPolicy` and adds
+exactly those two behaviours.  Rigid traffic classes are unaffected —
+their floor equals their full rate.
+"""
+
+from __future__ import annotations
+
+from repro.cellular.network import CellularNetwork
+from repro.core.admission import AdmissionDecision, AdmissionPolicy
+
+
+class AdaptiveQoSPolicy(AdmissionPolicy):
+    """Degrade-instead-of-drop and upgrade-on-release, over any policy.
+
+    Parameters
+    ----------
+    inner:
+        The admission policy making new-connection decisions (Static,
+        AC1, AC2 or AC3).
+    upgrade_respects_reservation:
+        If true (default), upgrades only consume bandwidth outside the
+        reserved hand-off band — upgrading is a new-traffic-like use of
+        capacity, so it must not eat into ``B_r``.
+    """
+
+    def __init__(
+        self,
+        inner: AdmissionPolicy,
+        upgrade_respects_reservation: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.upgrade_respects_reservation = upgrade_respects_reservation
+        self.name = f"adaptive-{inner.name}"
+        self.degradations = 0
+        self.upgrades = 0
+
+    # ------------------------------------------------------------------
+    # delegation
+    # ------------------------------------------------------------------
+    def install(self, network: CellularNetwork) -> None:
+        self.inner.install(network)
+
+    def admit_new(
+        self,
+        network: CellularNetwork,
+        cell_id: int,
+        bandwidth: float,
+        now: float,
+    ) -> AdmissionDecision:
+        return self.inner.admit_new(network, cell_id, bandwidth, now)
+
+    def admit_handoff(
+        self, network: CellularNetwork, cell_id: int, bandwidth: float
+    ) -> bool:
+        return self.inner.admit_handoff(network, cell_id, bandwidth)
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def handoff_allocation(
+        self, network: CellularNetwork, cell_id: int, connection
+    ) -> float | None:
+        """Grant the largest feasible rate in [min, full], else drop."""
+        cell = network.cell(cell_id)
+        preferred = connection.full_bandwidth
+        if cell.fits_handoff(preferred):
+            return preferred
+        floor = connection.min_bandwidth
+        if floor < preferred and cell.fits_handoff(floor):
+            # Degrade to whatever headroom the cell actually has.
+            granted = max(min(cell.capacity - cell.used_bandwidth,
+                              preferred), floor)
+            self.degradations += 1
+            return granted
+        return None
+
+    def on_release(
+        self, network: CellularNetwork, cell_id: int, now: float
+    ) -> None:
+        """Upgrade degraded connections with the freed bandwidth."""
+        cell = network.cell(cell_id)
+        if self.upgrade_respects_reservation:
+            budget = cell.capacity - cell.reserved_target - cell.used_bandwidth
+        else:
+            budget = cell.capacity - cell.used_bandwidth
+        if budget <= 1e-9:
+            return
+        # Oldest-degraded-first keeps the policy simple and fair enough.
+        for connection in sorted(
+            cell.connections(), key=lambda item: item.connection_id
+        ):
+            if budget <= 1e-9:
+                break
+            if not connection.is_degraded:
+                continue
+            headroom = connection.full_bandwidth - connection.bandwidth
+            grant = min(headroom, budget)
+            cell.adjust_bandwidth(
+                connection, connection.bandwidth + grant
+            )
+            budget -= grant
+            self.upgrades += 1

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+Public surface:
+
+* :class:`Engine` — heap-based event loop with virtual time.
+* :class:`Event` / :class:`EventPriority` — schedulable, cancellable events.
+* :class:`RandomStreams` — named deterministic random streams.
+* :mod:`repro.des.process` — optional generator-process layer.
+"""
+
+from repro.des.engine import Engine, SimulationError
+from repro.des.events import Event, EventPriority
+from repro.des.random import RandomStreams, exponential
+from repro.des.resources import Container, Resource, Store
+
+__all__ = [
+    "Container",
+    "Engine",
+    "Event",
+    "EventPriority",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "exponential",
+]

@@ -1,0 +1,150 @@
+"""The discrete-event simulation engine.
+
+The engine owns a binary-heap event queue and a virtual clock.  It is
+deliberately minimal: callbacks scheduled at absolute or relative times,
+lazy cancellation, and stop conditions (horizon time, event budget, or an
+explicit :meth:`Engine.stop`).  Generator-based processes are layered on
+top in :mod:`repro.des.process`.
+
+Example
+-------
+>>> from repro.des import Engine
+>>> eng = Engine()
+>>> fired = []
+>>> eng.call_at(3.0, lambda: fired.append(eng.now))
+>>> eng.call_in(1.0, lambda: fired.append(eng.now))
+>>> eng.run()
+>>> fired
+[1.0, 3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.des.events import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """A single-threaded discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (seconds).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = EventPriority.DEFAULT,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, int(priority), self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = EventPriority.DEFAULT,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback, *args, priority=priority)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def peek(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns ``False`` if none remained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self.events_processed += 1
+            event.fire()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Parameters
+        ----------
+        until:
+            Horizon in virtual seconds.  Events scheduled strictly after
+            the horizon are left in the queue and the clock is advanced
+            to exactly ``until``.
+        max_events:
+            Safety budget on the number of events fired in this call.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,58 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: first by explicit priority, then
+by scheduling order.  Events may be cancelled; cancelled events stay in
+the heap but are skipped by the engine (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break priority for events scheduled at the same instant.
+
+    Lower values fire first.  Departures are processed before arrivals
+    at the same instant so that bandwidth freed by an ending connection
+    is visible to an admission test occurring at the same time.
+    """
+
+    DEPARTURE = 0
+    HANDOFF = 1
+    ARRIVAL = 2
+    CONTROL = 3
+    DEFAULT = 5
+    MONITOR = 9
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Instances are created via :meth:`repro.des.engine.Engine.schedule`;
+    user code normally only keeps them around to :meth:`cancel` them.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.
+
+        Cancelling an already-fired or already-cancelled event is a
+        harmless no-op; the engine skips cancelled entries lazily.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (engine use only)."""
+        self.callback(*self.args)

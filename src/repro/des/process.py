@@ -1,0 +1,138 @@
+"""Generator-based processes on top of the event engine.
+
+This provides a small simpy-flavoured coroutine layer: a process is a
+generator that yields :class:`Timeout` or :class:`Waitable` instances.
+The cellular simulator itself uses raw event scheduling for speed, but
+processes are convenient for writing workloads and examples.
+
+Example
+-------
+>>> from repro.des import Engine
+>>> from repro.des.process import ProcessRunner, Timeout
+>>> eng = Engine()
+>>> runner = ProcessRunner(eng)
+>>> log = []
+>>> def worker():
+...     yield Timeout(2.0)
+...     log.append(eng.now)
+...     yield Timeout(3.0)
+...     log.append(eng.now)
+>>> _ = runner.start(worker())
+>>> eng.run()
+>>> log
+[2.0, 5.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.des.engine import Engine
+from repro.des.events import EventPriority
+
+
+class Timeout:
+    """Suspend the yielding process for ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = float(delay)
+
+
+class Waitable:
+    """A one-shot condition processes can wait on and code can trigger."""
+
+    __slots__ = ("_engine", "_waiters", "triggered", "value")
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._waiters: list[Process] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the condition, resuming all waiting processes."""
+        if self.triggered:
+            raise RuntimeError("Waitable already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._engine.call_in(
+                0.0, process._resume, value, priority=EventPriority.CONTROL
+            )
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+class Process:
+    """A running generator, advanced by the engine."""
+
+    def __init__(self, engine: Engine, generator: Generator[Any, Any, Any]):
+        self._engine = engine
+        self._generator = generator
+        self.alive = True
+        self.done = Waitable(engine)
+
+    def _resume(self, sent_value: Any = None) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._generator.send(sent_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.succeed(stop.value)
+            return
+        if isinstance(yielded, Timeout):
+            self._engine.call_in(
+                yielded.delay, self._resume, None, priority=EventPriority.CONTROL
+            )
+        elif isinstance(yielded, Waitable):
+            if yielded.triggered:
+                self._engine.call_in(
+                    0.0, self._resume, yielded.value,
+                    priority=EventPriority.CONTROL,
+                )
+            else:
+                yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            if yielded.done.triggered:
+                self._engine.call_in(
+                    0.0, self._resume, yielded.done.value,
+                    priority=EventPriority.CONTROL,
+                )
+            else:
+                yielded.done._add_waiter(self)
+        else:
+            self.alive = False
+            raise TypeError(f"process yielded unsupported value {yielded!r}")
+
+    def interrupt(self) -> None:
+        """Kill the process; it will never be resumed again."""
+        self.alive = False
+        self._generator.close()
+
+
+class ProcessRunner:
+    """Starts generator processes on an :class:`Engine`."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def start(self, generator: Generator[Any, Any, Any]) -> Process:
+        """Register ``generator`` and schedule its first step at ``now``."""
+        process = Process(self.engine, generator)
+        self.engine.call_in(
+            0.0, process._resume, None, priority=EventPriority.CONTROL
+        )
+        return process
+
+    def start_all(
+        self, generators: Iterable[Generator[Any, Any, Any]]
+    ) -> list[Process]:
+        """Start several processes at once."""
+        return [self.start(generator) for generator in generators]

@@ -1,0 +1,150 @@
+"""Queueing primitives for the process layer: Resource, Container, Store.
+
+These complete the simpy-flavoured toolkit so workload models beyond
+the bundled cellular simulator (signalling servers, finite trunk pools,
+message queues) can be expressed as processes:
+
+* :class:`Resource` — ``n`` identical servers with a FIFO queue;
+* :class:`Container` — a continuous quantity (e.g. bandwidth pool);
+* :class:`Store` — a FIFO buffer of discrete items.
+
+All blocking operations return a :class:`~repro.des.process.Waitable`
+to ``yield`` on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.des.engine import Engine
+from repro.des.process import Waitable
+
+
+class Resource:
+    """``capacity`` identical servers with FIFO waiting.
+
+    Usage (inside a process)::
+
+        grant = yield resource.request()
+        ...                      # hold one server
+        resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Waitable] = deque()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Waitable:
+        """A waitable that triggers when a server is granted."""
+        grant = Waitable(self.engine)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one server; the oldest waiter (if any) gets it."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without a matching request")
+        if self._waiters:
+            # Hand the server straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and immediate ``put``."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: float,
+        initial: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= initial <= capacity:
+            raise ValueError("initial level outside [0, capacity]")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self.level = float(initial)
+        self._getters: Deque[tuple[float, Waitable]] = deque()
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` (clamped at capacity) and serve blocked getters."""
+        if amount < 0:
+            raise ValueError("amount cannot be negative")
+        self.level = min(self.level + amount, self.capacity)
+        self._drain()
+
+    def get(self, amount: float) -> Waitable:
+        """A waitable that triggers once ``amount`` has been taken."""
+        if amount < 0:
+            raise ValueError("amount cannot be negative")
+        if amount > self.capacity:
+            raise ValueError("amount exceeds the container capacity")
+        waitable = Waitable(self.engine)
+        self._getters.append((amount, waitable))
+        self._drain()
+        return waitable
+
+    def _drain(self) -> None:
+        while self._getters:
+            amount, waitable = self._getters[0]
+            if amount > self.level:
+                break
+            self.level -= amount
+            self._getters.popleft()
+            waitable.succeed(amount)
+
+
+class Store:
+    """A FIFO buffer of items with blocking ``get``.
+
+    ``put`` never blocks (unbounded by default; bounded stores raise on
+    overflow so misuse fails loudly instead of silently dropping).
+    """
+
+    def __init__(self, engine: Engine, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.engine = engine
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Waitable] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise OverflowError("store is full")
+        self.items.append(item)
+
+    def get(self) -> Waitable:
+        """A waitable resolving to the oldest item."""
+        waitable = Waitable(self.engine)
+        if self.items:
+            waitable.succeed(self.items.popleft())
+        else:
+            self._getters.append(waitable)
+        return waitable
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,196 @@
+"""Quadruplet cache with periodic day-windows and the priority rule.
+
+The cache stores :class:`HandoffQuadruplet` observations per
+``(prev, next)`` pair and answers: *which quadruplets, with which
+weights, participate in the hand-off estimation function at time t0?*
+(paper Eqs. 2–3 and Figure 3).
+
+A quadruplet observed at ``T_event`` participates if, for some integer
+``n >= 0``::
+
+    t0 - T_int - n * T_day  <=  T_event  <  t0 + T_int - n * T_day
+
+and gets weight ``w_n`` (non-increasing, zero beyond ``N_win-days``).
+At most ``N_quad`` quadruplets per ``(prev, next)`` pair are used; ties
+are broken by the paper's priority rule — smaller ``n`` first, then
+smaller recency-adjusted distance ``|T_event + n*T_day - t0|``.
+
+``T_int = None`` models the paper's stationary runs (``T_int = inf``):
+every cached quadruplet is in-window with weight ``w_0`` and the
+``N_quad`` most recent per pair are used.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable
+
+from repro.estimation.quadruplet import HandoffQuadruplet
+
+#: Seconds in a day (``T_day`` in the paper).
+DAY_SECONDS = 86_400.0
+
+
+@dataclass
+class CacheConfig:
+    """Tunables of the quadruplet cache (paper §3.1 design parameters)."""
+
+    #: Estimation interval ``T_int`` (seconds); ``None`` = infinite.
+    interval: float | None = None
+    #: ``N_quad`` — max quadruplets per ``(prev, next)`` used by F_HOE.
+    max_per_pair: int = 100
+    #: Day-age weights ``w_0, w_1, ...``; entries beyond the list are 0.
+    #: Must be non-increasing with ``w_0 = 1`` dominance (Eq. 3 requires
+    #: ``1 >= w_n >= w_{n+1}``).
+    weights: tuple[float, ...] = (1.0, 1.0)
+    #: Cycle length (``T_day`` by default; use 7 days for weekend sets).
+    period: float = DAY_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError("interval must be positive or None")
+        if self.max_per_pair < 1:
+            raise ValueError("max_per_pair must be >= 1")
+        if not self.weights or self.weights[0] > 1.0:
+            raise ValueError("weights must start at w_0 <= 1")
+        for earlier, later in zip(self.weights, self.weights[1:]):
+            if later > earlier:
+                raise ValueError("weights must be non-increasing")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def window_days(self) -> int:
+        """``N_win-days``: number of past periods still contributing."""
+        return len(self.weights) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedQuadruplet:
+    """A cache hit: the quadruplet plus its day-age weight ``w_n``."""
+
+    quadruplet: HandoffQuadruplet
+    weight: float
+
+
+@dataclass
+class _PairStore:
+    """Per-(prev, next) storage; newest entries at the right end."""
+
+    entries: Deque[HandoffQuadruplet] = field(default_factory=deque)
+
+
+class QuadrupletCache:
+    """Stores hand-off quadruplets for one cell and selects the active set."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._pairs: dict[tuple[int | None, int], _PairStore] = {}
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    # recording / eviction
+    # ------------------------------------------------------------------
+    def record(self, quadruplet: HandoffQuadruplet) -> None:
+        """Cache a new observation (must arrive in time order per pair)."""
+        key = (quadruplet.prev, quadruplet.next)
+        store = self._pairs.get(key)
+        if store is None:
+            store = _PairStore()
+            self._pairs[key] = store
+        if store.entries and quadruplet.event_time < store.entries[-1].event_time:
+            raise ValueError("quadruplets must be recorded in time order")
+        store.entries.append(quadruplet)
+        self.total_recorded += 1
+        self._evict(store, quadruplet.event_time)
+
+    def _evict(self, store: _PairStore, now: float) -> None:
+        """Drop entries that can never participate again (paper §3.1).
+
+        A quadruplet older than ``N_win-days * period + T_int`` is
+        out-of-date for every future estimation instant.  With an
+        infinite interval only the ``N_quad`` most recent entries can
+        ever be selected, so older ones are dropped too.
+        """
+        config = self.config
+        if config.interval is None:
+            while len(store.entries) > config.max_per_pair:
+                store.entries.popleft()
+            return
+        horizon = config.window_days * config.period + config.interval
+        while store.entries and now - store.entries[0].event_time > horizon:
+            store.entries.popleft()
+        # Memory bound: one full window of N_quad per contributing day.
+        limit = config.max_per_pair * (config.window_days + 1)
+        while len(store.entries) > limit:
+            store.entries.popleft()
+
+    # ------------------------------------------------------------------
+    # selection (Eqs. 2-3 + priority rule)
+    # ------------------------------------------------------------------
+    def active(
+        self, now: float, prev: int | None
+    ) -> dict[int, list[WeightedQuadruplet]]:
+        """Active weighted quadruplets at time ``now`` for one ``prev``.
+
+        Returns a mapping ``next -> [WeightedQuadruplet, ...]``.
+        """
+        result: dict[int, list[WeightedQuadruplet]] = {}
+        for (stored_prev, next_cell), store in self._pairs.items():
+            if stored_prev != prev:
+                continue
+            selected = self._select_pair(store.entries, now)
+            if selected:
+                result[next_cell] = selected
+        return result
+
+    def pairs(self) -> Iterable[tuple[int | None, int]]:
+        """All ``(prev, next)`` pairs with any cached entries."""
+        return list(self._pairs)
+
+    def size(self) -> int:
+        """Total quadruplets currently cached (all pairs)."""
+        return sum(len(store.entries) for store in self._pairs.values())
+
+    def _select_pair(
+        self, entries: Deque[HandoffQuadruplet], now: float
+    ) -> list[WeightedQuadruplet]:
+        config = self.config
+        if config.interval is None:
+            newest = list(entries)[-config.max_per_pair:]
+            weight = config.weights[0]
+            return [WeightedQuadruplet(quad, weight) for quad in newest]
+
+        candidates: list[tuple[int, float, HandoffQuadruplet]] = []
+        for quad in entries:
+            day_age = self._day_index(quad.event_time, now)
+            if day_age is None:
+                continue
+            weight = config.weights[day_age]
+            if weight <= 0:
+                continue
+            distance = abs(quad.event_time + day_age * config.period - now)
+            candidates.append((day_age, distance, quad))
+        # Paper priority rule: smaller n first, then smaller distance.
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        selected = candidates[: config.max_per_pair]
+        return [
+            WeightedQuadruplet(quad, config.weights[day_age])
+            for day_age, _distance, quad in selected
+        ]
+
+    def _day_index(self, event_time: float, now: float) -> int | None:
+        """Smallest ``n`` whose periodic window contains ``event_time``.
+
+        ``None`` when the quadruplet is in no window (Eq. 2 fails for
+        all ``n`` within ``N_win-days``).
+        """
+        config = self.config
+        interval = config.interval
+        assert interval is not None
+        for day_age in range(config.window_days + 1):
+            shifted = event_time + day_age * config.period
+            if now - interval <= shifted < now + interval:
+                return day_age
+        return None

@@ -1,0 +1,282 @@
+"""Per-cell mobility estimator: Bayes hand-off probabilities (Eq. 4).
+
+Each base station owns one :class:`MobilityEstimator`.  It records a
+quadruplet for every mobile departing the cell, and answers: *with what
+probability will an active connection, which entered from cell ``prev``
+and has been here for ``T_ext-soj`` seconds, hand off into cell ``next``
+within the next ``T_est`` seconds?* — exactly Eq. 4::
+
+                sum of F_HOE mass, T_ext-soj < T_soj <= T_ext-soj + T_est, toward `next`
+    p_h = -------------------------------------------------------------------------
+                sum of F_HOE mass, T_soj > T_ext-soj, toward every next cell
+
+A zero denominator means no observed mobile from ``prev`` ever stayed
+longer than this one has: the mobile is *estimated stationary* and all
+hand-off probabilities are zero (paper §4.1).
+
+Function snapshots are cached per ``prev`` and rebuilt lazily when new
+quadruplets arrive or (for finite ``T_int``) when the snapshot is older
+than ``rebuild_interval`` — a documented approximation of the paper's
+continuously sliding periodic windows.
+"""
+
+from __future__ import annotations
+
+from repro.estimation.cache import CacheConfig, QuadrupletCache
+from repro.estimation.function import HandoffEstimationFunction
+from repro.estimation.quadruplet import HandoffQuadruplet
+
+
+class MobilityEstimator:
+    """History-based mobility estimation for one cell.
+
+    Parameters
+    ----------
+    config:
+        Quadruplet-cache tunables (``T_int``, ``N_quad``, weights, period).
+    rebuild_interval:
+        For finite ``T_int``, maximum snapshot age (seconds) before the
+        active set is recomputed even without new observations.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        rebuild_interval: float = 60.0,
+    ) -> None:
+        self.cache = QuadrupletCache(config)
+        self.rebuild_interval = float(rebuild_interval)
+        self._snapshots: dict[
+            int | None, tuple[float, HandoffEstimationFunction]
+        ] = {}
+        self._dirty: set[int | None] = set()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_departure(
+        self,
+        event_time: float,
+        prev: int | None,
+        next_cell: int,
+        sojourn: float,
+    ) -> None:
+        """Cache the quadruplet of a mobile that just left the cell."""
+        self.cache.record(
+            HandoffQuadruplet(event_time, prev, next_cell, sojourn)
+        )
+        self._dirty.add(prev)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def function_for(
+        self, now: float, prev: int | None
+    ) -> HandoffEstimationFunction:
+        """The F_HOE snapshot for ``prev`` at time ``now`` (lazily built)."""
+        cached = self._snapshots.get(prev)
+        if cached is not None and prev not in self._dirty:
+            built_at, snapshot = cached
+            if (
+                self.cache.config.interval is None
+                or now - built_at < self.rebuild_interval
+            ):
+                return snapshot
+        snapshot = HandoffEstimationFunction(self.cache.active(now, prev))
+        self._snapshots[prev] = (now, snapshot)
+        self._dirty.discard(prev)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Eq. 4 and derived queries
+    # ------------------------------------------------------------------
+    def handoff_probability(
+        self,
+        now: float,
+        prev: int | None,
+        extant_sojourn: float,
+        next_cell: int,
+        t_est: float,
+    ) -> float:
+        """``p_h(connection -> next_cell)`` within ``t_est`` seconds."""
+        if t_est <= 0:
+            return 0.0
+        snapshot = self.function_for(now, prev)
+        denominator = snapshot.total_mass_above(extant_sojourn)
+        if denominator <= 0.0:
+            return 0.0  # estimated stationary
+        numerator = snapshot.mass_between(
+            next_cell, extant_sojourn, extant_sojourn + t_est
+        )
+        probability = numerator / denominator
+        # Guard against floating point drift; Eq. 4 is a probability.
+        return min(max(probability, 0.0), 1.0)
+
+    def handoff_probabilities(
+        self,
+        now: float,
+        prev: int | None,
+        extant_sojourn: float,
+        t_est: float,
+    ) -> dict[int, float]:
+        """``p_h`` toward every observed next cell (single denominator)."""
+        snapshot = self.function_for(now, prev)
+        denominator = snapshot.total_mass_above(extant_sojourn)
+        if denominator <= 0.0 or t_est <= 0:
+            return {}
+        result: dict[int, float] = {}
+        for next_cell in snapshot.next_cells():
+            numerator = snapshot.mass_between(
+                next_cell, extant_sojourn, extant_sojourn + t_est
+            )
+            if numerator > 0.0:
+                result[next_cell] = min(numerator / denominator, 1.0)
+        return result
+
+    def expected_bandwidth(
+        self,
+        now: float,
+        connections,
+        target_cell: int,
+        t_est: float,
+    ) -> float:
+        """Eq. 5 in batch: expected hand-off bandwidth toward a cell.
+
+        Equivalent to summing ``bandwidth * handoff_probability(...)``
+        over ``connections`` but fetches each ``prev`` snapshot once —
+        this is the hot path of the reservation protocol.
+        """
+        if t_est <= 0:
+            return 0.0
+        total = 0.0
+        snapshots: dict[int | None, HandoffEstimationFunction] = {}
+        for connection in connections:
+            prev = connection.prev_cell
+            snapshot = snapshots.get(prev)
+            if snapshot is None:
+                snapshot = self.function_for(now, prev)
+                snapshots[prev] = snapshot
+            extant = now - connection.cell_entry_time
+            denominator = snapshot.total_mass_above(extant)
+            if denominator <= 0.0:
+                continue  # estimated stationary
+            numerator = snapshot.mass_between(
+                target_cell, extant, extant + t_est
+            )
+            if numerator > 0.0:
+                # Adaptive-QoS connections reserve their minimum rate
+                # (paper §1); rigid ones expose it as the full rate.
+                basis = getattr(
+                    connection, "reservation_basis", connection.bandwidth
+                )
+                total += basis * min(numerator / denominator, 1.0)
+        return total
+
+    def is_stationary(
+        self, now: float, prev: int | None, extant_sojourn: float
+    ) -> bool:
+        """True when no observed sojourn (for ``prev``) exceeds this one."""
+        snapshot = self.function_for(now, prev)
+        return snapshot.total_mass_above(extant_sojourn) <= 0.0
+
+    def max_sojourn(self, now: float) -> float:
+        """Largest active sojourn over all ``prev`` (bounds ``T_est``)."""
+        maximum = 0.0
+        prevs = {prev for prev, _next in self.cache.pairs()}
+        for prev in prevs:
+            maximum = max(maximum, self.function_for(now, prev).max_sojourn())
+        return maximum
+
+
+class KnownPathEstimator(MobilityEstimator):
+    """Estimator for mobiles whose route is known (paper §7 extension).
+
+    With ITS/GPS route guidance the *next cell* is known a priori; the
+    history is then used only to estimate the sojourn time.  The hand-off
+    probability mass therefore concentrates on the known next cell and
+    uses the sojourn distribution marginalised over all historical next
+    cells.
+
+    Parameters
+    ----------
+    config:
+        Cache tunables, as for :class:`MobilityEstimator`.
+    route_oracle:
+        Optional callable mapping a connection to its known next cell
+        (``None`` when the route is unknown — the estimator then falls
+        back to the history-only Eq. 4).  With it set, the batch Eq. 5
+        path (:meth:`expected_bandwidth`) becomes route-aware, which is
+        how the simulator uses this class.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        rebuild_interval: float = 60.0,
+        route_oracle=None,
+    ) -> None:
+        super().__init__(config, rebuild_interval)
+        self.route_oracle = route_oracle
+
+    def expected_bandwidth(
+        self,
+        now: float,
+        connections,
+        target_cell: int,
+        t_est: float,
+    ) -> float:
+        """Eq. 5 with routes: mass concentrates on each known next cell."""
+        if self.route_oracle is None:
+            return super().expected_bandwidth(
+                now, connections, target_cell, t_est
+            )
+        if t_est <= 0:
+            return 0.0
+        total = 0.0
+        for connection in connections:
+            known_next = self.route_oracle(connection)
+            if known_next is None:
+                # Unknown route: history-only estimate for this one.
+                extant = now - connection.cell_entry_time
+                probability = self.handoff_probability(
+                    now, connection.prev_cell, extant, target_cell, t_est
+                )
+            elif known_next != target_cell:
+                continue
+            else:
+                extant = now - connection.cell_entry_time
+                snapshot = self.function_for(now, connection.prev_cell)
+                denominator = snapshot.total_mass_above(extant)
+                if denominator <= 0.0:
+                    continue
+                numerator = snapshot.total_mass_between(
+                    extant, extant + t_est
+                )
+                probability = min(numerator / denominator, 1.0)
+            if probability > 0.0:
+                basis = getattr(
+                    connection, "reservation_basis", connection.bandwidth
+                )
+                total += basis * probability
+        return total
+
+    def handoff_probability_known_next(
+        self,
+        now: float,
+        prev: int | None,
+        extant_sojourn: float,
+        known_next: int,
+        t_est: float,
+        actual_next: int,
+    ) -> float:
+        """``p_h`` toward ``actual_next`` given the route says ``known_next``."""
+        if actual_next != known_next or t_est <= 0:
+            return 0.0
+        snapshot = self.function_for(now, prev)
+        denominator = snapshot.total_mass_above(extant_sojourn)
+        if denominator <= 0.0:
+            return 0.0
+        numerator = snapshot.total_mass_between(
+            extant_sojourn, extant_sojourn + t_est
+        )
+        return min(max(numerator / denominator, 0.0), 1.0)

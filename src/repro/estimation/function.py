@@ -1,0 +1,129 @@
+"""The hand-off estimation function ``F_HOE`` (paper §3.1, Figures 4–5).
+
+A :class:`HandoffEstimationFunction` is an immutable snapshot, for one
+``prev`` cell, of the weighted quadruplets active at a build instant.
+It answers the mass queries needed by Bayes' rule (Eq. 4) in
+``O(log N_quad)`` per query using sorted sojourn arrays with prefix
+weight sums.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Mapping, Sequence
+
+from repro.estimation.cache import WeightedQuadruplet
+
+
+class _NextCellMass:
+    """Sorted sojourn times and cumulative weights for one next cell."""
+
+    __slots__ = ("sojourns", "cumulative")
+
+    def __init__(self, weighted: Sequence[WeightedQuadruplet]) -> None:
+        ordered = sorted(
+            (item.quadruplet.sojourn, item.weight) for item in weighted
+        )
+        self.sojourns = [sojourn for sojourn, _weight in ordered]
+        self.cumulative: list[float] = []
+        running = 0.0
+        for _sojourn, weight in ordered:
+            running += weight
+            self.cumulative.append(running)
+
+    @property
+    def total(self) -> float:
+        return self.cumulative[-1] if self.cumulative else 0.0
+
+    def mass_at_most(self, sojourn: float) -> float:
+        """Total weight of entries with ``T_soj <= sojourn``."""
+        index = bisect_right(self.sojourns, sojourn)
+        return self.cumulative[index - 1] if index else 0.0
+
+    def mass_above(self, sojourn: float) -> float:
+        """Total weight of entries with ``T_soj > sojourn``."""
+        return self.total - self.mass_at_most(sojourn)
+
+    def mass_between(self, low: float, high: float) -> float:
+        """Total weight of entries with ``low < T_soj <= high``."""
+        if high <= low:
+            return 0.0
+        return self.mass_at_most(high) - self.mass_at_most(low)
+
+    def count_above(self, sojourn: float) -> int:
+        """Number of entries (unweighted) with ``T_soj > sojourn``."""
+        return len(self.sojourns) - bisect_right(self.sojourns, sojourn)
+
+    def max_sojourn(self) -> float:
+        return self.sojourns[-1] if self.sojourns else 0.0
+
+
+class HandoffEstimationFunction:
+    """``F_HOE(t0, prev, ., .)`` for a fixed ``prev`` at a fixed instant.
+
+    Parameters
+    ----------
+    weighted_by_next:
+        Mapping ``next cell id -> active weighted quadruplets``, as
+        produced by :meth:`repro.estimation.cache.QuadrupletCache.active`.
+    """
+
+    def __init__(
+        self,
+        weighted_by_next: Mapping[int, Sequence[WeightedQuadruplet]],
+    ) -> None:
+        self._per_next = {
+            next_cell: _NextCellMass(items)
+            for next_cell, items in weighted_by_next.items()
+            if items
+        }
+        # Union over all next cells: makes the Eq. 4 denominator a
+        # single binary search instead of a sum over neighbours.
+        all_items = [
+            item for items in weighted_by_next.values() for item in items
+        ]
+        self._union = _NextCellMass(all_items)
+
+    # ------------------------------------------------------------------
+    # mass queries (building blocks of Eq. 4)
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._per_next
+
+    def next_cells(self) -> tuple[int, ...]:
+        """Next cells with any observed mass."""
+        return tuple(self._per_next)
+
+    def mass_between(self, next_cell: int, low: float, high: float) -> float:
+        """Numerator mass: weight of ``low < T_soj <= high`` toward a cell."""
+        per_next = self._per_next.get(next_cell)
+        return per_next.mass_between(low, high) if per_next else 0.0
+
+    def mass_above(self, next_cell: int, sojourn: float) -> float:
+        """Weight of ``T_soj > sojourn`` toward one next cell."""
+        per_next = self._per_next.get(next_cell)
+        return per_next.mass_above(sojourn) if per_next else 0.0
+
+    def total_mass_above(self, sojourn: float) -> float:
+        """Denominator mass of Eq. 4: all next cells, ``T_soj > sojourn``."""
+        return self._union.mass_above(sojourn)
+
+    def total_mass_between(self, low: float, high: float) -> float:
+        """All next cells, ``low < T_soj <= high`` (known-path variant)."""
+        return self._union.mass_between(low, high)
+
+    def max_sojourn(self) -> float:
+        """Largest sojourn time with non-zero mass (0 when empty)."""
+        return self._union.max_sojourn()
+
+    def sample_count_above(self, sojourn: float) -> int:
+        """Unweighted number of active quadruplets beyond ``sojourn``."""
+        return self._union.count_above(sojourn)
+
+    def footprint(self) -> dict[int, list[tuple[float, float]]]:
+        """``next -> [(sojourn, cumulative weight), ...]`` (Figure 4 aid)."""
+        return {
+            next_cell: list(zip(mass.sojourns, mass.cumulative))
+            for next_cell, mass in self._per_next.items()
+        }

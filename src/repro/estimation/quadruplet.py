@@ -1,0 +1,41 @@
+"""The hand-off event quadruplet (paper §3.1).
+
+Whenever a mobile departs a cell, that cell's base station caches
+``(T_event, prev, next, T_soj)``: departure time, the cell the mobile
+came from (``None`` if the connection was born in this cell — the
+paper's ``prev = 0``), the cell it entered, and its sojourn time here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffQuadruplet:
+    """One observed hand-off departure.
+
+    Attributes
+    ----------
+    event_time:
+        ``T_event`` — virtual time (seconds) when the mobile left.
+    prev:
+        Global id of the previously-resided cell, or ``None`` when the
+        connection started in the observing cell.
+    next:
+        Global id of the cell the mobile moved into.
+    sojourn:
+        ``T_soj`` — seconds between entering and leaving the observing
+        cell.
+    """
+
+    event_time: float
+    prev: int | None
+    next: int
+    sojourn: float
+
+    def __post_init__(self) -> None:
+        if self.sojourn < 0:
+            raise ValueError(f"negative sojourn time {self.sojourn}")
+        if self.event_time < 0:
+            raise ValueError(f"negative event time {self.event_time}")

@@ -1,0 +1,46 @@
+"""Experiment runners (S9): one per paper table/figure, plus ablations."""
+
+from repro.experiments.ablations import (
+    run_ablation_cdma,
+    run_ablation_estimator_depth,
+    run_ablation_hex2d,
+    run_ablation_signaling,
+    run_ablation_window_steps,
+    run_ablation_wired,
+    run_comparison_ns,
+)
+from repro.experiments.celltables import run_table2, run_table3
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentOutput, Series, Table
+from repro.experiments.sweeps import (
+    PAPER_VOICE_RATIOS,
+    run_fig07_static,
+    run_fig08_fig09_ac3,
+    run_fig12_fig13_comparison,
+)
+from repro.experiments.timevarying import run_fig14
+from repro.experiments.traces import run_fig10_fig11, run_trace_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "PAPER_VOICE_RATIOS",
+    "Series",
+    "Table",
+    "run_ablation_cdma",
+    "run_ablation_estimator_depth",
+    "run_ablation_hex2d",
+    "run_ablation_signaling",
+    "run_ablation_window_steps",
+    "run_ablation_wired",
+    "run_comparison_ns",
+    "run_experiment",
+    "run_fig07_static",
+    "run_fig08_fig09_ac3",
+    "run_fig10_fig11",
+    "run_fig12_fig13_comparison",
+    "run_fig14",
+    "run_table2",
+    "run_table3",
+    "run_trace_experiment",
+]

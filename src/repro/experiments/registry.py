@@ -1,0 +1,90 @@
+"""Registry of experiment runners keyed by paper figure/table id."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablations import (
+    run_ablation_cdma,
+    run_ablation_estimator_depth,
+    run_ablation_hex2d,
+    run_ablation_signaling,
+    run_ablation_window_steps,
+    run_ablation_wired,
+    run_comparison_ns,
+)
+from repro.experiments.celltables import run_table2, run_table3
+from repro.experiments.report import ExperimentOutput
+from repro.experiments.sweeps import (
+    run_fig07_static,
+    run_fig08_fig09_ac3,
+    run_fig12_fig13_comparison,
+)
+from repro.experiments.timevarying import run_fig14
+from repro.experiments.traces import run_fig10_fig11
+
+
+def _fig7(**kwargs: object) -> list[ExperimentOutput]:
+    return [
+        run_fig07_static(high_mobility=True, **kwargs),
+        run_fig07_static(high_mobility=False, **kwargs),
+    ]
+
+
+def _fig8_9(**kwargs: object) -> list[ExperimentOutput]:
+    outputs = []
+    for high_mobility in (True, False):
+        fig8, fig9 = run_fig08_fig09_ac3(high_mobility=high_mobility, **kwargs)
+        outputs.extend([fig8, fig9])
+    return outputs
+
+
+def _fig12_13(**kwargs: object) -> list[ExperimentOutput]:
+    # 12(a) + 13(a) share the (R_vo=1.0, high-mobility) sweep; 12(b) adds
+    # R_vo=0.5 at high mobility; 13(b) adds low mobility at R_vo=1.0.
+    fig12a, fig13a = run_fig12_fig13_comparison(
+        voice_ratio=1.0, high_mobility=True, **kwargs
+    )
+    fig12b, _extra = run_fig12_fig13_comparison(
+        voice_ratio=0.5, high_mobility=True, **kwargs
+    )
+    _extra, fig13b = run_fig12_fig13_comparison(
+        voice_ratio=1.0, high_mobility=False, **kwargs
+    )
+    return [fig12a, fig12b, fig13a, fig13b]
+
+
+def _fig10_11(**kwargs: object) -> list[ExperimentOutput]:
+    return list(run_fig10_fig11(**kwargs))
+
+
+EXPERIMENTS: dict[str, Callable[..., list[ExperimentOutput]]] = {
+    "fig7": _fig7,
+    "fig8+9": _fig8_9,
+    "fig10+11": _fig10_11,
+    "fig12+13": _fig12_13,
+    "fig14": lambda **kwargs: [run_fig14(**kwargs)],
+    "table2": lambda **kwargs: [run_table2(**kwargs)],
+    "table3": lambda **kwargs: [run_table3(**kwargs)],
+    "ablation-window-steps": lambda **kwargs: [
+        run_ablation_window_steps(**kwargs)
+    ],
+    "ablation-estimator-depth": lambda **kwargs: [
+        run_ablation_estimator_depth(**kwargs)
+    ],
+    "ablation-signaling": lambda **kwargs: [run_ablation_signaling(**kwargs)],
+    "ablation-hex2d": lambda **kwargs: [run_ablation_hex2d(**kwargs)],
+    "ablation-cdma": lambda **kwargs: [run_ablation_cdma(**kwargs)],
+    "ablation-wired": lambda **kwargs: [run_ablation_wired(**kwargs)],
+    "comparison-ns": lambda **kwargs: [run_comparison_ns(**kwargs)],
+}
+
+
+def run_experiment(name: str, **kwargs: object) -> list[ExperimentOutput]:
+    """Run one registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {name!r}; known: {known}")
+    return runner(**kwargs)

@@ -1,0 +1,106 @@
+"""Plain-text rendering of experiment outputs (tables and series).
+
+The paper reports results as figures and tables; this module renders
+the regenerated data as aligned text so each benchmark can print the
+same rows/series the paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A rectangular result table."""
+
+    headers: list[str]
+    rows: list[list[object]]
+
+    def render(self) -> str:
+        columns = len(self.headers)
+        cells = [self.headers] + [
+            [_format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[index]) for row in cells) for index in range(columns)
+        ]
+        lines = []
+        header = "  ".join(
+            cell.ljust(width) for cell, width in zip(cells[0], widths)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    points: list[tuple[float, float]]
+
+    def render(self, x_label: str = "x", y_label: str = "y") -> str:
+        table = Table(
+            headers=[x_label, y_label],
+            rows=[[x, y] for x, y in self.points],
+        )
+        return f"[{self.name}]\n{table.render()}"
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one regenerated figure/table produced."""
+
+    experiment_id: str
+    title: str
+    parameters: dict = field(default_factory=dict)
+    series: list[Series] = field(default_factory=list)
+    tables: dict[str, Table] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_name(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"no series named {name!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.parameters:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in self.parameters.items()
+            )
+            lines.append(f"parameters: {rendered}")
+        for series in self.series:
+            lines.append("")
+            lines.append(series.render())
+        for name, table in self.tables.items():
+            lines.append("")
+            lines.append(f"[{name}]")
+            lines.append(table.render())
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 100000):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def probability_series(
+    name: str, points: Sequence[tuple[float, float]]
+) -> Series:
+    """Convenience constructor for a probability-vs-load series."""
+    return Series(name, [(float(x), float(y)) for x, y in points])

@@ -1,0 +1,216 @@
+"""Offered-load sweep experiments: Figures 7, 8, 9, 12 and 13.
+
+Every function regenerates the series of one figure.  ``duration`` and
+``loads`` default to CI-friendly values; the recorded EXPERIMENTS.md
+runs use longer horizons (see ``scripts/run_experiments.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.report import ExperimentOutput, Series
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.runner import DEFAULT_LOAD_AXIS
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+#: Voice ratios examined by Figures 7 and 8.
+PAPER_VOICE_RATIOS = (1.0, 0.8, 0.5)
+
+
+def _sweep(
+    scheme: str,
+    loads: Sequence[float],
+    voice_ratio: float,
+    high_mobility: bool,
+    duration: float,
+    seed: int,
+    warmup: float = 0.0,
+    **overrides: object,
+) -> list[SimulationResult]:
+    results = []
+    for load in loads:
+        config = stationary(
+            scheme,
+            offered_load=load,
+            voice_ratio=voice_ratio,
+            high_mobility=high_mobility,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            **overrides,
+        )
+        results.append(CellularSimulator(config).run())
+    return results
+
+
+def _mobility_label(high_mobility: bool) -> str:
+    return "high" if high_mobility else "low"
+
+
+def run_fig07_static(
+    loads: Sequence[float] = DEFAULT_LOAD_AXIS,
+    voice_ratios: Sequence[float] = PAPER_VOICE_RATIOS,
+    high_mobility: bool = True,
+    guard: float = 10.0,
+    duration: float = 1000.0,
+    seed: int = 7,
+    warmup: float = 0.0,
+) -> ExperimentOutput:
+    """Figure 7: P_CB and P_HD vs offered load, static reservation G=10."""
+    output = ExperimentOutput(
+        "fig7" if high_mobility else "fig7b",
+        f"Static reservation (G={guard:g} BUs), "
+        f"{_mobility_label(high_mobility)} user mobility",
+        parameters={
+            "guard": guard,
+            "duration": duration,
+            "mobility": _mobility_label(high_mobility),
+        },
+    )
+    for voice_ratio in voice_ratios:
+        results = _sweep(
+            "static",
+            loads,
+            voice_ratio,
+            high_mobility,
+            duration,
+            seed,
+            warmup=warmup,
+            static_guard=guard,
+        )
+        output.series.append(
+            Series(
+                f"PCB Rvo={voice_ratio:g}",
+                [
+                    (load, result.blocking_probability)
+                    for load, result in zip(loads, results)
+                ],
+            )
+        )
+        output.series.append(
+            Series(
+                f"PHD Rvo={voice_ratio:g}",
+                [
+                    (load, result.dropping_probability)
+                    for load, result in zip(loads, results)
+                ],
+            )
+        )
+    return output
+
+
+def run_fig08_fig09_ac3(
+    loads: Sequence[float] = DEFAULT_LOAD_AXIS,
+    voice_ratios: Sequence[float] = PAPER_VOICE_RATIOS,
+    high_mobility: bool = True,
+    duration: float = 1000.0,
+    seed: int = 8,
+    warmup: float = 0.0,
+) -> tuple[ExperimentOutput, ExperimentOutput]:
+    """Figures 8 and 9 from one AC3 sweep.
+
+    Figure 8: P_CB and P_HD vs load.  Figure 9: average target
+    reservation bandwidth ``B_r`` and average used bandwidth ``B_u``.
+    """
+    label = _mobility_label(high_mobility)
+    fig8 = ExperimentOutput(
+        "fig8" if high_mobility else "fig8b",
+        f"AC3 probabilities, {label} user mobility",
+        parameters={"duration": duration, "mobility": label},
+    )
+    fig9 = ExperimentOutput(
+        "fig9" if high_mobility else "fig9b",
+        f"AC3 average B_r and B_u, {label} user mobility",
+        parameters={"duration": duration, "mobility": label},
+    )
+    for voice_ratio in voice_ratios:
+        results = _sweep(
+            "AC3", loads, voice_ratio, high_mobility, duration, seed,
+            warmup=warmup,
+        )
+        pairs = list(zip(loads, results))
+        fig8.series.append(
+            Series(
+                f"PCB Rvo={voice_ratio:g}",
+                [(load, r.blocking_probability) for load, r in pairs],
+            )
+        )
+        fig8.series.append(
+            Series(
+                f"PHD Rvo={voice_ratio:g}",
+                [(load, r.dropping_probability) for load, r in pairs],
+            )
+        )
+        fig9.series.append(
+            Series(
+                f"Br Rvo={voice_ratio:g}",
+                [(load, r.average_reservation) for load, r in pairs],
+            )
+        )
+        fig9.series.append(
+            Series(
+                f"Bu Rvo={voice_ratio:g}",
+                [(load, r.average_used) for load, r in pairs],
+            )
+        )
+    return fig8, fig9
+
+
+def run_fig12_fig13_comparison(
+    loads: Sequence[float] = DEFAULT_LOAD_AXIS,
+    voice_ratio: float = 1.0,
+    high_mobility: bool = True,
+    duration: float = 1000.0,
+    seed: int = 12,
+    warmup: float = 0.0,
+) -> tuple[ExperimentOutput, ExperimentOutput]:
+    """Figures 12 and 13 from one AC1/AC2/AC3 sweep.
+
+    Figure 12: P_CB and P_HD per scheme.  Figure 13: average ``N_calc``
+    per admission test per scheme.
+    """
+    label = _mobility_label(high_mobility)
+    # Paper sub-figures: 12(a) R_vo=1.0 / 12(b) R_vo=0.5 (high mobility);
+    # 13(a) high mobility / 13(b) low mobility.
+    fig12 = ExperimentOutput(
+        "fig12a" if voice_ratio == 1.0 else "fig12b",
+        f"AC1/AC2/AC3 probabilities, Rvo={voice_ratio:g}, {label} mobility",
+        parameters={
+            "voice_ratio": voice_ratio,
+            "duration": duration,
+            "mobility": label,
+        },
+    )
+    fig13 = ExperimentOutput(
+        "fig13a" if high_mobility else "fig13b",
+        f"Average number of B_r calculations per admission test, "
+        f"{label} mobility",
+        parameters={"voice_ratio": voice_ratio, "duration": duration},
+    )
+    for scheme in ("AC1", "AC2", "AC3"):
+        results = _sweep(
+            scheme, loads, voice_ratio, high_mobility, duration, seed,
+            warmup=warmup,
+        )
+        pairs = list(zip(loads, results))
+        fig12.series.append(
+            Series(
+                f"PCB {scheme}",
+                [(load, r.blocking_probability) for load, r in pairs],
+            )
+        )
+        fig12.series.append(
+            Series(
+                f"PHD {scheme}",
+                [(load, r.dropping_probability) for load, r in pairs],
+            )
+        )
+        fig13.series.append(
+            Series(
+                f"Ncalc {scheme}",
+                [(load, r.average_calculations) for load, r in pairs],
+            )
+        )
+    return fig12, fig13

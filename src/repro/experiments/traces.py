@@ -1,0 +1,95 @@
+"""Time-trace experiments: Figures 10 and 11.
+
+One heavily loaded AC3 run (L=300, R_vo=1.0, high mobility) with cells
+<5> and <6> tracked; Figure 10 plots ``T_est`` and ``B_r`` over time,
+Figure 11 the cumulative per-cell ``P_HD``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentOutput, Series
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+#: The paper tracks cells <5> and <6> (1-based) = ids 4 and 5.
+PAPER_TRACKED_CELLS = (4, 5)
+
+
+def run_trace_experiment(
+    offered_load: float = 300.0,
+    duration: float = 2000.0,
+    seed: int = 10,
+    tracked_cells: tuple[int, ...] = PAPER_TRACKED_CELLS,
+) -> SimulationResult:
+    """The single run behind Figures 10 and 11 (and Table 2's AC3 half)."""
+    config = stationary(
+        "AC3",
+        offered_load=offered_load,
+        voice_ratio=1.0,
+        high_mobility=True,
+        duration=duration,
+        seed=seed,
+        tracked_cells=tracked_cells,
+    )
+    return CellularSimulator(config).run()
+
+
+def _decimate(points: list[tuple[float, float]], limit: int = 60):
+    if len(points) <= limit:
+        return points
+    step = max(len(points) // limit, 1)
+    return points[::step]
+
+
+def run_fig10_fig11(
+    result: SimulationResult | None = None,
+    duration: float = 2000.0,
+    seed: int = 10,
+) -> tuple[ExperimentOutput, ExperimentOutput]:
+    """Figures 10 and 11 from the shared trace run."""
+    if result is None:
+        result = run_trace_experiment(duration=duration, seed=seed)
+    fig10 = ExperimentOutput(
+        "fig10",
+        "T_est and B_r vs time (L=300, Rvo=1.0, high mobility, AC3)",
+        parameters={"duration": result.duration},
+    )
+    fig11 = ExperimentOutput(
+        "fig11",
+        "Cumulative P_HD at cells <5> and <6> vs time",
+        parameters={"duration": result.duration},
+    )
+    for cell_id, trace in sorted(result.t_est_traces.items()):
+        fig10.series.append(
+            Series(
+                f"Test cell<{cell_id + 1}>",
+                _decimate([(p.time, p.value) for p in trace]),
+            )
+        )
+    for cell_id, trace in sorted(result.reservation_traces.items()):
+        fig10.series.append(
+            Series(
+                f"Br cell<{cell_id + 1}>",
+                _decimate([(p.time, p.value) for p in trace]),
+            )
+        )
+    for cell_id, trace in sorted(result.phd_traces.items()):
+        fig11.series.append(
+            Series(
+                f"PHD cell<{cell_id + 1}>",
+                _decimate([(p.time, p.value) for p in trace]),
+            )
+        )
+    final = {
+        cell_id: trace[-1].value
+        for cell_id, trace in result.phd_traces.items()
+        if trace
+    }
+    fig11.notes.append(
+        "final cumulative P_HD per tracked cell: "
+        + ", ".join(
+            f"cell<{cell + 1}>={value:.4f}" for cell, value in final.items()
+        )
+    )
+    return fig10, fig11

@@ -1,0 +1,66 @@
+"""The mobile terminal: position and velocity state.
+
+Positions are road coordinates in km for the 1-D model; the 2-D hex
+model tracks only the current cell and a heading.  A mobile's kinematic
+state is set at creation and, per paper assumption A4, never changes
+(constant speed, never turns around).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_mobile_ids = itertools.count()
+
+
+def reset_mobile_ids() -> None:
+    """Restart the global id sequence (test isolation helper)."""
+    global _mobile_ids
+    _mobile_ids = itertools.count()
+
+
+@dataclass
+class Mobile:
+    """One mobile terminal.
+
+    Attributes
+    ----------
+    position_km:
+        Road coordinate (1-D model) at ``position_time``; unused by the
+        hex model.
+    speed_kmh:
+        Travel speed; 0 for stationary users.
+    direction:
+        +1 / -1 along the road (1-D), or a hex heading index 0–5 (2-D);
+        ignored when stationary.
+    cell_id:
+        Cell currently containing the mobile (kept explicitly so exact
+        boundary positions are unambiguous).
+    """
+
+    position_km: float
+    speed_kmh: float
+    direction: int
+    cell_id: int
+    position_time: float = 0.0
+    mobile_id: int = field(default_factory=lambda: next(_mobile_ids))
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh < 0:
+            raise ValueError(f"speed cannot be negative: {self.speed_kmh}")
+
+    @property
+    def speed_km_per_s(self) -> float:
+        """Speed converted to km/second."""
+        return self.speed_kmh / 3600.0
+
+    @property
+    def is_moving(self) -> bool:
+        return self.speed_kmh > 0.0
+
+    def place(self, position_km: float, cell_id: int, now: float) -> None:
+        """Pin the mobile at an exact position (e.g. a cell boundary)."""
+        self.position_km = position_km
+        self.cell_id = cell_id
+        self.position_time = now

@@ -1,0 +1,73 @@
+"""Speed samplers for newly created mobiles.
+
+Paper A4 draws each mobile's speed uniformly from ``[SP_min, SP_max]``
+once, at creation.  The time-varying experiment (§5.3) instead centres
+the range on a time-of-day profile: ``[S(t) - 20, S(t) + 20]`` km/h.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.traffic.profiles import DayProfile
+
+#: The paper's high-mobility speed range (km/h).
+HIGH_MOBILITY = (80.0, 120.0)
+#: The paper's low-mobility speed range (km/h).
+LOW_MOBILITY = (40.0, 60.0)
+
+
+class SpeedSampler(Protocol):
+    """Draws a creation-time speed in km/h."""
+
+    def sample(self, now: float, rng: random.Random) -> float: ...
+
+
+class UniformSpeedSampler:
+    """Uniform over a fixed ``[minimum, maximum]`` km/h range (A4)."""
+
+    def __init__(self, minimum: float, maximum: float) -> None:
+        if minimum < 0 or maximum < minimum:
+            raise ValueError(
+                f"invalid speed range [{minimum}, {maximum}]"
+            )
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        return rng.uniform(self.minimum, self.maximum)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.minimum + self.maximum)
+
+
+class ProfileSpeedSampler:
+    """Uniform over ``[S(t) - half_width, S(t) + half_width]`` (§5.3)."""
+
+    def __init__(
+        self, profile: DayProfile, half_width: float = 20.0
+    ) -> None:
+        if half_width < 0:
+            raise ValueError("half width cannot be negative")
+        self.profile = profile
+        self.half_width = float(half_width)
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        center = self.profile.value_at(now)
+        low = max(center - self.half_width, 0.0)
+        high = center + self.half_width
+        return rng.uniform(low, high)
+
+
+class ConstantSpeedSampler:
+    """Every mobile travels at exactly ``speed`` km/h (tests, examples)."""
+
+    def __init__(self, speed: float) -> None:
+        if speed < 0:
+            raise ValueError("speed cannot be negative")
+        self.speed = float(speed)
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        return self.speed

@@ -1,0 +1,48 @@
+"""Simulation harness (S8): config, simulator, metrics, scenarios."""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.extensions import ExtensionChain, SimulatorExtension
+from repro.simulation.metrics import (
+    CellCounters,
+    CellStatus,
+    HourlyBucket,
+    MetricsCollector,
+    SimulationResult,
+    TracePoint,
+)
+from repro.simulation.runner import (
+    DEFAULT_LOAD_AXIS,
+    run_sweep,
+    sweep_offered_load,
+)
+from repro.simulation.scenarios import (
+    TWO_DAYS,
+    one_directional,
+    stationary,
+    time_varying,
+)
+from repro.simulation.simulator import CellularSimulator, simulate
+from repro.simulation.tracing import ConnectionTracer, TraceEvent
+
+__all__ = [
+    "CellCounters",
+    "CellStatus",
+    "CellularSimulator",
+    "ConnectionTracer",
+    "DEFAULT_LOAD_AXIS",
+    "ExtensionChain",
+    "SimulatorExtension",
+    "TraceEvent",
+    "HourlyBucket",
+    "MetricsCollector",
+    "SimulationConfig",
+    "SimulationResult",
+    "TWO_DAYS",
+    "TracePoint",
+    "one_directional",
+    "run_sweep",
+    "simulate",
+    "stationary",
+    "sweep_offered_load",
+    "time_varying",
+]

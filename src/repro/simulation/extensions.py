@@ -1,0 +1,104 @@
+"""Simulator extension hooks.
+
+A connection's life also touches systems outside the wireless cell —
+the wired backbone (paper §2/§7), tracing, custom accounting.  Rather
+than grow the simulator for each, extensions implement any subset of
+:class:`SimulatorExtension`'s hooks and are passed to
+:class:`~repro.simulation.simulator.CellularSimulator`.
+
+Veto semantics: ``admit_new`` / ``admit_handoff`` run *after* the
+wireless admission decision and may turn an accept into a reject (e.g.
+no wired bandwidth along the new route).  They are never consulted for
+already-rejected requests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cellular.network import CellularNetwork
+    from repro.traffic.connection import Connection
+
+
+@runtime_checkable
+class SimulatorExtension(Protocol):
+    """All hooks are optional; implement the ones you need."""
+
+    def install(self, network: "CellularNetwork") -> None: ...
+
+    def admit_new(
+        self, connection: "Connection", cell_id: int, now: float
+    ) -> bool: ...
+
+    def on_admitted(self, connection: "Connection", now: float) -> None: ...
+
+    def admit_handoff(
+        self,
+        connection: "Connection",
+        old_cell: int,
+        new_cell: int,
+        now: float,
+    ) -> bool: ...
+
+    def on_handoff(
+        self,
+        connection: "Connection",
+        old_cell: int,
+        new_cell: int,
+        now: float,
+    ) -> None: ...
+
+    def on_connection_end(
+        self, connection: "Connection", now: float
+    ) -> None: ...
+
+
+class ExtensionChain:
+    """Dispatches each hook across an ordered set of extensions."""
+
+    def __init__(self, extensions=()):
+        self.extensions = list(extensions)
+
+    def __bool__(self) -> bool:
+        return bool(self.extensions)
+
+    def install(self, network) -> None:
+        for extension in self.extensions:
+            hook = getattr(extension, "install", None)
+            if hook is not None:
+                hook(network)
+
+    def admit_new(self, connection, cell_id, now) -> bool:
+        for extension in self.extensions:
+            hook = getattr(extension, "admit_new", None)
+            if hook is not None and not hook(connection, cell_id, now):
+                return False
+        return True
+
+    def on_admitted(self, connection, now) -> None:
+        for extension in self.extensions:
+            hook = getattr(extension, "on_admitted", None)
+            if hook is not None:
+                hook(connection, now)
+
+    def admit_handoff(self, connection, old_cell, new_cell, now) -> bool:
+        for extension in self.extensions:
+            hook = getattr(extension, "admit_handoff", None)
+            if hook is not None and not hook(
+                connection, old_cell, new_cell, now
+            ):
+                return False
+        return True
+
+    def on_handoff(self, connection, old_cell, new_cell, now) -> None:
+        for extension in self.extensions:
+            hook = getattr(extension, "on_handoff", None)
+            if hook is not None:
+                hook(connection, old_cell, new_cell, now)
+
+    def on_connection_end(self, connection, now) -> None:
+        for extension in self.extensions:
+            hook = getattr(extension, "on_connection_end", None)
+            if hook is not None:
+                hook(connection, now)

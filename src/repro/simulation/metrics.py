@@ -1,0 +1,288 @@
+"""Metrics collection: the quantities every figure and table reports.
+
+Counters honour a warm-up boundary: events before ``warmup`` are not
+counted (the scheme still learns from them).  Time traces (Figures 10,
+11) intentionally start at t = 0 like the paper's plots do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CellCounters:
+    """Post-warm-up event counts for one cell."""
+
+    new_requests: int = 0
+    blocked: int = 0
+    handoff_attempts: int = 0
+    handoff_drops: int = 0
+    completed: int = 0
+    exited: int = 0
+
+    @property
+    def blocking_probability(self) -> float:
+        """``P_CB`` (0 when no requests were seen)."""
+        if self.new_requests == 0:
+            return 0.0
+        return self.blocked / self.new_requests
+
+    @property
+    def dropping_probability(self) -> float:
+        """``P_HD`` (0 when no hand-offs were seen)."""
+        if self.handoff_attempts == 0:
+            return 0.0
+        return self.handoff_drops / self.handoff_attempts
+
+
+@dataclass
+class CellStatus:
+    """End-of-run snapshot of one cell — a row of Tables 2/3."""
+
+    cell_id: int
+    blocking_probability: float
+    dropping_probability: float
+    t_est: float
+    reserved_target: float
+    used_bandwidth: float
+
+
+@dataclass
+class HourlyBucket:
+    """Aggregate counts for one hour of virtual time (Figure 14b)."""
+
+    hour: int
+    new_requests: int = 0
+    blocked: int = 0
+    handoff_attempts: int = 0
+    handoff_drops: int = 0
+
+    @property
+    def blocking_probability(self) -> float:
+        if self.new_requests == 0:
+            return 0.0
+        return self.blocked / self.new_requests
+
+    @property
+    def dropping_probability(self) -> float:
+        if self.handoff_attempts == 0:
+            return 0.0
+        return self.handoff_drops / self.handoff_attempts
+
+
+@dataclass
+class TracePoint:
+    """One sampled point of a per-cell time trace."""
+
+    time: float
+    value: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, ready for report rendering."""
+
+    label: str
+    scheme: str
+    offered_load: float
+    duration: float
+    warmup: float
+    num_cells: int
+    cells: list[CellCounters]
+    statuses: list[CellStatus]
+    #: Average of sampled per-cell ``B_r`` values (post warm-up).
+    average_reservation: float
+    #: Average of sampled per-cell used bandwidth (post warm-up).
+    average_used: float
+    #: ``N_calc``: mean Eq. 6 computations per admission test.
+    average_calculations: float
+    #: Mean logical inter-BS messages per admission test.
+    average_messages: float
+    total_admission_tests: int
+    hourly: list[HourlyBucket] = field(default_factory=list)
+    t_est_traces: dict[int, list[TracePoint]] = field(default_factory=dict)
+    reservation_traces: dict[int, list[TracePoint]] = field(
+        default_factory=dict
+    )
+    phd_traces: dict[int, list[TracePoint]] = field(default_factory=dict)
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def blocking_probability(self) -> float:
+        """Network-wide ``P_CB``."""
+        requests = sum(cell.new_requests for cell in self.cells)
+        if requests == 0:
+            return 0.0
+        return sum(cell.blocked for cell in self.cells) / requests
+
+    @property
+    def dropping_probability(self) -> float:
+        """Network-wide ``P_HD``."""
+        attempts = sum(cell.handoff_attempts for cell in self.cells)
+        if attempts == 0:
+            return 0.0
+        return sum(cell.handoff_drops for cell in self.cells) / attempts
+
+    @property
+    def total_handoff_attempts(self) -> int:
+        return sum(cell.handoff_attempts for cell in self.cells)
+
+    @property
+    def total_new_requests(self) -> int:
+        return sum(cell.new_requests for cell in self.cells)
+
+    def actual_offered_load(
+        self, mean_bandwidth: float, mean_lifetime: float = 120.0
+    ) -> float:
+        """``L_a``: offered load implied by the observed request rate."""
+        window = self.duration - self.warmup
+        if window <= 0:
+            return 0.0
+        rate = self.total_new_requests / window / self.num_cells
+        return rate * mean_bandwidth * mean_lifetime
+
+
+class MetricsCollector:
+    """Accumulates counters and traces during a run."""
+
+    def __init__(
+        self,
+        num_cells: int,
+        warmup: float = 0.0,
+        tracked_cells: tuple[int, ...] = (),
+        hourly: bool = False,
+        hour_seconds: float = 3600.0,
+    ) -> None:
+        self.num_cells = num_cells
+        self.warmup = warmup
+        self.tracked = set(tracked_cells)
+        self.hourly_enabled = hourly
+        self.hour_seconds = hour_seconds
+        self.cells = [CellCounters() for _ in range(num_cells)]
+        self.hourly: dict[int, HourlyBucket] = {}
+        self.total_admission_tests = 0
+        self.total_calculations = 0
+        self.total_messages = 0
+        self.t_est_traces: dict[int, list[TracePoint]] = {
+            cell: [] for cell in self.tracked
+        }
+        self.reservation_traces: dict[int, list[TracePoint]] = {
+            cell: [] for cell in self.tracked
+        }
+        self.phd_traces: dict[int, list[TracePoint]] = {
+            cell: [] for cell in self.tracked
+        }
+        # Lifetime (from t=0) hand-off counts for the P_HD traces.
+        self._trace_attempts = {cell: 0 for cell in self.tracked}
+        self._trace_drops = {cell: 0 for cell in self.tracked}
+        self._reservation_sum = 0.0
+        self._used_sum = 0.0
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    def _bucket(self, now: float) -> HourlyBucket | None:
+        if not self.hourly_enabled:
+            return None
+        hour = int(now // self.hour_seconds)
+        bucket = self.hourly.get(hour)
+        if bucket is None:
+            bucket = HourlyBucket(hour)
+            self.hourly[hour] = bucket
+        return bucket
+
+    def record_request(self, cell_id: int, now: float, blocked: bool) -> None:
+        bucket = self._bucket(now)
+        if bucket is not None:
+            bucket.new_requests += 1
+            if blocked:
+                bucket.blocked += 1
+        if now < self.warmup:
+            return
+        counters = self.cells[cell_id]
+        counters.new_requests += 1
+        if blocked:
+            counters.blocked += 1
+
+    def record_admission_test(self, calculations: int, messages: int) -> None:
+        self.total_admission_tests += 1
+        self.total_calculations += calculations
+        self.total_messages += messages
+
+    def record_handoff(self, cell_id: int, now: float, dropped: bool) -> None:
+        bucket = self._bucket(now)
+        if bucket is not None:
+            bucket.handoff_attempts += 1
+            if dropped:
+                bucket.handoff_drops += 1
+        if cell_id in self.tracked:
+            self._trace_attempts[cell_id] += 1
+            if dropped:
+                self._trace_drops[cell_id] += 1
+            ratio = (
+                self._trace_drops[cell_id] / self._trace_attempts[cell_id]
+            )
+            self.phd_traces[cell_id].append(TracePoint(now, ratio))
+        if now < self.warmup:
+            return
+        counters = self.cells[cell_id]
+        counters.handoff_attempts += 1
+        if dropped:
+            counters.handoff_drops += 1
+
+    def record_completion(self, cell_id: int, now: float) -> None:
+        if now >= self.warmup:
+            self.cells[cell_id].completed += 1
+
+    def record_exit(self, cell_id: int, now: float) -> None:
+        if now >= self.warmup:
+            self.cells[cell_id].exited += 1
+
+    # ------------------------------------------------------------------
+    # periodic sampling
+    # ------------------------------------------------------------------
+    def sample_cell(
+        self,
+        cell_id: int,
+        now: float,
+        reservation: float,
+        used: float,
+        t_est: float,
+    ) -> None:
+        if cell_id in self.tracked:
+            self.t_est_traces[cell_id].append(TracePoint(now, t_est))
+            self.reservation_traces[cell_id].append(
+                TracePoint(now, reservation)
+            )
+        if now >= self.warmup:
+            self._reservation_sum += reservation
+            self._used_sum += used
+            self._samples += 1
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def average_reservation(self) -> float:
+        return self._reservation_sum / self._samples if self._samples else 0.0
+
+    def average_used(self) -> float:
+        return self._used_sum / self._samples if self._samples else 0.0
+
+    def average_calculations(self) -> float:
+        if self.total_admission_tests == 0:
+            return 0.0
+        return self.total_calculations / self.total_admission_tests
+
+    def average_messages(self) -> float:
+        if self.total_admission_tests == 0:
+            return 0.0
+        return self.total_messages / self.total_admission_tests
+
+    def hourly_buckets(self) -> list[HourlyBucket]:
+        return [self.hourly[hour] for hour in sorted(self.hourly)]

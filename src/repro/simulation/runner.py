@@ -1,0 +1,44 @@
+"""Sweep runner: execute batches of configurations and collect results.
+
+The evaluation figures are parameter sweeps (offered load x voice ratio
+x mobility x scheme).  :func:`run_sweep` executes a list of configs and
+returns results in order; :func:`sweep_offered_load` builds the standard
+load axis used throughout §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.simulator import CellularSimulator
+
+#: The offered-load axis used by Figures 7-9 and 12-13.
+DEFAULT_LOAD_AXIS = (60.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+
+
+def run_sweep(
+    configs: Iterable[SimulationConfig],
+    progress: Callable[[SimulationConfig, SimulationResult], None]
+    | None = None,
+) -> list[SimulationResult]:
+    """Run every configuration sequentially and return all results."""
+    results = []
+    for config in configs:
+        result = CellularSimulator(config).run()
+        results.append(result)
+        if progress is not None:
+            progress(config, result)
+    return results
+
+
+def sweep_offered_load(
+    make_config: Callable[[float], SimulationConfig],
+    loads: Sequence[float] = DEFAULT_LOAD_AXIS,
+    progress: Callable[[SimulationConfig, SimulationResult], None]
+    | None = None,
+) -> list[tuple[float, SimulationResult]]:
+    """Sweep the offered-load axis with a config factory."""
+    results = run_sweep([make_config(load) for load in loads], progress)
+    return list(zip(loads, results))

@@ -1,0 +1,475 @@
+"""The cellular hand-off simulator: wires every substrate together.
+
+Event flow (all on the :class:`~repro.des.Engine`):
+
+* **arrival** — a new connection request appears in a cell (Poisson,
+  A2): the admission policy runs its test (updating ``B_r`` targets as
+  the scheme dictates), an admitted connection gets a lifetime-end
+  event and — if its mobile moves — a boundary-crossing event; a
+  blocked request may schedule a retry (§5.3).
+* **crossing** — the mobile reaches a cell boundary: the old cell's BS
+  caches the hand-off quadruplet, the new cell's BS feeds its window
+  controller, and the hand-off is admitted iff the new cell has spare
+  capacity (reserved band included).  Off an open road's end the
+  connection simply leaves the system.
+* **lifetime end** — the connection completes and releases bandwidth.
+* **sample** — periodic observer recording ``B_r``, ``B_u`` and
+  ``T_est`` per cell.
+"""
+
+from __future__ import annotations
+
+import time as wall_clock
+
+from repro.cellular.base_station import EXIT_CELL
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.core.admission import AdmissionPolicy, make_policy
+from repro.core.qos import AdaptiveQoSPolicy
+from repro.core.window import WindowControllerConfig
+from repro.des.engine import Engine
+from repro.des.events import Event, EventPriority
+from repro.des.random import RandomStreams
+from repro.estimation.cache import CacheConfig
+from repro.mobility.models import (
+    LinearMobilityModel,
+    MobilityModel,
+    Transition,
+    TravelDirections,
+)
+from repro.mobility.speed import ProfileSpeedSampler, UniformSpeedSampler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.extensions import ExtensionChain
+from repro.simulation.metrics import (
+    CellStatus,
+    MetricsCollector,
+    SimulationResult,
+)
+from repro.traffic.arrivals import (
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    RetryPolicy,
+)
+from repro.traffic.classes import ADAPTIVE_VIDEO, TrafficMix
+from repro.traffic.connection import Connection, ConnectionState
+
+
+class CellularSimulator:
+    """One configured, runnable simulation.
+
+    Parameters
+    ----------
+    config:
+        The scenario (defaults follow paper §5.1).
+    policy:
+        Admission policy override; by default built from
+        ``config.scheme``.
+    mobility_model:
+        Mobility override (e.g. :class:`HexMobilityModel`); by default a
+        :class:`LinearMobilityModel` over the configured road.  When the
+        override carries its own ``topology`` it replaces the road.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: AdmissionPolicy | None = None,
+        mobility_model: MobilityModel | None = None,
+        extensions=(),
+    ) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.streams = RandomStreams(config.seed)
+        if config.adaptive_qos:
+            self.mix = TrafficMix(
+                config.voice_ratio, video_class=ADAPTIVE_VIDEO
+            )
+        else:
+            self.mix = TrafficMix(config.voice_ratio)
+        override_topology = getattr(mobility_model, "topology", None)
+        if override_topology is not None:
+            self.topology = override_topology
+        else:
+            self.topology = LinearTopology(
+                config.num_cells, config.cell_diameter_km, ring=config.ring
+            )
+        self.network = CellularNetwork(
+            self.topology,
+            capacity=config.capacity,
+            cache_config=CacheConfig(
+                interval=config.t_int,
+                max_per_pair=config.n_quad,
+                weights=config.weights,
+                period=config.day_seconds,
+            ),
+            window_config=WindowControllerConfig(
+                target_drop_probability=config.target_drop_probability,
+                initial_window=config.t_start,
+                step_policy=config.step_policy,
+            ),
+            handoff_overload=config.handoff_overload,
+        )
+        if policy is not None:
+            self.policy = policy
+        elif config.scheme.lower() == "static":
+            self.policy = make_policy(
+                "static", guard_bandwidth=config.static_guard
+            )
+        else:
+            self.policy = make_policy(config.scheme)
+        if config.adaptive_qos and not isinstance(
+            self.policy, AdaptiveQoSPolicy
+        ):
+            self.policy = AdaptiveQoSPolicy(self.policy)
+        self.policy.install(self.network)
+        self.extensions = ExtensionChain(extensions)
+        self.extensions.install(self.network)
+
+        if mobility_model is not None:
+            self.mobility = mobility_model
+        else:
+            if config.speed_profile is not None:
+                speed_sampler = ProfileSpeedSampler(
+                    config.speed_profile, config.speed_profile_half_width
+                )
+            else:
+                low, high = config.speed_range
+                speed_sampler = UniformSpeedSampler(low, high)
+            self.mobility = LinearMobilityModel(
+                self.topology,
+                speed_sampler,
+                directions=config.directions,
+                stationary_fraction=config.stationary_fraction,
+            )
+
+        if config.load_profile is not None:
+            self.arrivals = ModulatedPoissonArrivals(
+                config.load_profile,
+                self.mix.mean_bandwidth,
+                config.mean_lifetime,
+            )
+        else:
+            rate = self.mix.arrival_rate_for_load(
+                config.offered_load, config.mean_lifetime
+            )
+            self.arrivals = PoissonArrivals(rate)
+
+        self.retry = RetryPolicy(
+            delay=config.retry_delay,
+            giveup_step=config.retry_giveup_step,
+            enabled=config.retry_enabled,
+        )
+        self.metrics = MetricsCollector(
+            self.topology.num_cells,
+            warmup=config.warmup,
+            tracked_cells=config.tracked_cells,
+            hourly=config.hourly_stats,
+            hour_seconds=config.day_seconds / 24.0,
+        )
+        self._end_events: dict[int, Event] = {}
+        self._crossing_events: dict[int, Event] = {}
+        self.active_connections: dict[int, Connection] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the configured scenario and return its result."""
+        if self._finished:
+            raise RuntimeError("simulator instances are single-use")
+        started = wall_clock.perf_counter()
+        arrival_rng = self.streams.get("arrivals")
+        for cell_id in range(self.topology.num_cells):
+            first = self.arrivals.next_arrival(0.0, arrival_rng)
+            if first is not None:
+                self.engine.call_at(
+                    first,
+                    self._on_arrival,
+                    cell_id,
+                    1,
+                    priority=EventPriority.ARRIVAL,
+                )
+        if self.config.sample_interval > 0:
+            self.engine.call_at(
+                self.config.sample_interval,
+                self._on_sample,
+                priority=EventPriority.MONITOR,
+            )
+        self.engine.run(until=self.config.duration)
+        self._finished = True
+        return self._build_result(wall_clock.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, cell_id: int, attempt: int) -> None:
+        now = self.engine.now
+        arrival_rng = self.streams.get("arrivals")
+        if attempt == 1:
+            # Schedule the next fresh request of this cell's Poisson
+            # process (retries are extra events, not process renewals).
+            next_time = self.arrivals.next_arrival(now, arrival_rng)
+            if next_time is not None and next_time <= self.config.duration:
+                self.engine.call_at(
+                    next_time,
+                    self._on_arrival,
+                    cell_id,
+                    1,
+                    priority=EventPriority.ARRIVAL,
+                )
+        self._handle_request(cell_id, attempt)
+
+    def _handle_request(self, cell_id: int, attempt: int) -> None:
+        now = self.engine.now
+        traffic_rng = self.streams.get("traffic")
+        mobility_rng = self.streams.get("mobility")
+        traffic_class = self.mix.sample(traffic_rng)
+        decision = self.policy.admit_new(
+            self.network, cell_id, traffic_class.bandwidth, now
+        )
+        self.metrics.record_admission_test(
+            decision.calculations, decision.messages
+        )
+        admitted = decision.admitted
+        connection = None
+        if admitted:
+            mobile = self.mobility.spawn(cell_id, now, mobility_rng)
+            connection = Connection(
+                traffic_class,
+                start_time=now,
+                cell_id=cell_id,
+                mobile=mobile,
+                prev_cell=None,
+                cell_entry_time=now,
+            )
+            # Extensions (e.g. the wired backbone) may veto an accept.
+            if self.extensions and not self.extensions.admit_new(
+                connection, cell_id, now
+            ):
+                admitted = False
+        self.metrics.record_request(cell_id, now, blocked=not admitted)
+        if not admitted:
+            retry_rng = self.streams.get("retries")
+            if self.retry.should_retry(attempt, retry_rng):
+                self.engine.call_in(
+                    self.retry.delay,
+                    self._handle_request,
+                    cell_id,
+                    attempt + 1,
+                    priority=EventPriority.ARRIVAL,
+                )
+            return
+        self.network.cell(cell_id).attach(connection)
+        self.extensions.on_admitted(connection, now)
+        self.active_connections[connection.connection_id] = connection
+        lifetime_rng = self.streams.get("lifetimes")
+        lifetime = lifetime_rng.expovariate(1.0 / self.config.mean_lifetime)
+        self._end_events[connection.connection_id] = self.engine.call_in(
+            lifetime,
+            self._on_lifetime_end,
+            connection,
+            priority=EventPriority.DEPARTURE,
+        )
+        self._schedule_crossing(connection)
+
+    def _schedule_crossing(self, connection: Connection) -> None:
+        mobile = connection.mobile
+        if mobile is None or not mobile.is_moving:
+            return
+        transition = self.mobility.next_transition(
+            mobile, self.engine.now, self.streams.get("mobility")
+        )
+        if transition is None:
+            return
+        self._crossing_events[connection.connection_id] = self.engine.call_at(
+            transition.time,
+            self._on_crossing,
+            connection,
+            transition,
+            priority=EventPriority.HANDOFF,
+        )
+
+    def _on_crossing(
+        self,
+        connection: Connection,
+        transition: Transition,
+        soft_deadline: float | None = None,
+    ) -> None:
+        if not connection.is_active:
+            return
+        now = self.engine.now
+        self._crossing_events.pop(connection.connection_id, None)
+        old_cell = connection.cell_id
+        new_cell = transition.next_cell
+        if new_cell == EXIT_CELL:
+            self._record_departure(connection, old_cell, new_cell, now)
+            self.network.cell(old_cell).detach(connection)
+            connection.finish(ConnectionState.EXITED, now)
+            self._cancel_end(connection)
+            self.active_connections.pop(connection.connection_id, None)
+            self.metrics.record_exit(old_cell, now)
+            self.policy.on_release(self.network, old_cell, now)
+            self.extensions.on_connection_end(connection, now)
+            self._forget_mobile(connection)
+            return
+        allocation = self.policy.handoff_allocation(
+            self.network, new_cell, connection
+        )
+        admitted = allocation is not None
+        if admitted and self.extensions and not self.extensions.admit_handoff(
+            connection, old_cell, new_cell, now
+        ):
+            admitted = False  # e.g. no wired bandwidth on the new route
+        if not admitted and self.config.soft_handoff_window > 0:
+            # CDMA soft hand-off (§7): the mobile stays reachable from
+            # the old BS inside the overlap region; retry instead of
+            # dropping until the window closes.
+            if soft_deadline is None:
+                soft_deadline = now + self.config.soft_handoff_window
+            retry_at = now + self.config.soft_handoff_retry_interval
+            if retry_at <= soft_deadline:
+                self._crossing_events[connection.connection_id] = (
+                    self.engine.call_at(
+                        retry_at,
+                        self._on_crossing,
+                        connection,
+                        transition,
+                        soft_deadline,
+                        priority=EventPriority.HANDOFF,
+                    )
+                )
+                return
+        # Resolution: the mobile actually leaves the old cell now.
+        self._record_departure(connection, old_cell, new_cell, now)
+        self.network.cell(old_cell).detach(connection)
+        self.network.station(new_cell).on_handoff_arrival(
+            dropped=not admitted, now=now
+        )
+        self.metrics.record_handoff(new_cell, now, dropped=not admitted)
+        # The departure freed bandwidth in the old cell either way.
+        self.policy.on_release(self.network, old_cell, now)
+        if not admitted:
+            connection.finish(ConnectionState.DROPPED, now)
+            self._cancel_end(connection)
+            self.active_connections.pop(connection.connection_id, None)
+            self.extensions.on_connection_end(connection, now)
+            self._forget_mobile(connection)
+            return
+        connection.allocated_bandwidth = allocation
+        mobile = connection.mobile
+        if mobile is not None and isinstance(self.mobility, LinearMobilityModel):
+            boundary = self.mobility.crossing_position(mobile)
+            mobile.place(boundary, new_cell, now)
+        elif mobile is not None:
+            mobile.cell_id = new_cell
+        connection.move_to(new_cell, now)
+        self.network.cell(new_cell).attach(connection)
+        self.extensions.on_handoff(connection, old_cell, new_cell, now)
+        self._schedule_crossing(connection)
+
+    def _forget_mobile(self, connection: Connection) -> None:
+        """Release per-mobile state kept by stateful mobility models."""
+        forget = getattr(self.mobility, "forget", None)
+        if forget is not None and connection.mobile is not None:
+            forget(connection.mobile)
+
+    def _record_departure(
+        self,
+        connection: Connection,
+        old_cell: int,
+        new_cell: int,
+        now: float,
+    ) -> None:
+        """Cache the departing mobile's quadruplet at the old cell's BS.
+
+        Recorded even for road exits: the estimator then knows those
+        mobiles were not heading to a reservable neighbour.
+        """
+        self.network.station(old_cell).record_departure(
+            now, connection.prev_cell, new_cell, connection.cell_entry_time
+        )
+
+    def _on_lifetime_end(self, connection: Connection) -> None:
+        if not connection.is_active:
+            return
+        now = self.engine.now
+        self._end_events.pop(connection.connection_id, None)
+        crossing = self._crossing_events.pop(connection.connection_id, None)
+        if crossing is not None:
+            crossing.cancel()
+        self.network.cell(connection.cell_id).detach(connection)
+        connection.finish(ConnectionState.COMPLETED, now)
+        self.active_connections.pop(connection.connection_id, None)
+        self.metrics.record_completion(connection.cell_id, now)
+        self.policy.on_release(self.network, connection.cell_id, now)
+        self.extensions.on_connection_end(connection, now)
+        self._forget_mobile(connection)
+
+    def _cancel_end(self, connection: Connection) -> None:
+        event = self._end_events.pop(connection.connection_id, None)
+        if event is not None:
+            event.cancel()
+
+    def _on_sample(self) -> None:
+        now = self.engine.now
+        for station in self.network.stations:
+            self.metrics.sample_cell(
+                station.cell_id,
+                now,
+                station.cell.reserved_target,
+                station.cell.used_bandwidth,
+                station.t_est,
+            )
+        next_time = now + self.config.sample_interval
+        if next_time <= self.config.duration:
+            self.engine.call_at(
+                next_time, self._on_sample, priority=EventPriority.MONITOR
+            )
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _build_result(self, wall_seconds: float) -> SimulationResult:
+        config = self.config
+        statuses = [
+            CellStatus(
+                cell_id=station.cell_id,
+                blocking_probability=(
+                    self.metrics.cells[station.cell_id].blocking_probability
+                ),
+                dropping_probability=(
+                    self.metrics.cells[station.cell_id].dropping_probability
+                ),
+                t_est=station.t_est,
+                reserved_target=station.cell.reserved_target,
+                used_bandwidth=station.cell.used_bandwidth,
+            )
+            for station in self.network.stations
+        ]
+        return SimulationResult(
+            label=config.label or config.scheme,
+            scheme=self.policy.name,
+            offered_load=config.offered_load,
+            duration=config.duration,
+            warmup=config.warmup,
+            num_cells=self.topology.num_cells,
+            cells=self.metrics.cells,
+            statuses=statuses,
+            average_reservation=self.metrics.average_reservation(),
+            average_used=self.metrics.average_used(),
+            average_calculations=self.metrics.average_calculations(),
+            average_messages=self.metrics.average_messages(),
+            total_admission_tests=self.metrics.total_admission_tests,
+            hourly=self.metrics.hourly_buckets(),
+            t_est_traces=self.metrics.t_est_traces,
+            reservation_traces=self.metrics.reservation_traces,
+            phd_traces=self.metrics.phd_traces,
+            events_processed=self.engine.events_processed,
+            wall_seconds=wall_seconds,
+        )
+
+
+def simulate(config: SimulationConfig, **overrides: object) -> SimulationResult:
+    """Build and run a simulator in one call (the main library entry)."""
+    return CellularSimulator(config, **overrides).run()  # type: ignore[arg-type]

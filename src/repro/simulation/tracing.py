@@ -1,0 +1,166 @@
+"""Connection-lifecycle tracing: a structured event journal.
+
+:class:`ConnectionTracer` is a simulator extension that records one
+event per connection-lifecycle transition (admitted, hand-off,
+terminal).  The journal supports queries, JSONL export, and an
+independent validity check of every connection's event sequence —
+useful both for debugging and as an oracle in integration tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+from repro.traffic.connection import Connection, ConnectionState
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One journal entry."""
+
+    time: float
+    kind: str  # admitted | handoff | completed | dropped | exited
+    connection_id: int
+    cell_id: int
+    prev_cell: int | None
+    bandwidth: float
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+
+class ConnectionTracer:
+    """Simulator extension recording the lifecycle journal.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events kept (oldest evicted); ``None`` keeps
+        everything.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # SimulatorExtension hooks
+    # ------------------------------------------------------------------
+    def on_admitted(self, connection: Connection, now: float) -> None:
+        self._record("admitted", connection, now)
+
+    def on_handoff(
+        self,
+        connection: Connection,
+        old_cell: int,
+        new_cell: int,
+        now: float,
+    ) -> None:
+        self._record("handoff", connection, now)
+
+    def on_connection_end(self, connection: Connection, now: float) -> None:
+        kind = {
+            ConnectionState.COMPLETED: "completed",
+            ConnectionState.DROPPED: "dropped",
+            ConnectionState.EXITED: "exited",
+        }.get(connection.state)
+        if kind is not None:
+            self._record(kind, connection, now)
+
+    def _record(self, kind: str, connection: Connection, now: float) -> None:
+        self.events.append(
+            TraceEvent(
+                time=now,
+                kind=kind,
+                connection_id=connection.connection_id,
+                cell_id=connection.cell_id,
+                prev_cell=connection.prev_cell,
+                bandwidth=connection.bandwidth,
+            )
+        )
+        if self.capacity is not None and len(self.events) > self.capacity:
+            overflow = len(self.events) - self.capacity
+            del self.events[:overflow]
+            self.evicted += overflow
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def history(self, connection_id: int) -> list[TraceEvent]:
+        """All events of one connection, in order."""
+        return [
+            event for event in self.events
+            if event.connection_id == connection_id
+        ]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def connections_seen(self) -> set[int]:
+        return {event.connection_id for event in self.events}
+
+    # ------------------------------------------------------------------
+    # export / verification
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The journal as JSON-lines text."""
+        return "\n".join(event.to_json() for event in self.events)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+            handle.write("\n")
+
+    def verify(self) -> list[str]:
+        """Check every traced connection's lifecycle; returns violations.
+
+        A valid (fully captured) sequence is::
+
+            admitted  handoff*  (completed | dropped | exited)?
+
+        with non-decreasing timestamps.  Connections still active at the
+        end of the run legitimately lack a terminal event.  Only
+        meaningful when ``capacity`` is None (nothing evicted).
+        """
+        if self.evicted:
+            return ["journal truncated: verification unavailable"]
+        problems: list[str] = []
+        terminal = {"completed", "dropped", "exited"}
+        by_connection: dict[int, list[TraceEvent]] = {}
+        for event in self.events:
+            by_connection.setdefault(event.connection_id, []).append(event)
+        for connection_id, events in by_connection.items():
+            times = [event.time for event in events]
+            if times != sorted(times):
+                problems.append(f"{connection_id}: events out of order")
+            if events[0].kind != "admitted":
+                problems.append(
+                    f"{connection_id}: first event is {events[0].kind}"
+                )
+            seen_terminal = False
+            for event in events[1:]:
+                if seen_terminal:
+                    problems.append(
+                        f"{connection_id}: event after terminal state"
+                    )
+                    break
+                if event.kind in terminal:
+                    seen_terminal = True
+                elif event.kind != "handoff":
+                    problems.append(
+                        f"{connection_id}: unexpected kind {event.kind}"
+                    )
+        return problems
+
+
+def replay_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Aggregate a journal (or a parsed export) into per-kind counts."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts

@@ -1,0 +1,122 @@
+"""Connection arrival processes and the retry model.
+
+New connection requests are Poisson per cell (paper A2), either
+homogeneous (stationary runs) or modulated by a
+:class:`~repro.traffic.profiles.DayProfile` (the two-day experiment of
+§5.3).  The non-homogeneous process is sampled exactly by thinning.
+
+The retry model follows §5.3: a blocked request is re-issued after 5
+seconds with probability ``1 - 0.1 * N_ret`` where ``N_ret`` counts the
+attempts made so far — this is the *positive feedback* that amplifies
+the actual offered load ``L_a`` above the original ``L_o`` when
+blocking is high.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.traffic.profiles import DayProfile
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals with a fixed per-cell rate.
+
+    Parameters
+    ----------
+    rate:
+        Connections per second (per cell).  A zero rate yields no
+        arrivals (``next_arrival`` returns ``None``).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate cannot be negative, got {rate}")
+        self.rate = float(rate)
+
+    def next_arrival(self, now: float, rng: random.Random) -> float | None:
+        """Time of the next arrival after ``now``."""
+        if self.rate == 0.0:
+            return None
+        return now + rng.expovariate(self.rate)
+
+
+class ModulatedPoissonArrivals:
+    """Non-homogeneous Poisson arrivals driven by a load profile.
+
+    The profile gives the *offered load* over time; it is converted to
+    an instantaneous rate via ``rate = load / (E[b] * mean lifetime)``
+    (Eq. 7 inverted) and sampled exactly with Lewis–Shedler thinning.
+
+    Parameters
+    ----------
+    load_profile:
+        Offered load ``L_o(t)`` in BUs.
+    mean_bandwidth:
+        ``E[b]`` of the traffic mix.
+    mean_lifetime:
+        Average connection lifetime in seconds (A5: 120).
+    """
+
+    def __init__(
+        self,
+        load_profile: DayProfile,
+        mean_bandwidth: float,
+        mean_lifetime: float = 120.0,
+    ) -> None:
+        if mean_bandwidth <= 0 or mean_lifetime <= 0:
+            raise ValueError("mean bandwidth and lifetime must be positive")
+        self.load_profile = load_profile
+        self.scale = 1.0 / (mean_bandwidth * mean_lifetime)
+        self.max_rate = load_profile.maximum() * self.scale
+        if self.max_rate <= 0:
+            raise ValueError("profile must have positive load somewhere")
+
+    def rate_at(self, time_seconds: float) -> float:
+        """Instantaneous arrival rate at ``time_seconds``."""
+        return max(self.load_profile.value_at(time_seconds), 0.0) * self.scale
+
+    def next_arrival(self, now: float, rng: random.Random) -> float | None:
+        """Exact next-arrival sampling via thinning."""
+        time = now
+        while True:
+            time += rng.expovariate(self.max_rate)
+            if rng.random() * self.max_rate <= self.rate_at(time):
+                return time
+
+
+@dataclass
+class RetryPolicy:
+    """Blocked-request retry behaviour (paper §5.3).
+
+    Attributes
+    ----------
+    delay:
+        Seconds a blocked user waits before retrying (paper: 5 s).
+    giveup_step:
+        The retry probability after the ``N``-th failed attempt is
+        ``1 - giveup_step * N`` (paper: 0.1 — nobody retries past 10
+        attempts).
+    enabled:
+        Stationary runs disable retries entirely.
+    """
+
+    delay: float = 5.0
+    giveup_step: float = 0.1
+    enabled: bool = True
+
+    def should_retry(self, attempts: int, rng: random.Random) -> bool:
+        """Whether a user blocked on their ``attempts``-th try re-requests."""
+        if not self.enabled:
+            return False
+        if attempts < 1:
+            raise ValueError("attempts must count the failed tries (>= 1)")
+        probability = 1.0 - self.giveup_step * attempts
+        if probability <= 0.0:
+            return False
+        return rng.random() < probability
+
+
+#: Retry behaviour for stationary experiments: blocked means gone.
+NO_RETRY = RetryPolicy(enabled=False)

@@ -1,0 +1,121 @@
+"""Traffic classes and the voice/video bandwidth mix (paper A3).
+
+The paper's unit of bandwidth is the **BU** — the bandwidth of one
+voice connection.  Connections are voice (1 BU) with probability
+``R_vo`` and video (4 BUs) otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Bandwidth of a voice connection — the definition of one BU.
+VOICE_BU = 1.0
+#: Bandwidth of a video connection (paper A3).
+VIDEO_BU = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficClass:
+    """A connection type with a fixed bandwidth requirement."""
+
+    name: str
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+
+VOICE = TrafficClass("voice", VOICE_BU)
+VIDEO = TrafficClass("video", VIDEO_BU)
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptiveTrafficClass(TrafficClass):
+    """A connection type whose QoS can degrade down to a minimum.
+
+    The paper (§1) notes the reservation scheme composes with adaptive
+    QoS: hand-offs may be accepted at a degraded rate instead of being
+    dropped, and *bandwidth reservation is made on the basis of the
+    minimum QoS of each connection*.
+
+    ``bandwidth`` is the full (preferred) rate; ``min_bandwidth`` is the
+    floor below which the connection would rather drop.
+    """
+
+    min_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Explicit parent call: slots=True dataclasses replace the class
+        # object, which breaks zero-argument super().
+        TrafficClass.__post_init__(self)
+        if not 0 < self.min_bandwidth <= self.bandwidth:
+            raise ValueError(
+                f"min bandwidth must be in (0, {self.bandwidth}],"
+                f" got {self.min_bandwidth}"
+            )
+
+
+#: Layered video: 4 BUs preferred, degradable down to 1 BU (base layer).
+ADAPTIVE_VIDEO = AdaptiveTrafficClass(
+    "adaptive-video", VIDEO_BU, min_bandwidth=VOICE_BU
+)
+
+
+class TrafficMix:
+    """Samples traffic classes: voice w.p. ``R_vo``, video otherwise.
+
+    Parameters
+    ----------
+    voice_ratio:
+        ``R_vo`` in [0, 1].  The paper sweeps 1.0, 0.8 and 0.5.
+    video_class:
+        The non-voice class; swap in :data:`ADAPTIVE_VIDEO` to model
+        QoS-degradable video (paper §1 integration).
+    """
+
+    def __init__(
+        self,
+        voice_ratio: float = 1.0,
+        video_class: TrafficClass = VIDEO,
+    ) -> None:
+        if not 0.0 <= voice_ratio <= 1.0:
+            raise ValueError(f"voice ratio must be in [0, 1], got {voice_ratio}")
+        self.voice_ratio = float(voice_ratio)
+        self.video_class = video_class
+
+    def sample(self, rng: random.Random) -> TrafficClass:
+        """Draw one connection's traffic class."""
+        if rng.random() < self.voice_ratio:
+            return VOICE
+        return self.video_class
+
+    @property
+    def mean_bandwidth(self) -> float:
+        """``E[b]`` — average BUs per connection (at full rate)."""
+        return (
+            self.voice_ratio * VOICE.bandwidth
+            + (1.0 - self.voice_ratio) * self.video_class.bandwidth
+        )
+
+    def arrival_rate_for_load(
+        self, offered_load: float, mean_lifetime: float = 120.0
+    ) -> float:
+        """Invert Eq. 7: per-cell Poisson rate for an offered load ``L``.
+
+        ``L = lambda * E[b] * mean_lifetime`` (BUs), so
+        ``lambda = L / (E[b] * mean_lifetime)`` in connections/second/cell.
+        """
+        if offered_load < 0:
+            raise ValueError("offered load cannot be negative")
+        if mean_lifetime <= 0:
+            raise ValueError("mean lifetime must be positive")
+        return offered_load / (self.mean_bandwidth * mean_lifetime)
+
+    def offered_load(
+        self, arrival_rate: float, mean_lifetime: float = 120.0
+    ) -> float:
+        """Eq. 7: ``L = lambda * E[b] * mean_lifetime``."""
+        return arrival_rate * self.mean_bandwidth * mean_lifetime

@@ -1,0 +1,156 @@
+"""Time-of-day profiles for load and speed (paper §5.3, Figure 14a).
+
+A :class:`DayProfile` is a piecewise-linear, 24-hour-cyclic function of
+time.  The paper drives the two-day time-varying experiment with an
+offered-load profile that peaks during rush hours (around 9 am, 1 pm
+and 5–6 pm) while the average speed simultaneously dips — cars crawl in
+rush-hour traffic.  :func:`paper_load_profile` and
+:func:`paper_speed_profile` encode those shapes (values read off
+Figure 14a; exact magnitudes are not published, shapes are).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+HOUR_SECONDS = 3600.0
+DAY_HOURS = 24.0
+
+
+class DayProfile:
+    """A piecewise-linear daily cycle.
+
+    Parameters
+    ----------
+    breakpoints:
+        ``(hour, value)`` pairs with hours in [0, 24); linear
+        interpolation in between, wrapping midnight.
+    day_seconds:
+        Wall length of one profile cycle.  86 400 by default; smaller
+        values *time-compress* the scenario (a whole "day" plays out in
+        fewer simulated seconds) while keeping the same shape.
+    """
+
+    def __init__(
+        self,
+        breakpoints: Sequence[tuple[float, float]],
+        day_seconds: float = 24 * HOUR_SECONDS,
+    ) -> None:
+        if day_seconds <= 0:
+            raise ValueError("day_seconds must be positive")
+        self.day_seconds = float(day_seconds)
+        if not breakpoints:
+            raise ValueError("a profile needs at least one breakpoint")
+        ordered = sorted(breakpoints)
+        hours = [hour for hour, _value in ordered]
+        if any(not 0 <= hour < DAY_HOURS for hour in hours):
+            raise ValueError("breakpoint hours must lie in [0, 24)")
+        if len(set(hours)) != len(hours):
+            raise ValueError("duplicate breakpoint hours")
+        self._hours = hours
+        self._values = [value for _hour, value in ordered]
+
+    def value_at_hour(self, hour: float) -> float:
+        """Profile value at ``hour`` (any float; wraps modulo 24)."""
+        hour %= DAY_HOURS
+        if len(self._hours) == 1:
+            return self._values[0]
+        index = bisect_right(self._hours, hour) - 1
+        if index < 0:
+            # Before the first breakpoint: interpolate across midnight.
+            left_hour = self._hours[-1] - DAY_HOURS
+            left_value = self._values[-1]
+            right_hour, right_value = self._hours[0], self._values[0]
+        else:
+            left_hour, left_value = self._hours[index], self._values[index]
+            if index + 1 < len(self._hours):
+                right_hour = self._hours[index + 1]
+                right_value = self._values[index + 1]
+            else:
+                right_hour = self._hours[0] + DAY_HOURS
+                right_value = self._values[0]
+        if right_hour == left_hour:
+            return left_value
+        fraction = (hour - left_hour) / (right_hour - left_hour)
+        return left_value + fraction * (right_value - left_value)
+
+    def value_at(self, time_seconds: float) -> float:
+        """Profile value at an absolute virtual time in seconds."""
+        return self.value_at_hour(time_seconds / (self.day_seconds / DAY_HOURS))
+
+    def maximum(self, samples: int = 480) -> float:
+        """Upper bound of the profile (sampled; used for thinning)."""
+        return max(
+            self.value_at_hour(index * DAY_HOURS / samples)
+            for index in range(samples)
+        )
+
+
+def constant_profile(value: float) -> DayProfile:
+    """A degenerate profile that always returns ``value``."""
+    return DayProfile([(0.0, value)])
+
+
+def paper_load_profile(
+    peak: float = 180.0,
+    base: float = 20.0,
+    day_seconds: float = 24 * HOUR_SECONDS,
+) -> DayProfile:
+    """Original offered load ``L_o`` vs time-of-day, Figure 14(a) shape.
+
+    Quiet at night, rush-hour peaks around 9 am and 5–6 pm with a lunch
+    bump around 1 pm.
+    """
+    mid = base + 0.67 * (peak - base)
+    return DayProfile(
+        day_seconds=day_seconds,
+        breakpoints=[
+            (0.0, base),
+            (6.0, base),
+            (8.0, 0.8 * peak),
+            (9.0, peak),
+            (10.5, mid * 0.55),
+            (12.0, mid * 0.7),
+            (13.0, mid),
+            (14.5, mid * 0.55),
+            (16.0, 0.8 * peak),
+            (17.0, peak),
+            (18.0, peak),
+            (19.5, mid * 0.5),
+            (21.0, base * 1.5),
+            (23.0, base),
+        ]
+    )
+
+
+def paper_speed_profile(
+    fast: float = 100.0,
+    slow: float = 40.0,
+    day_seconds: float = 24 * HOUR_SECONDS,
+) -> DayProfile:
+    """Average mobile speed ``S`` vs time-of-day, Figure 14(a) shape.
+
+    Mirrors the load profile: free-flow speed off-peak, congestion
+    speeds during the rush hours.  The instantaneous speed range used
+    by the mobility model is ``[S - 20, S + 20]`` km/h (paper §5.3).
+    """
+    mid = slow + 0.4 * (fast - slow)
+    return DayProfile(
+        day_seconds=day_seconds,
+        breakpoints=[
+            (0.0, fast),
+            (6.0, fast),
+            (8.0, mid),
+            (9.0, slow),
+            (10.5, fast * 0.85),
+            (12.0, mid * 1.2),
+            (13.0, mid),
+            (14.5, fast * 0.85),
+            (16.0, mid),
+            (17.0, slow),
+            (18.0, slow),
+            (19.5, fast * 0.85),
+            (21.0, fast),
+        ]
+    )

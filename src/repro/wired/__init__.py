@@ -1,0 +1,33 @@
+"""Wired backbone substrate: links, routing, per-route reservation.
+
+The paper confines its evaluation to wireless link bandwidth but
+describes the wired extension (§2, §7): reserve along each connection's
+route, re-route on hand-off, and push the per-cell hand-off targets
+onto the wired links.  This package implements that extension and the
+Figure-1 deployment layouts.
+"""
+
+from repro.wired.extension import WiredBackboneExtension
+from repro.wired.graph import (
+    GATEWAY,
+    BackboneGraph,
+    bs_node,
+    chain_backbone,
+    mesh_backbone,
+    star_backbone,
+)
+from repro.wired.link import WiredCapacityError, WiredLink
+from repro.wired.reservation import WiredReservationManager
+
+__all__ = [
+    "GATEWAY",
+    "BackboneGraph",
+    "WiredBackboneExtension",
+    "WiredCapacityError",
+    "WiredLink",
+    "WiredReservationManager",
+    "bs_node",
+    "chain_backbone",
+    "mesh_backbone",
+    "star_backbone",
+]

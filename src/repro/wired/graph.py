@@ -1,0 +1,175 @@
+"""The backbone graph: BSs, MSCs/routers and a gateway, plus Dijkstra.
+
+Builders mirror Figure 1's deployments:
+
+* :func:`star_backbone` — every BS hangs off one MSC, the MSC uplinks
+  to the wide-area gateway;
+* :func:`chain_backbone` — BSs attach to routers strung along the road
+  (a realistic highway deployment), gateway at one end;
+* :func:`mesh_backbone` — BSs fully interconnected plus a gateway (the
+  Figure 1(b) option).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping
+
+from repro.wired.link import WiredLink
+
+#: Node-name helpers: base stations are keyed by their cell id.
+def bs_node(cell_id: int) -> str:
+    """Backbone node name of a cell's base station."""
+    return f"bs{cell_id}"
+
+
+GATEWAY = "gateway"
+
+
+class BackboneGraph:
+    """An undirected capacitated graph with shortest-path routing."""
+
+    def __init__(self) -> None:
+        self._links: dict[tuple[str, str], WiredLink] = {}
+        self._adjacency: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_link(self, node_a: str, node_b: str, capacity: float) -> WiredLink:
+        link = WiredLink(node_a, node_b, capacity)
+        if link.key in self._links:
+            raise ValueError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._adjacency.setdefault(node_a, []).append(node_b)
+        self._adjacency.setdefault(node_b, []).append(node_a)
+        return link
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._adjacency)
+
+    def links(self) -> Iterable[WiredLink]:
+        return self._links.values()
+
+    def link(self, node_a: str, node_b: str) -> WiredLink:
+        key = tuple(sorted((node_a, node_b)))
+        try:
+            return self._links[key]  # type: ignore[index]
+        except KeyError:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}")
+
+    def neighbors(self, node: str) -> tuple[str, ...]:
+        return tuple(self._adjacency.get(node, ()))
+
+    def has_node(self, node: str) -> bool:
+        return node in self._adjacency
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shortest_path(
+        self,
+        source: str,
+        target: str,
+        weight: Mapping[tuple[str, str], float] | None = None,
+    ) -> list[str] | None:
+        """Dijkstra by hop count (or per-link weights); ``None`` if cut."""
+        if source == target:
+            return [source]
+        if not (self.has_node(source) and self.has_node(target)):
+            raise KeyError(f"unknown node in ({source!r}, {target!r})")
+        distances: dict[str, float] = {source: 0.0}
+        previous: dict[str, str] = {}
+        queue: list[tuple[float, str]] = [(0.0, source)]
+        visited: set[str] = set()
+        while queue:
+            distance, node = heapq.heappop(queue)
+            if node in visited:
+                continue
+            if node == target:
+                break
+            visited.add(node)
+            for neighbor in self._adjacency[node]:
+                if neighbor in visited:
+                    continue
+                key = tuple(sorted((node, neighbor)))
+                step = 1.0 if weight is None else weight.get(key, 1.0)
+                candidate = distance + step
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = node
+                    heapq.heappush(queue, (candidate, neighbor))
+        if target not in previous:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+    def path_links(self, path: list[str]) -> list[WiredLink]:
+        """Links traversed by a node path."""
+        return [
+            self.link(node_a, node_b)
+            for node_a, node_b in zip(path, path[1:])
+        ]
+
+
+# ----------------------------------------------------------------------
+# deployment builders (Figure 1 variants)
+# ----------------------------------------------------------------------
+def star_backbone(
+    num_cells: int,
+    access_capacity: float = 400.0,
+    uplink_capacity: float = 2000.0,
+) -> BackboneGraph:
+    """Figure 1(a): all BSs on one MSC, one fat uplink to the gateway."""
+    graph = BackboneGraph()
+    for cell_id in range(num_cells):
+        graph.add_link(bs_node(cell_id), "msc", access_capacity)
+    graph.add_link("msc", GATEWAY, uplink_capacity)
+    return graph
+
+
+def chain_backbone(
+    num_cells: int,
+    cells_per_router: int = 2,
+    access_capacity: float = 400.0,
+    trunk_capacity: float = 800.0,
+) -> BackboneGraph:
+    """Routers strung along the road; the gateway sits past router 0.
+
+    Traffic from far cells crosses many trunk hops — the deployment
+    where wired bandwidth genuinely constrains admission.
+    """
+    if cells_per_router < 1:
+        raise ValueError("cells_per_router must be >= 1")
+    graph = BackboneGraph()
+    num_routers = (num_cells + cells_per_router - 1) // cells_per_router
+    for cell_id in range(num_cells):
+        router = f"router{cell_id // cells_per_router}"
+        graph.add_link(bs_node(cell_id), router, access_capacity)
+    for index in range(num_routers - 1):
+        graph.add_link(
+            f"router{index}", f"router{index + 1}", trunk_capacity
+        )
+    graph.add_link("router0", GATEWAY, trunk_capacity)
+    return graph
+
+
+def mesh_backbone(
+    num_cells: int,
+    link_capacity: float = 400.0,
+    uplink_capacity: float = 2000.0,
+) -> BackboneGraph:
+    """Figure 1(b): fully-connected BSs plus a gateway off BS 0."""
+    graph = BackboneGraph()
+    for first in range(num_cells):
+        for second in range(first + 1, num_cells):
+            graph.add_link(bs_node(first), bs_node(second), link_capacity)
+    graph.add_link(bs_node(0), GATEWAY, uplink_capacity)
+    return graph

@@ -1,0 +1,99 @@
+"""Wired backbone links with per-connection bandwidth accounting.
+
+Same BU currency as the wireless side: a connection consuming ``b`` BUs
+of radio bandwidth consumes ``b`` BUs on every wired link of its route
+(paper §2 treats wired reservation as the same problem on the links a
+connection's route traverses).
+"""
+
+from __future__ import annotations
+
+
+class WiredCapacityError(ValueError):
+    """Raised when wired accounting would go out of [0, capacity]."""
+
+
+class WiredLink:
+    """An undirected backbone link between two nodes.
+
+    Parameters
+    ----------
+    node_a, node_b:
+        Endpoint node names (order does not matter).
+    capacity:
+        Link capacity in BUs, shared by both directions (a duplex link
+        provisioned symmetrically).
+    """
+
+    def __init__(self, node_a: str, node_b: str, capacity: float) -> None:
+        if node_a == node_b:
+            raise ValueError(f"self-loop at {node_a!r}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.capacity = float(capacity)
+        self.used_bandwidth = 0.0
+        #: Target reservation for expected hand-off re-routes (the wired
+        #: analogue of the cell's ``B_r``); maintained by the
+        #: reservation manager.
+        self.reserved_target = 0.0
+        self._holders: dict[int, float] = {}
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying the link."""
+        return tuple(sorted((self.node_a, self.node_b)))  # type: ignore
+
+    @property
+    def free_bandwidth(self) -> float:
+        return self.capacity - self.used_bandwidth
+
+    def fits_new(self, bandwidth: float) -> bool:
+        """New traffic must stay clear of the reserved re-route band."""
+        return (
+            self.used_bandwidth + bandwidth
+            <= self.capacity - self.reserved_target + 1e-9
+        )
+
+    def fits_reroute(self, bandwidth: float) -> bool:
+        """Hand-off re-routes may consume the reserved band."""
+        return self.used_bandwidth + bandwidth <= self.capacity + 1e-9
+
+    def holds(self, connection_id: int) -> bool:
+        return connection_id in self._holders
+
+    def allocate(self, connection_id: int, bandwidth: float) -> None:
+        """Account ``bandwidth`` BUs for a connection on this link."""
+        if connection_id in self._holders:
+            raise WiredCapacityError(
+                f"connection {connection_id} already on link {self.key}"
+            )
+        if self.used_bandwidth + bandwidth > self.capacity + 1e-9:
+            raise WiredCapacityError(
+                f"link {self.key}: allocating {bandwidth} exceeds capacity"
+            )
+        self._holders[connection_id] = bandwidth
+        self.used_bandwidth += bandwidth
+
+    def release(self, connection_id: int) -> float:
+        """Release a connection's share; returns the freed bandwidth."""
+        bandwidth = self._holders.pop(connection_id, None)
+        if bandwidth is None:
+            raise WiredCapacityError(
+                f"connection {connection_id} not on link {self.key}"
+            )
+        self.used_bandwidth -= bandwidth
+        if self.used_bandwidth < 0:
+            self.used_bandwidth = 0.0
+        return bandwidth
+
+    def utilization(self) -> float:
+        """Fraction of capacity in use."""
+        return self.used_bandwidth / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WiredLink({self.key}, {self.used_bandwidth:.0f}/"
+            f"{self.capacity:.0f})"
+        )

@@ -1,0 +1,129 @@
+"""Tests for the Hong–Rappaport analytic guard-channel model.
+
+Includes a cross-validation of the simulator's static scheme against
+the closed-form chain — an independent correctness check on the whole
+arrival/hand-off/accounting pipeline.
+"""
+
+import pytest
+
+from repro.analysis.guard_channel import (
+    analytic_static_baseline,
+    road_model_rates,
+    solve_guard_channel,
+)
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+
+class TestChainSolver:
+    def test_probabilities_normalised(self):
+        result = solve_guard_channel(20, 2, 0.1, 0.05, 60.0)
+        assert sum(result.occupancy) == pytest.approx(1.0)
+        assert all(p >= 0 for p in result.occupancy)
+
+    def test_no_guard_reduces_to_erlang_b(self):
+        # With G=0, blocking == dropping == Erlang B at the total load.
+        result = solve_guard_channel(10, 0, 0.1, 0.05, 40.0)
+        a = (0.1 + 0.05) * 40.0
+        erlang = 1.0
+        for k in range(1, 11):
+            erlang = a * erlang / (k + a * erlang)
+        assert result.blocking_probability == pytest.approx(erlang)
+        assert result.dropping_probability == pytest.approx(erlang)
+
+    def test_guard_prioritises_handoffs(self):
+        without = solve_guard_channel(50, 0, 0.5, 0.2, 60.0)
+        with_guard = solve_guard_channel(50, 5, 0.5, 0.2, 60.0)
+        assert (
+            with_guard.dropping_probability < without.dropping_probability
+        )
+        assert (
+            with_guard.blocking_probability > without.blocking_probability
+        )
+
+    def test_full_guard_blocks_all_new_calls(self):
+        result = solve_guard_channel(10, 10, 0.5, 0.0, 60.0)
+        assert result.blocking_probability == pytest.approx(1.0)
+        # No hand-off traffic either: the cell stays empty.
+        assert result.occupancy[0] == pytest.approx(1.0)
+
+    def test_monotone_in_load(self):
+        results = [
+            solve_guard_channel(30, 3, rate, rate / 2, 60.0)
+            for rate in (0.05, 0.1, 0.2, 0.4)
+        ]
+        blocking = [r.blocking_probability for r in results]
+        dropping = [r.dropping_probability for r in results]
+        assert blocking == sorted(blocking)
+        assert dropping == sorted(dropping)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_guard_channel(0, 0, 0.1, 0.1, 60.0)
+        with pytest.raises(ValueError):
+            solve_guard_channel(10, 11, 0.1, 0.1, 60.0)
+        with pytest.raises(ValueError):
+            solve_guard_channel(10, 1, -0.1, 0.1, 60.0)
+        with pytest.raises(ValueError):
+            solve_guard_channel(10, 1, 0.1, 0.1, 0.0)
+
+
+class TestRoadModelRates:
+    def test_rates_scale_with_load(self):
+        low = road_model_rates(60.0, 100.0)
+        high = road_model_rates(120.0, 100.0)
+        assert high.new_call_rate == pytest.approx(2 * low.new_call_rate)
+        assert high.handoff_rate > low.handoff_rate
+
+    def test_faster_mobiles_more_handoffs(self):
+        slow = road_model_rates(100.0, 50.0)
+        fast = road_model_rates(100.0, 100.0)
+        assert fast.handoff_rate > slow.handoff_rate
+        assert fast.mean_channel_holding < slow.mean_channel_holding
+
+    def test_holding_below_both_timescales(self):
+        rates = road_model_rates(100.0, 100.0)
+        assert rates.mean_channel_holding < 36.0  # crossing time
+        assert rates.mean_channel_holding < 120.0  # lifetime
+
+
+class TestCrossValidation:
+    """The simulator's static scheme vs the closed form."""
+
+    @pytest.mark.parametrize("load", [100.0, 200.0])
+    def test_blocking_probability_agrees(self, load):
+        analytic = analytic_static_baseline(load)
+        config = stationary(
+            "static",
+            offered_load=load,
+            voice_ratio=1.0,
+            high_mobility=True,
+            duration=1200.0,
+            warmup=200.0,
+            seed=17,
+        )
+        simulated = CellularSimulator(config).run()
+        assert simulated.blocking_probability == pytest.approx(
+            analytic.blocking_probability, abs=0.05
+        )
+
+    def test_dropping_probability_same_order(self):
+        """P_HD agrees in order of magnitude only.
+
+        The analytic chain assumes exponential cell-residence times; the
+        simulator's are near-deterministic (constant speed over 1 km).
+        The paper's §6 criticises exactly this exponential assumption —
+        the analytic model *over*-estimates drops.
+        """
+        analytic = analytic_static_baseline(200.0)
+        config = stationary(
+            "static", offered_load=200.0, duration=1500.0, warmup=200.0,
+            seed=17,
+        )
+        simulated = CellularSimulator(config).run()
+        assert simulated.dropping_probability > 0.0
+        ratio = (
+            analytic.dropping_probability / simulated.dropping_probability
+        )
+        assert 0.5 < ratio < 5.0

@@ -1,0 +1,91 @@
+"""Unit tests for interval estimates and replication pooling."""
+
+import pytest
+
+from repro.analysis.stats import (
+    blocking_estimate,
+    dropping_estimate,
+    replicate,
+    wilson_interval,
+)
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+
+class TestWilson:
+    def test_midpoint_estimate(self):
+        estimate = wilson_interval(50, 100)
+        assert estimate.point == 0.5
+        assert estimate.low < 0.5 < estimate.high
+        assert 0.08 < estimate.high - estimate.low < 0.22
+
+    def test_zero_successes_interval_excludes_negative(self):
+        estimate = wilson_interval(0, 1000)
+        assert estimate.point == 0.0
+        assert estimate.low == 0.0
+        assert 0.0 < estimate.high < 0.01
+
+    def test_all_successes(self):
+        estimate = wilson_interval(100, 100)
+        assert estimate.point == 1.0
+        assert estimate.high == 1.0
+        assert estimate.low > 0.95
+
+    def test_zero_trials_is_vacuous(self):
+        estimate = wilson_interval(0, 0)
+        assert (estimate.low, estimate.high) == (0.0, 1.0)
+
+    def test_interval_narrows_with_trials(self):
+        small = wilson_interval(5, 100)
+        large = wilson_interval(500, 10_000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_str_format(self):
+        rendered = str(wilson_interval(1, 100))
+        assert "[" in rendered and "]" in rendered
+
+
+class TestResultEstimates:
+    def test_estimates_cover_point_values(self):
+        config = stationary("static", 200.0, duration=120.0, seed=2)
+        result = CellularSimulator(config).run()
+        blocking = blocking_estimate(result)
+        dropping = dropping_estimate(result)
+        assert blocking.low <= result.blocking_probability <= blocking.high
+        assert dropping.low <= result.dropping_probability <= dropping.high
+        assert blocking.trials == result.total_new_requests
+
+
+class TestReplication:
+    def test_pooled_counts(self):
+        config = stationary("static", 150.0, duration=100.0)
+        summary = replicate(config, seeds=(1, 2, 3))
+        assert summary.replications == 3
+        assert summary.blocking.trials == sum(
+            result.total_new_requests for result in summary.results
+        )
+        assert 0.0 <= summary.dropping.point <= 1.0
+
+    def test_distinct_seeds_produce_distinct_runs(self):
+        config = stationary("static", 150.0, duration=100.0)
+        summary = replicate(config, seeds=(1, 2))
+        first, second = summary.results
+        assert first.events_processed != second.events_processed
+
+    def test_mean_of_metric(self):
+        config = stationary("static", 150.0, duration=100.0)
+        summary = replicate(config, seeds=(1, 2))
+        mean = summary.mean_of(lambda result: result.blocking_probability)
+        values = [r.blocking_probability for r in summary.results]
+        assert mean == pytest.approx(sum(values) / 2)
+
+    def test_empty_seeds_rejected(self):
+        config = stationary("static", 150.0, duration=100.0)
+        with pytest.raises(ValueError):
+            replicate(config, seeds=())

@@ -1,0 +1,107 @@
+"""Unit tests for the base-station control plane (Eqs. 5-6 protocol)."""
+
+import pytest
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.estimation.cache import CacheConfig
+from repro.traffic.classes import VIDEO, VOICE
+from repro.traffic.connection import Connection
+
+
+def make_network(num_cells=4):
+    return CellularNetwork(
+        LinearTopology(num_cells),
+        capacity=100.0,
+        cache_config=CacheConfig(interval=None),
+    )
+
+
+def attach(network, cell_id, traffic_class, entry_time, prev=None):
+    connection = Connection(
+        traffic_class,
+        start_time=entry_time,
+        cell_id=cell_id,
+        prev_cell=prev,
+        cell_entry_time=entry_time,
+    )
+    network.cell(cell_id).attach(connection)
+    return connection
+
+
+def test_neighbor_stations():
+    network = make_network()
+    station = network.station(0)
+    assert [s.cell_id for s in station.neighbor_stations()] == [3, 1]
+
+
+def test_outgoing_reservation_matches_eq5():
+    network = make_network()
+    station = network.station(1)
+    # All observed mobiles from scratch (prev=None) leave toward cell 0
+    # after exactly 10 s.
+    for index in range(10):
+        station.estimator.record_departure(float(index), None, 0, 10.0)
+    attach(network, 1, VIDEO, entry_time=95.0)  # extant sojourn 5 s
+    # t_est = 10 covers the sojourn-10 mass fully: p_h = 1.
+    assert station.outgoing_reservation(100.0, 0, 10.0) == pytest.approx(4.0)
+    # t_est = 4 -> window (5, 9]: no mass, p_h = 0.
+    assert station.outgoing_reservation(100.0, 0, 4.0) == 0.0
+
+
+def test_update_target_reservation_aggregates_neighbors():
+    network = make_network()
+    for neighbor in (1, 3):
+        station = network.station(neighbor)
+        for index in range(10):
+            station.estimator.record_departure(float(index), None, 0, 10.0)
+        attach(network, neighbor, VOICE, entry_time=95.0)
+    target = network.station(0)
+    target.window.t_est = 10.0
+    reservation = target.update_target_reservation(100.0)
+    assert reservation == pytest.approx(2.0)  # 1 BU from each side
+    assert network.cell(0).reserved_target == pytest.approx(2.0)
+    assert target.reservation_calculations == 1
+
+
+def test_update_counts_messages():
+    network = make_network()
+    station = network.station(0)
+    before = network.total_messages()
+    station.update_target_reservation(0.0)
+    # One announcement + one reply per neighbour.
+    assert network.total_messages() - before == 4
+
+
+def test_neighborhood_max_sojourn():
+    network = make_network()
+    network.station(1).estimator.record_departure(0.0, None, 0, 33.0)
+    network.station(3).estimator.record_departure(0.0, None, 0, 55.0)
+    network.station(2).estimator.record_departure(0.0, None, 1, 99.0)
+    # Cell 0's neighbours are 1 and 3; cell 2's history is irrelevant.
+    assert network.station(0).neighborhood_max_sojourn(10.0) == 55.0
+
+
+def test_on_handoff_arrival_feeds_controller():
+    network = make_network()
+    station = network.station(0)
+    network.station(1).estimator.record_departure(0.0, None, 0, 40.0)
+    for _ in range(2):
+        station.on_handoff_arrival(dropped=True, now=5.0)
+    assert station.window.total_drops == 2
+    assert station.window.t_est == 2.0  # bounded by max sojourn 40
+
+
+def test_record_departure_computes_sojourn():
+    network = make_network()
+    station = network.station(0)
+    station.record_departure(50.0, prev=3, next_cell=1, entry_time=20.0)
+    snapshot = station.estimator.function_for(50.0, 3)
+    assert snapshot.max_sojourn() == 30.0
+
+
+def test_t_est_property_reflects_controller():
+    network = make_network()
+    station = network.station(0)
+    station.window.t_est = 17.0
+    assert station.t_est == 17.0

@@ -1,0 +1,51 @@
+"""Unit tests for backhaul signaling accounting."""
+
+import pytest
+
+from repro.cellular.signaling import (
+    Interconnect,
+    SignalingAccountant,
+)
+
+
+def test_full_mesh_one_hop_per_message():
+    accountant = SignalingAccountant(Interconnect.FULL_MESH)
+    accountant.account(10)
+    report = accountant.report()
+    assert report.logical_messages == 10
+    assert report.transport_hops == 10
+    assert report.msc_transits == 0
+    assert report.hops_per_message() == 1.0
+
+
+def test_star_two_hops_via_msc():
+    accountant = SignalingAccountant(Interconnect.STAR)
+    accountant.account(10)
+    report = accountant.report()
+    assert report.transport_hops == 20
+    assert report.msc_transits == 10
+    assert report.hops_per_message() == 2.0
+
+
+def test_accumulates_over_calls():
+    accountant = SignalingAccountant(Interconnect.STAR)
+    accountant.account(3)
+    accountant.account(4)
+    assert accountant.report().logical_messages == 7
+    assert accountant.report().transport_hops == 14
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        SignalingAccountant().account(-1)
+
+
+def test_zero_messages_zero_ratio():
+    assert SignalingAccountant().report().hops_per_message() == 0.0
+
+
+def test_compare_covers_both_layouts():
+    reports = SignalingAccountant.compare(100)
+    assert set(reports) == {"star", "full_mesh"}
+    assert reports["star"].transport_hops == 200
+    assert reports["full_mesh"].transport_hops == 100

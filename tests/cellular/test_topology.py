@@ -1,0 +1,122 @@
+"""Unit tests for linear and hexagonal topologies."""
+
+import pytest
+
+from repro.cellular.topology import HexTopology, LinearTopology
+
+
+class TestLinearRing:
+    def test_neighbors_wrap(self):
+        topology = LinearTopology(10)
+        assert topology.neighbors(0) == (9, 1)
+        assert topology.neighbors(9) == (8, 0)
+        assert topology.neighbors(5) == (4, 6)
+
+    def test_cell_of_position(self):
+        topology = LinearTopology(10, cell_diameter_km=1.0)
+        assert topology.cell_of_position(0.0) == 0
+        assert topology.cell_of_position(0.999) == 0
+        assert topology.cell_of_position(1.0) == 1
+        assert topology.cell_of_position(9.5) == 9
+
+    def test_position_wraps_on_ring(self):
+        topology = LinearTopology(10)
+        assert topology.cell_of_position(10.5) == 0
+        assert topology.wrap_position(10.5) == 0.5
+        assert topology.wrap_position(-0.5) == 9.5
+
+    def test_never_off_road(self):
+        topology = LinearTopology(10)
+        assert not topology.off_road(-5.0)
+        assert not topology.off_road(100.0)
+
+    def test_cell_span(self):
+        topology = LinearTopology(10, cell_diameter_km=2.0)
+        assert topology.cell_span_km(3) == (6.0, 8.0)
+        assert topology.road_length_km == 20.0
+
+
+class TestLinearLine:
+    def test_border_neighbors(self):
+        topology = LinearTopology(10, ring=False)
+        assert topology.neighbors(0) == (1,)
+        assert topology.neighbors(9) == (8,)
+        assert topology.neighbors(4) == (3, 5)
+
+    def test_off_road_detection(self):
+        topology = LinearTopology(10, ring=False)
+        assert topology.off_road(-0.1)
+        assert topology.off_road(10.0)
+        assert not topology.off_road(5.0)
+
+    def test_wrap_is_identity(self):
+        topology = LinearTopology(10, ring=False)
+        assert topology.wrap_position(3.7) == 3.7
+
+
+class TestLinearValidation:
+    def test_too_few_cells(self):
+        with pytest.raises(ValueError):
+            LinearTopology(1)
+
+    def test_bad_diameter(self):
+        with pytest.raises(ValueError):
+            LinearTopology(10, cell_diameter_km=0.0)
+
+    def test_cell_id_out_of_range(self):
+        topology = LinearTopology(5)
+        with pytest.raises(ValueError):
+            topology.neighbors(5)
+        with pytest.raises(ValueError):
+            topology.cell_span_km(-1)
+
+    def test_position_outside_open_road(self):
+        topology = LinearTopology(5, ring=False)
+        with pytest.raises(ValueError):
+            topology.cell_of_position(7.0)
+
+
+class TestHex:
+    def test_interior_cell_has_six_neighbors(self):
+        topology = HexTopology(5, 5)
+        assert len(topology.neighbors(topology.cell_id(2, 2))) == 6
+
+    def test_corner_has_fewer_neighbors(self):
+        topology = HexTopology(5, 5)
+        assert len(topology.neighbors(topology.cell_id(0, 0))) < 6
+
+    def test_wrapped_grid_all_six(self):
+        topology = HexTopology(4, 4, wrap=True)
+        for cell_id in range(topology.num_cells):
+            assert len(topology.neighbors(cell_id)) == 6
+
+    def test_adjacency_symmetric(self):
+        for wrap in (False, True):
+            topology = HexTopology(4, 5, wrap=wrap)
+            for cell_id in range(topology.num_cells):
+                for neighbor in topology.neighbors(cell_id):
+                    assert cell_id in topology.neighbors(neighbor)
+
+    def test_no_self_loops(self):
+        topology = HexTopology(4, 3, wrap=True)
+        for cell_id in range(topology.num_cells):
+            assert cell_id not in topology.neighbors(cell_id)
+
+    def test_coordinates_roundtrip(self):
+        topology = HexTopology(3, 4)
+        for cell_id in range(topology.num_cells):
+            row, col = topology.coordinates(cell_id)
+            assert topology.cell_id(row, col) == cell_id
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            HexTopology(0, 5)
+
+    def test_out_of_range(self):
+        topology = HexTopology(3, 3)
+        with pytest.raises(ValueError):
+            topology.neighbors(9)
+        with pytest.raises(ValueError):
+            topology.cell_id(3, 0)
+        with pytest.raises(ValueError):
+            topology.coordinates(-1)

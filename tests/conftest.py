@@ -1,0 +1,13 @@
+"""Shared fixtures: keep global id counters isolated between tests."""
+
+import pytest
+
+from repro.mobility.mobile import reset_mobile_ids
+from repro.traffic.connection import reset_connection_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_id_counters():
+    reset_connection_ids()
+    reset_mobile_ids()
+    yield

@@ -1,0 +1,179 @@
+"""Unit tests for the Figure-6 estimation window controller."""
+
+import pytest
+
+from repro.core.window import (
+    EstimationWindowController,
+    StepPolicy,
+    WindowControllerConfig,
+)
+
+MAX_SOJ = 100.0
+
+
+def make(**kwargs):
+    return EstimationWindowController(WindowControllerConfig(**kwargs))
+
+
+class TestConfig:
+    def test_reference_window_is_ceil_inverse_target(self):
+        assert WindowControllerConfig(0.01).reference_window == 100
+        assert WindowControllerConfig(0.015).reference_window == 67
+        assert WindowControllerConfig(0.5).reference_window == 2
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            WindowControllerConfig(target_drop_probability=0.0)
+        with pytest.raises(ValueError):
+            WindowControllerConfig(target_drop_probability=1.0)
+
+    def test_initial_window_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            WindowControllerConfig(initial_window=0.5, min_window=1.0)
+
+
+class TestInitialState:
+    def test_initialisation_matches_pseudocode(self):
+        controller = make(target_drop_probability=0.01, initial_window=1.0)
+        assert controller.observation_window == 100
+        assert controller.t_est == 1.0
+        assert controller.handoffs == 0
+        assert controller.drops == 0
+
+
+class TestIncrease:
+    def test_first_drop_within_quota_no_increase(self):
+        # W_obs = w -> quota = 1: one drop is allowed.
+        controller = make()
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 1.0
+        assert controller.observation_window == 100
+
+    def test_second_drop_triggers_increase(self):
+        controller = make()
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 2.0
+        assert controller.observation_window == 200
+
+    def test_each_extra_drop_extends_window_and_t_est(self):
+        controller = make()
+        for _ in range(5):
+            controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        # Drops 2..5 each exceed the growing quota (1, 2, 3, 4).
+        assert controller.t_est == 5.0
+        assert controller.observation_window == 500
+
+    def test_t_est_bounded_by_max_sojourn(self):
+        controller = make()
+        for _ in range(50):
+            controller.on_handoff(dropped=True, max_sojourn=3.0)
+        assert controller.t_est == 3.0
+
+    def test_no_increase_when_no_history(self):
+        # max_sojourn 0 (empty estimators): T_est must stay at minimum.
+        controller = make()
+        for _ in range(10):
+            controller.on_handoff(dropped=True, max_sojourn=0.0)
+        assert controller.t_est == 1.0
+
+
+class TestDecrease:
+    def test_quiet_window_decreases_t_est(self):
+        controller = make()
+        # Drive T_est up to 3 first.
+        for _ in range(3):
+            controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 3.0
+        window = controller.observation_window
+        for _ in range(int(window) + 1):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 2.0
+        assert controller.observation_window == 100
+        # Counters were reset mid-loop; only post-reset hand-offs remain.
+        assert controller.drops == 0
+        assert controller.handoffs < 4
+
+    def test_t_est_never_below_one(self):
+        controller = make()
+        for _ in range(301):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 1.0
+
+    def test_inclusive_decrement_allows_exact_quota(self):
+        controller = make(inclusive_decrement=True)
+        for _ in range(2):
+            controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 2.0
+        # W_obs = 200 -> quota = 2 and we have exactly 2 drops: the
+        # inclusive rule (prose of §4.2) still decrements.
+        for _ in range(int(controller.observation_window) + 1):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        assert controller.t_est == 1.0
+
+    def test_strict_decrement_blocks_exact_quota(self):
+        controller = make(inclusive_decrement=False)
+        for _ in range(2):
+            controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        start = controller.t_est
+        # Exactly quota drops (W_obs=200 -> quota=2, already have 2).
+        for _ in range(int(controller.observation_window) + 1):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        assert controller.t_est == start  # no decrement under strict <
+
+
+class TestCounters:
+    def test_totals_accumulate_across_windows(self):
+        controller = make()
+        for _ in range(150):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+        assert controller.total_handoffs == 151
+        assert controller.total_drops == 1
+        assert controller.drop_ratio == pytest.approx(1 / 151)
+
+    def test_drop_ratio_zero_without_handoffs(self):
+        assert make().drop_ratio == 0.0
+
+    def test_adjustments_record_direction_and_time(self):
+        controller = make()
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ, now=5.0)
+        controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ, now=9.0)
+        assert len(controller.adjustments) == 1
+        adjustment = controller.adjustments[0]
+        assert adjustment.time == 9.0
+        assert adjustment.increased
+        assert adjustment.new_window == 2.0
+
+
+class TestStepPolicies:
+    def drive_up(self, controller, drops):
+        for _ in range(drops):
+            controller.on_handoff(dropped=True, max_sojourn=MAX_SOJ)
+
+    def test_additive_steps_grow(self):
+        controller = make(step_policy=StepPolicy.ADDITIVE)
+        self.drive_up(controller, 4)
+        # Steps 1, 2, 3 after the free first drop -> T_est = 1+1+2+3.
+        assert controller.t_est == 7.0
+
+    def test_multiplicative_steps_grow(self):
+        controller = make(step_policy=StepPolicy.MULTIPLICATIVE)
+        self.drive_up(controller, 4)
+        # Steps 1, 2, 4 -> T_est = 1+1+2+4.
+        assert controller.t_est == 8.0
+
+    def test_direction_change_resets_step(self):
+        controller = make(step_policy=StepPolicy.ADDITIVE)
+        self.drive_up(controller, 4)
+        top = controller.t_est
+        window = controller.observation_window
+        for _ in range(int(window) + 1):
+            controller.on_handoff(dropped=False, max_sojourn=MAX_SOJ)
+        # First decrement after the direction change is a unit step.
+        assert controller.t_est == top - 1.0
+
+    def test_unit_policy_constant_steps(self):
+        controller = make(step_policy=StepPolicy.UNIT)
+        self.drive_up(controller, 6)
+        assert controller.t_est == 6.0

@@ -1,0 +1,173 @@
+"""Unit tests for the generator-process layer."""
+
+import pytest
+
+from repro.des import Engine
+from repro.des.process import ProcessRunner, Timeout, Waitable
+
+
+def make():
+    engine = Engine()
+    return engine, ProcessRunner(engine)
+
+
+def test_timeout_advances_clock():
+    engine, runner = make()
+    log = []
+
+    def worker():
+        yield Timeout(2.0)
+        log.append(engine.now)
+        yield Timeout(3.0)
+        log.append(engine.now)
+
+    runner.start(worker())
+    engine.run()
+    assert log == [2.0, 5.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_zero_timeout_allowed():
+    engine, runner = make()
+    log = []
+
+    def worker():
+        yield Timeout(0.0)
+        log.append(engine.now)
+
+    runner.start(worker())
+    engine.run()
+    assert log == [0.0]
+
+
+def test_process_return_value_on_done():
+    engine, runner = make()
+
+    def worker():
+        yield Timeout(1.0)
+        return 42
+
+    process = runner.start(worker())
+    engine.run()
+    assert process.done.triggered
+    assert process.done.value == 42
+    assert not process.alive
+
+
+def test_waitable_resumes_waiters():
+    engine, runner = make()
+    log = []
+    condition = Waitable(engine)
+
+    def waiter():
+        value = yield condition
+        log.append((engine.now, value))
+
+    def trigger():
+        yield Timeout(5.0)
+        condition.succeed("ready")
+
+    runner.start(waiter())
+    runner.start(trigger())
+    engine.run()
+    assert log == [(5.0, "ready")]
+
+
+def test_waitable_multiple_waiters():
+    engine, runner = make()
+    log = []
+    condition = Waitable(engine)
+
+    def waiter(name):
+        yield condition
+        log.append(name)
+
+    runner.start(waiter("a"))
+    runner.start(waiter("b"))
+    engine.call_at(1.0, condition.succeed)
+    engine.run()
+    assert sorted(log) == ["a", "b"]
+
+
+def test_waiting_on_already_triggered_waitable():
+    engine, runner = make()
+    condition = Waitable(engine)
+    condition.succeed("early")
+    log = []
+
+    def waiter():
+        value = yield condition
+        log.append(value)
+
+    runner.start(waiter())
+    engine.run()
+    assert log == ["early"]
+
+
+def test_double_trigger_raises():
+    engine = Engine()
+    condition = Waitable(engine)
+    condition.succeed()
+    with pytest.raises(RuntimeError):
+        condition.succeed()
+
+
+def test_process_waits_on_process():
+    engine, runner = make()
+    log = []
+
+    def child():
+        yield Timeout(3.0)
+        return "child-result"
+
+    def parent():
+        result = yield runner.start(child())
+        log.append((engine.now, result))
+
+    runner.start(parent())
+    engine.run()
+    assert log == [(3.0, "child-result")]
+
+
+def test_interrupt_stops_process():
+    engine, runner = make()
+    log = []
+
+    def worker():
+        yield Timeout(1.0)
+        log.append("should not happen")
+
+    process = runner.start(worker())
+    process.interrupt()
+    engine.run()
+    assert log == []
+    assert not process.alive
+
+
+def test_yielding_garbage_raises():
+    engine, runner = make()
+
+    def worker():
+        yield "nonsense"
+
+    runner.start(worker())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_start_all():
+    engine, runner = make()
+    log = []
+
+    def worker(name):
+        yield Timeout(1.0)
+        log.append(name)
+
+    processes = runner.start_all(worker(name) for name in ("x", "y", "z"))
+    engine.run()
+    assert len(processes) == 3
+    assert sorted(log) == ["x", "y", "z"]

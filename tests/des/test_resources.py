@@ -1,0 +1,176 @@
+"""Unit tests for the DES queueing primitives."""
+
+import pytest
+
+from repro.des import Engine
+from repro.des.process import ProcessRunner, Timeout
+from repro.des.resources import Container, Resource, Store
+
+
+def make():
+    engine = Engine()
+    return engine, ProcessRunner(engine)
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        assert resource.request().triggered
+        assert resource.request().triggered
+        assert not resource.request().triggered
+        assert resource.queue_length == 1
+        assert resource.available == 0
+
+    def test_release_hands_to_waiter_fifo(self):
+        engine, runner = make()
+        resource = Resource(engine, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield resource.request()
+            order.append(("start", name, engine.now))
+            yield Timeout(hold)
+            resource.release()
+
+        runner.start(worker("a", 5.0))
+        runner.start(worker("b", 5.0))
+        runner.start(worker("c", 5.0))
+        engine.run()
+        assert [entry[1] for entry in order] == ["a", "b", "c"]
+        assert [entry[2] for entry in order] == [0.0, 5.0, 10.0]
+
+    def test_release_without_request_raises(self):
+        resource = Resource(Engine(), capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+    def test_mm1_like_utilisation(self):
+        """Single server, deterministic load: utilisation arithmetic."""
+        engine, runner = make()
+        resource = Resource(engine, capacity=1)
+        served = []
+
+        def customer(arrival):
+            yield Timeout(arrival)
+            yield resource.request()
+            yield Timeout(2.0)
+            resource.release()
+            served.append(engine.now)
+
+        for index in range(5):
+            runner.start(customer(index * 1.0))
+        engine.run()
+        # Arrivals every 1 s, service 2 s: departures 2, 4, 6, 8, 10.
+        assert served == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+
+class TestContainer:
+    def test_initial_level_validation(self):
+        with pytest.raises(ValueError):
+            Container(Engine(), capacity=0.0)
+        with pytest.raises(ValueError):
+            Container(Engine(), capacity=10.0, initial=11.0)
+
+    def test_get_when_available_is_immediate(self):
+        container = Container(Engine(), 10.0, initial=5.0)
+        grant = container.get(3.0)
+        assert grant.triggered
+        assert container.level == 2.0
+
+    def test_get_blocks_until_put(self):
+        engine, runner = make()
+        container = Container(engine, 10.0)
+        got = []
+
+        def consumer():
+            yield container.get(4.0)
+            got.append(engine.now)
+
+        def producer():
+            yield Timeout(3.0)
+            container.put(2.0)
+            yield Timeout(3.0)
+            container.put(2.0)
+
+        runner.start(consumer())
+        runner.start(producer())
+        engine.run()
+        assert got == [6.0]
+
+    def test_put_clamped_at_capacity(self):
+        container = Container(Engine(), 10.0, initial=8.0)
+        container.put(5.0)
+        assert container.level == 10.0
+
+    def test_fifo_getters(self):
+        engine = Engine()
+        container = Container(engine, 10.0)
+        first = container.get(4.0)
+        second = container.get(1.0)
+        container.put(4.5)
+        # Strict FIFO: the big request is served first; the small one
+        # must wait even though the residue would cover it.
+        assert first.triggered
+        assert not second.triggered
+        container.put(0.5)
+        assert second.triggered
+
+    def test_invalid_amounts(self):
+        container = Container(Engine(), 10.0)
+        with pytest.raises(ValueError):
+            container.get(-1.0)
+        with pytest.raises(ValueError):
+            container.get(11.0)
+        with pytest.raises(ValueError):
+            container.put(-1.0)
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        engine = Engine()
+        store = Store(engine)
+        store.put("x")
+        store.put("y")
+        assert store.get().value == "x"
+        assert store.get().value == "y"
+
+    def test_get_blocks_until_item(self):
+        engine, runner = make()
+        store = Store(engine)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((item, engine.now))
+
+        def producer():
+            yield Timeout(4.0)
+            store.put("late")
+
+        runner.start(consumer())
+        runner.start(producer())
+        engine.run()
+        assert received == [("late", 4.0)]
+
+    def test_put_bypasses_buffer_for_waiting_getter(self):
+        engine = Engine()
+        store = Store(engine, capacity=1)
+        waitable = store.get()
+        store.put("direct")
+        assert waitable.triggered and waitable.value == "direct"
+        assert len(store) == 0
+
+    def test_bounded_store_overflows_loudly(self):
+        store = Store(Engine(), capacity=1)
+        store.put(1)
+        with pytest.raises(OverflowError):
+            store.put(2)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Engine(), capacity=0)

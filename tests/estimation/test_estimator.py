@@ -1,0 +1,177 @@
+"""Unit tests for the Bayes hand-off probability estimator (Eq. 4)."""
+
+import pytest
+
+from repro.estimation.cache import CacheConfig
+from repro.estimation.estimator import KnownPathEstimator, MobilityEstimator
+
+
+def make_estimator(**config_kwargs):
+    defaults = {"interval": None}
+    defaults.update(config_kwargs)
+    return MobilityEstimator(CacheConfig(**defaults))
+
+
+def populated_estimator():
+    """History for prev=1: sojourns 10,20 -> cell 2; 30,40 -> cell 3."""
+    estimator = make_estimator()
+    estimator.record_departure(100.0, 1, 2, 10.0)
+    estimator.record_departure(101.0, 1, 2, 20.0)
+    estimator.record_departure(102.0, 1, 3, 30.0)
+    estimator.record_departure(103.0, 1, 3, 40.0)
+    return estimator
+
+
+class TestEquation4:
+    def test_fresh_extant_full_window(self):
+        estimator = populated_estimator()
+        # extant=0, t_est=50 covers every observation: 2/4 toward cell 2.
+        assert estimator.handoff_probability(200.0, 1, 0.0, 2, 50.0) == 0.5
+        assert estimator.handoff_probability(200.0, 1, 0.0, 3, 50.0) == 0.5
+
+    def test_numerator_window_limits(self):
+        estimator = populated_estimator()
+        # extant=0, t_est=15 only covers the sojourn-10 observation.
+        assert estimator.handoff_probability(200.0, 1, 0.0, 2, 15.0) == 0.25
+        assert estimator.handoff_probability(200.0, 1, 0.0, 3, 15.0) == 0.0
+
+    def test_conditioning_on_extant_sojourn(self):
+        estimator = populated_estimator()
+        # extant=25: only sojourns {30, 40} remain possible -> all to 3.
+        assert estimator.handoff_probability(200.0, 1, 25.0, 3, 100.0) == 1.0
+        assert estimator.handoff_probability(200.0, 1, 25.0, 2, 100.0) == 0.0
+
+    def test_bayes_update_partial(self):
+        estimator = populated_estimator()
+        # extant=15: remaining {20->2, 30->3, 40->3}; t_est=10 covers 20.
+        probability = estimator.handoff_probability(200.0, 1, 15.0, 2, 10.0)
+        assert probability == pytest.approx(1.0 / 3.0)
+
+    def test_stationary_when_extant_exceeds_history(self):
+        estimator = populated_estimator()
+        assert estimator.is_stationary(200.0, 1, 45.0)
+        assert estimator.handoff_probability(200.0, 1, 45.0, 2, 100.0) == 0.0
+        assert estimator.handoff_probability(200.0, 1, 45.0, 3, 100.0) == 0.0
+
+    def test_unknown_prev_has_no_history(self):
+        estimator = populated_estimator()
+        assert estimator.is_stationary(200.0, 9, 0.0)
+        assert estimator.handoff_probability(200.0, 9, 0.0, 2, 100.0) == 0.0
+
+    def test_zero_t_est_zero_probability(self):
+        estimator = populated_estimator()
+        assert estimator.handoff_probability(200.0, 1, 0.0, 2, 0.0) == 0.0
+
+    def test_monotone_in_t_est(self):
+        estimator = populated_estimator()
+        values = [
+            estimator.handoff_probability(200.0, 1, 0.0, 3, t_est)
+            for t_est in (5.0, 25.0, 35.0, 50.0)
+        ]
+        assert values == sorted(values)
+
+    def test_probabilities_sum_to_at_most_one(self):
+        estimator = populated_estimator()
+        probabilities = estimator.handoff_probabilities(200.0, 1, 5.0, 100.0)
+        assert sum(probabilities.values()) <= 1.0 + 1e-9
+
+    def test_probabilities_dict_matches_scalar(self):
+        estimator = populated_estimator()
+        probabilities = estimator.handoff_probabilities(200.0, 1, 0.0, 15.0)
+        assert probabilities == {
+            2: estimator.handoff_probability(200.0, 1, 0.0, 2, 15.0)
+        }
+
+
+class TestBatchEquation5:
+    class FakeConnection:
+        def __init__(self, bandwidth, prev_cell, cell_entry_time):
+            self.bandwidth = bandwidth
+            self.prev_cell = prev_cell
+            self.cell_entry_time = cell_entry_time
+
+    def test_batch_matches_per_connection_sum(self):
+        estimator = populated_estimator()
+        now = 200.0
+        connections = [
+            self.FakeConnection(1.0, 1, 195.0),
+            self.FakeConnection(4.0, 1, 180.0),
+            self.FakeConnection(2.0, 1, 150.0),
+            self.FakeConnection(1.0, 9, 190.0),  # unknown prev
+        ]
+        t_est = 12.0
+        expected = sum(
+            connection.bandwidth
+            * estimator.handoff_probability(
+                now,
+                connection.prev_cell,
+                now - connection.cell_entry_time,
+                2,
+                t_est,
+            )
+            for connection in connections
+        )
+        got = estimator.expected_bandwidth(now, connections, 2, t_est)
+        assert got == pytest.approx(expected)
+
+    def test_batch_zero_when_t_est_zero(self):
+        estimator = populated_estimator()
+        connections = [self.FakeConnection(1.0, 1, 195.0)]
+        assert estimator.expected_bandwidth(200.0, connections, 2, 0.0) == 0.0
+
+
+class TestSnapshotLifecycle:
+    def test_new_recording_invalidates_snapshot(self):
+        estimator = make_estimator()
+        estimator.record_departure(10.0, 1, 2, 5.0)
+        assert estimator.handoff_probability(20.0, 1, 0.0, 2, 10.0) == 1.0
+        estimator.record_departure(21.0, 1, 3, 5.0)
+        assert estimator.handoff_probability(30.0, 1, 0.0, 2, 10.0) == 0.5
+
+    def test_finite_interval_snapshot_ages_out(self):
+        estimator = MobilityEstimator(
+            CacheConfig(interval=100.0), rebuild_interval=10.0
+        )
+        estimator.record_departure(10.0, 1, 2, 5.0)
+        assert estimator.handoff_probability(20.0, 1, 0.0, 2, 10.0) == 1.0
+        # 200 s later the quadruplet left the window; the stale snapshot
+        # must be rebuilt (rebuild_interval passed).
+        assert estimator.handoff_probability(220.0, 1, 0.0, 2, 10.0) == 0.0
+
+    def test_max_sojourn_across_prevs(self):
+        estimator = make_estimator()
+        estimator.record_departure(10.0, 1, 2, 5.0)
+        estimator.record_departure(11.0, 4, 2, 55.0)
+        estimator.record_departure(12.0, None, 3, 25.0)
+        assert estimator.max_sojourn(20.0) == 55.0
+
+    def test_max_sojourn_empty(self):
+        assert make_estimator().max_sojourn(0.0) == 0.0
+
+
+class TestKnownPathEstimator:
+    def test_mass_concentrates_on_known_next(self):
+        estimator = KnownPathEstimator(CacheConfig(interval=None))
+        estimator.record_departure(10.0, 1, 2, 10.0)
+        estimator.record_departure(11.0, 1, 3, 20.0)
+        # Route guidance says next=3: sojourn marginal over all history.
+        probability = estimator.handoff_probability_known_next(
+            100.0, 1, 0.0, 3, 15.0, actual_next=3
+        )
+        assert probability == 0.5  # only the sojourn-10 mass is in window
+        assert (
+            estimator.handoff_probability_known_next(
+                100.0, 1, 0.0, 3, 15.0, actual_next=2
+            )
+            == 0.0
+        )
+
+    def test_stationary_still_zero(self):
+        estimator = KnownPathEstimator(CacheConfig(interval=None))
+        estimator.record_departure(10.0, 1, 2, 10.0)
+        assert (
+            estimator.handoff_probability_known_next(
+                100.0, 1, 50.0, 2, 15.0, actual_next=2
+            )
+            == 0.0
+        )

@@ -1,0 +1,100 @@
+"""CI-sized runs of every registered experiment.
+
+These use tiny horizons: they check structure (series present, values
+plausible), not statistical agreement — EXPERIMENTS.md records the
+full-scale numbers.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.sweeps import (
+    run_fig07_static,
+    run_fig08_fig09_ac3,
+    run_fig12_fig13_comparison,
+)
+from repro.experiments.celltables import run_table2, run_table3
+from repro.experiments.timevarying import run_fig14
+from repro.experiments.traces import run_fig10_fig11
+
+SHORT = 120.0
+LOADS = (100.0, 300.0)
+
+
+def test_registry_covers_every_paper_artifact():
+    for name in (
+        "fig7", "fig8+9", "fig10+11", "fig12+13", "fig14",
+        "table2", "table3",
+    ):
+        assert name in EXPERIMENTS
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+def test_fig07_structure():
+    output = run_fig07_static(
+        loads=LOADS, voice_ratios=(1.0,), duration=SHORT
+    )
+    names = [series.name for series in output.series]
+    assert names == ["PCB Rvo=1", "PHD Rvo=1"]
+    for series in output.series:
+        assert [x for x, _ in series.points] == list(LOADS)
+        assert all(0.0 <= y <= 1.0 for _, y in series.points)
+
+
+def test_fig08_09_share_one_sweep():
+    fig8, fig9 = run_fig08_fig09_ac3(
+        loads=LOADS, voice_ratios=(1.0,), duration=SHORT
+    )
+    assert fig8.experiment_id == "fig8"
+    assert fig9.experiment_id == "fig9"
+    assert {series.name for series in fig9.series} == {"Br Rvo=1", "Bu Rvo=1"}
+    reservation = fig9.series_by_name("Br Rvo=1").points
+    assert all(value >= 0.0 for _, value in reservation)
+
+
+def test_fig12_13_cover_three_schemes():
+    fig12, fig13 = run_fig12_fig13_comparison(loads=(200.0,), duration=SHORT)
+    assert len(fig12.series) == 6
+    ncalc = {
+        series.name: series.points[0][1] for series in fig13.series
+    }
+    assert ncalc["Ncalc AC1"] == pytest.approx(1.0)
+    assert ncalc["Ncalc AC2"] == pytest.approx(3.0)
+    assert 1.0 <= ncalc["Ncalc AC3"] <= 3.0
+
+
+def test_fig10_11_traces():
+    fig10, fig11 = run_fig10_fig11(duration=SHORT)
+    assert any(series.name.startswith("Test") for series in fig10.series)
+    assert any(series.name.startswith("Br") for series in fig10.series)
+    assert len(fig11.series) == 2
+    for series in fig11.series:
+        assert all(0.0 <= value <= 1.0 for _, value in series.points)
+
+
+def test_table2_contains_both_schemes():
+    output = run_table2(duration=SHORT)
+    assert set(output.tables) == {"(AC1)", "(AC3)"}
+    table = output.tables["(AC3)"]
+    assert table.headers == ["Cell", "PCB", "PHD", "Test", "Br", "Bu"]
+    assert len(table.rows) == 10
+    assert [row[0] for row in table.rows] == list(range(1, 11))
+
+
+def test_table3_first_cell_no_drops():
+    output = run_table3(duration=SHORT)
+    for scheme in ("(AC1)", "(AC3)"):
+        first_row = output.tables[scheme].rows[0]
+        assert first_row[2] == 0.0  # PHD at cell <1>
+
+
+def test_fig14_structure():
+    output = run_fig14(schemes=("AC3",), days=1.0, time_compression=288.0)
+    names = {series.name for series in output.series}
+    assert {"profile speed", "profile Lo", "PCB AC3", "PHD AC3",
+            "La AC3"} <= names
+    assert len(output.series_by_name("profile speed").points) == 24

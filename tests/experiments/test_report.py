@@ -1,0 +1,69 @@
+"""Unit tests for the report rendering layer."""
+
+import pytest
+
+from repro.experiments.report import (
+    ExperimentOutput,
+    Series,
+    Table,
+    probability_series,
+)
+
+
+def test_table_renders_aligned_columns():
+    table = Table(headers=["a", "bb"], rows=[[1, 2.5], ["long-cell", 3]])
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0].startswith("a")
+    assert "---" in lines[1]
+    assert "long-cell" in lines[3]
+    # Every row padded to the same width.
+    assert len({len(line) for line in lines if line.strip()}) == 1
+
+
+def test_table_formats_small_floats_scientifically():
+    table = Table(headers=["v"], rows=[[0.00123]])
+    assert "1.230e-03" in table.render()
+
+
+def test_table_formats_zero_plainly():
+    table = Table(headers=["v"], rows=[[0.0]])
+    assert "e-" not in table.render()
+
+
+def test_series_render_contains_points():
+    series = Series("PCB", [(60.0, 0.1), (100.0, 0.2)])
+    rendered = series.render(x_label="load", y_label="PCB")
+    assert "[PCB]" in rendered
+    assert "60" in rendered and "0.2" in rendered
+
+
+def test_probability_series_coerces_floats():
+    series = probability_series("x", [(60, 1), (100, 0)])
+    assert series.points == [(60.0, 1.0), (100.0, 0.0)]
+
+
+def test_output_render_sections():
+    output = ExperimentOutput(
+        "fig1",
+        "A title",
+        parameters={"duration": 10},
+        series=[Series("s", [(1.0, 2.0)])],
+        tables={"t": Table(["h"], [[1]])},
+        notes=["something"],
+    )
+    rendered = output.render()
+    assert "=== fig1: A title ===" in rendered
+    assert "duration=10" in rendered
+    assert "[s]" in rendered
+    assert "[t]" in rendered
+    assert "note: something" in rendered
+
+
+def test_series_by_name():
+    output = ExperimentOutput(
+        "fig1", "t", series=[Series("a", []), Series("b", [(1.0, 1.0)])]
+    )
+    assert output.series_by_name("b").points == [(1.0, 1.0)]
+    with pytest.raises(KeyError):
+        output.series_by_name("c")

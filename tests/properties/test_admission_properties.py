@@ -1,0 +1,110 @@
+"""Property-based tests across the admission-control schemes.
+
+The three schemes differ only in which cells participate in the test,
+so on *identical* network states their decisions are ordered:
+AC2 admits ⇒ AC3 admits ⇒ AC1 admits (each drops constraints).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.core.admission import AC1, AC2, AC3
+from repro.estimation.cache import CacheConfig
+from repro.traffic.classes import VIDEO, VOICE
+from repro.traffic.connection import Connection
+
+cell_loads = st.lists(
+    st.integers(min_value=0, max_value=24),  # video connections: 0..96 BUs
+    min_size=4,
+    max_size=4,
+)
+histories = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # observing cell
+        st.integers(min_value=0, max_value=3),  # next cell
+        st.floats(min_value=1.0, max_value=120.0),  # sojourn
+    ),
+    max_size=25,
+)
+entry_ages = st.floats(min_value=0.0, max_value=100.0)
+
+
+def build_network(loads, history, t_est_values, now=1000.0):
+    network = CellularNetwork(
+        LinearTopology(4),
+        capacity=100.0,
+        cache_config=CacheConfig(interval=None),
+    )
+    for index, (observer, next_cell, sojourn) in enumerate(history):
+        if next_cell == observer:
+            next_cell = (observer + 1) % 4
+        network.station(observer).estimator.record_departure(
+            float(index), None, next_cell, sojourn
+        )
+    for cell_id, videos in enumerate(loads):
+        for offset in range(videos):
+            connection = Connection(
+                VIDEO,
+                start_time=0.0,
+                cell_id=cell_id,
+                prev_cell=None,
+                cell_entry_time=now - 10.0 - offset,
+            )
+            network.cell(cell_id).attach(connection)
+    for cell_id, t_est in enumerate(t_est_values):
+        network.station(cell_id).window.t_est = t_est
+    return network
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cell_loads,
+    histories,
+    st.lists(
+        st.floats(min_value=1.0, max_value=60.0), min_size=4, max_size=4
+    ),
+)
+def test_admission_strictness_ordering(loads, history, t_est_values):
+    now = 1000.0
+    decisions = {}
+    for name, policy in (("AC1", AC1()), ("AC2", AC2()), ("AC3", AC3())):
+        network = build_network(loads, history, t_est_values, now)
+        decisions[name] = policy.admit_new(network, 0, VOICE.bandwidth, now)
+    if decisions["AC2"].admitted:
+        assert decisions["AC3"].admitted
+    if decisions["AC3"].admitted:
+        assert decisions["AC1"].admitted
+    # Complexity ordering always holds.
+    assert decisions["AC1"].calculations == 1
+    assert decisions["AC2"].calculations == 3
+    assert 1 <= decisions["AC3"].calculations <= 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(cell_loads, histories)
+def test_reservation_nonnegative_and_bounded(loads, history):
+    network = build_network(loads, history, [30.0] * 4)
+    for station in network.stations:
+        reservation = station.update_target_reservation(1000.0)
+        assert reservation >= 0.0
+        # Eq. 6 cannot exceed the total bandwidth of the neighbours'
+        # connections (every p_h <= 1).
+        bound = sum(
+            neighbor.cell.used_bandwidth
+            for neighbor in station.neighbor_stations()
+        )
+        assert reservation <= bound + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(cell_loads, histories)
+def test_reservation_monotone_in_t_est(loads, history):
+    """B_r is non-decreasing in the estimation window (paper §4.1)."""
+    previous = -1.0
+    for t_est in (1.0, 10.0, 40.0, 200.0):
+        network = build_network(loads, history, [t_est] * 4)
+        reservation = network.station(0).update_target_reservation(1000.0)
+        assert reservation >= previous - 1e-9
+        previous = reservation

@@ -1,0 +1,100 @@
+"""Property-based tests for the window controller and cell accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.cell import CapacityError, Cell
+from repro.core.window import (
+    EstimationWindowController,
+    StepPolicy,
+    WindowControllerConfig,
+)
+
+handoff_sequences = st.lists(st.booleans(), min_size=0, max_size=400)
+targets = st.sampled_from([0.01, 0.02, 0.05, 0.2])
+max_sojourns = st.floats(min_value=0.0, max_value=500.0)
+
+
+@given(handoff_sequences, targets, max_sojourns)
+def test_t_est_always_within_bounds(drops, target, max_sojourn):
+    controller = EstimationWindowController(
+        WindowControllerConfig(target_drop_probability=target)
+    )
+    for dropped in drops:
+        controller.on_handoff(dropped, max_sojourn)
+        assert controller.t_est >= controller.config.min_window
+        assert controller.t_est <= max(
+            max_sojourn, controller.config.initial_window,
+            controller.config.min_window,
+        )
+
+
+@given(handoff_sequences, targets)
+def test_counters_are_consistent(drops, target):
+    controller = EstimationWindowController(
+        WindowControllerConfig(target_drop_probability=target)
+    )
+    for dropped in drops:
+        controller.on_handoff(dropped, 100.0)
+    assert controller.total_handoffs == len(drops)
+    assert controller.total_drops == sum(drops)
+    assert controller.drops <= controller.total_drops
+    assert controller.handoffs <= controller.total_handoffs
+    assert controller.observation_window % controller.reference == 0
+
+
+@given(handoff_sequences)
+def test_every_increase_coincides_with_a_drop(drops):
+    controller = EstimationWindowController(WindowControllerConfig())
+    increases = 0
+    for dropped in drops:
+        before = controller.t_est
+        controller.on_handoff(dropped, 1_000.0)
+        if controller.t_est > before:
+            increases += 1
+            assert dropped
+    assert increases == sum(
+        1 for adjustment in controller.adjustments if adjustment.increased
+    )
+
+
+@settings(max_examples=50)
+@given(
+    handoff_sequences,
+    st.sampled_from(list(StepPolicy)),
+)
+def test_step_policies_respect_bounds_too(drops, policy):
+    controller = EstimationWindowController(
+        WindowControllerConfig(step_policy=policy)
+    )
+    for dropped in drops:
+        controller.on_handoff(dropped, 50.0)
+        assert 1.0 <= controller.t_est <= 50.0
+
+
+bandwidths = st.sampled_from([1.0, 4.0])
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(bandwidths, st.booleans()), max_size=120))
+def test_cell_accounting_invariant(operations):
+    """Random attach/detach interleavings keep 0 <= used <= C."""
+    from repro.traffic.classes import VIDEO, VOICE
+    from repro.traffic.connection import Connection
+
+    cell = Cell(0, 100.0)
+    attached = []
+    for bandwidth, is_attach in operations:
+        if is_attach:
+            connection = Connection(
+                VOICE if bandwidth == 1.0 else VIDEO, 0.0, 0
+            )
+            try:
+                cell.attach(connection)
+                attached.append(connection)
+            except CapacityError:
+                assert cell.used_bandwidth + bandwidth > cell.capacity
+        elif attached:
+            cell.detach(attached.pop())
+        assert 0.0 <= cell.used_bandwidth <= cell.capacity + 1e-9
+        assert cell.used_bandwidth == sum(c.bandwidth for c in attached)

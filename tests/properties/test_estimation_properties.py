@@ -1,0 +1,125 @@
+"""Property-based tests for the estimation stack (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.cache import CacheConfig, QuadrupletCache
+from repro.estimation.estimator import MobilityEstimator
+from repro.estimation.function import HandoffEstimationFunction
+from repro.estimation.quadruplet import HandoffQuadruplet
+
+sojourns = st.floats(
+    min_value=0.0, max_value=10_000.0, allow_nan=False, allow_infinity=False
+)
+next_cells = st.integers(min_value=0, max_value=5)
+
+observation = st.tuples(sojourns, next_cells)
+observations = st.lists(observation, min_size=0, max_size=60)
+
+
+def build_estimator(items):
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    for index, (sojourn, next_cell) in enumerate(items):
+        estimator.record_departure(float(index), 1, next_cell, sojourn)
+    return estimator
+
+
+@given(observations, sojourns, sojourns, next_cells)
+def test_probability_in_unit_interval(items, extant, t_est, next_cell):
+    estimator = build_estimator(items)
+    probability = estimator.handoff_probability(
+        1e6, 1, extant, next_cell, t_est
+    )
+    assert 0.0 <= probability <= 1.0
+    assert not math.isnan(probability)
+
+
+@given(observations, sojourns, sojourns)
+def test_probabilities_sum_to_at_most_one(items, extant, t_est):
+    estimator = build_estimator(items)
+    total = sum(
+        estimator.handoff_probabilities(1e6, 1, extant, t_est).values()
+    )
+    assert total <= 1.0 + 1e-9
+
+
+@given(observations, sojourns, next_cells)
+def test_monotone_in_t_est(items, extant, next_cell):
+    estimator = build_estimator(items)
+    previous = 0.0
+    for t_est in (1.0, 10.0, 100.0, 1_000.0, 100_000.0):
+        value = estimator.handoff_probability(
+            1e6, 1, extant, next_cell, t_est
+        )
+        assert value >= previous - 1e-12
+        previous = value
+
+
+@given(observations, sojourns)
+def test_stationary_iff_no_mass_beyond_extant(items, extant):
+    estimator = build_estimator(items)
+    has_longer = any(sojourn > extant for sojourn, _next in items)
+    assert estimator.is_stationary(1e6, 1, extant) == (not has_longer)
+
+
+@given(observations, sojourns, sojourns)
+def test_full_window_probabilities_sum_to_one(items, extant, _unused):
+    """With t_est covering all mass, the conditional masses sum to 1."""
+    estimator = build_estimator(items)
+    if estimator.is_stationary(1e6, 1, extant):
+        return
+    total = sum(
+        estimator.handoff_probabilities(1e6, 1, extant, 1e9).values()
+    )
+    assert abs(total - 1.0) < 1e-9
+
+
+@given(observations)
+def test_max_sojourn_matches_history(items):
+    estimator = build_estimator(items)
+    expected = max((sojourn for sojourn, _ in items), default=0.0)
+    assert estimator.max_sojourn(1e6) == expected
+
+
+@given(observations, sojourns, sojourns)
+def test_union_mass_equals_sum_of_parts(items, low, span):
+    snapshot = HandoffEstimationFunction(
+        build_estimator(items).cache.active(1e6, 1)
+    )
+    high = low + abs(span)
+    per_cell = sum(
+        snapshot.mass_between(next_cell, low, high)
+        for next_cell in snapshot.next_cells()
+    )
+    assert abs(per_cell - snapshot.total_mass_between(low, high)) < 1e-6
+    per_cell_above = sum(
+        snapshot.mass_above(next_cell, low)
+        for next_cell in snapshot.next_cells()
+    )
+    assert abs(per_cell_above - snapshot.total_mass_above(low)) < 1e-6
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=200_000.0),
+            sojourns,
+        ),
+        min_size=0,
+        max_size=40,
+    ),
+    st.floats(min_value=0.0, max_value=400_000.0),
+)
+def test_cache_selection_never_exceeds_quota(events, now):
+    config = CacheConfig(interval=3600.0, max_per_pair=5)
+    cache = QuadrupletCache(config)
+    for event_time, sojourn in sorted(events):
+        cache.record(HandoffQuadruplet(event_time, 1, 2, sojourn))
+    active = cache.active(now, 1)
+    for items in active.values():
+        assert len(items) <= config.max_per_pair
+        for item in items:
+            assert item.weight in config.weights

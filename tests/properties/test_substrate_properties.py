@@ -1,0 +1,113 @@
+"""Property-based tests for DES, topology and profile substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellular.topology import HexTopology, LinearTopology
+from repro.des import Engine
+from repro.traffic.profiles import DayProfile
+
+
+@settings(max_examples=60)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=60))
+def test_engine_fires_in_nondecreasing_time_order(times):
+    engine = Engine()
+    fired = []
+    for time in times:
+        engine.call_at(time, lambda t=time: fired.append(t))
+    engine.run()
+    assert fired == sorted(times)
+    assert len(fired) == len(times)
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=40),
+    st.data(),
+)
+def test_cancelled_events_never_fire(times, data):
+    engine = Engine()
+    fired = []
+    events = [
+        engine.call_at(time, lambda t=time: fired.append(t))
+        for time in times
+    ]
+    cancelled = set()
+    for index, event in enumerate(events):
+        if data.draw(st.booleans()):
+            event.cancel()
+            cancelled.add(index)
+    engine.run()
+    expected = sorted(
+        time for index, time in enumerate(times) if index not in cancelled
+    )
+    assert fired == expected
+
+
+@given(st.integers(min_value=2, max_value=50), st.booleans())
+def test_linear_adjacency_symmetric_and_irreflexive(num_cells, ring):
+    topology = LinearTopology(num_cells, ring=ring)
+    for cell_id in range(num_cells):
+        neighbors = topology.neighbors(cell_id)
+        assert cell_id not in neighbors
+        assert len(set(neighbors)) == len(neighbors)
+        for neighbor in neighbors:
+            assert cell_id in topology.neighbors(neighbor)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=8),
+    st.booleans(),
+)
+def test_hex_adjacency_symmetric_and_bounded(half_rows, cols, wrap):
+    # Wrapped hex grids require an even row count (enforced by the
+    # constructor), so generate even rows and test both layouts.
+    rows = 2 * half_rows
+    topology = HexTopology(rows, cols, wrap=wrap)
+    for cell_id in range(topology.num_cells):
+        neighbors = topology.neighbors(cell_id)
+        assert cell_id not in neighbors
+        assert len(set(neighbors)) == len(neighbors)
+        assert len(neighbors) <= 6
+        for neighbor in neighbors:
+            assert cell_id in topology.neighbors(neighbor)
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=0.0, max_value=200.0),
+)
+def test_position_maps_into_valid_cell(num_cells, position):
+    topology = LinearTopology(num_cells)  # ring wraps any position
+    cell = topology.cell_of_position(position)
+    assert 0 <= cell < num_cells
+    low, high = topology.cell_span_km(cell)
+    wrapped = topology.wrap_position(position)
+    assert low <= wrapped < high or (wrapped == high == topology.road_length_km)
+
+
+profile_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=23.99),
+        st.floats(min_value=0.0, max_value=1e4),
+    ),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda point: round(point[0], 3),
+)
+
+
+@given(profile_points, st.floats(min_value=0.0, max_value=72.0))
+def test_profile_interpolation_stays_within_value_range(points, hour):
+    profile = DayProfile(points)
+    values = [value for _hour, value in points]
+    result = profile.value_at_hour(hour)
+    assert min(values) - 1e-6 <= result <= max(values) + 1e-6
+
+
+@given(profile_points)
+def test_profile_hits_breakpoints_exactly(points):
+    profile = DayProfile(points)
+    for hour, value in points:
+        assert abs(profile.value_at_hour(hour) - value) < 1e-9

@@ -1,0 +1,173 @@
+"""Unit tests for metrics collection and result aggregation."""
+
+import pytest
+
+from repro.simulation.metrics import (
+    CellCounters,
+    HourlyBucket,
+    MetricsCollector,
+    SimulationResult,
+)
+
+
+def make_collector(**kwargs):
+    defaults = {"num_cells": 3}
+    defaults.update(kwargs)
+    return MetricsCollector(**defaults)
+
+
+class TestCounters:
+    def test_blocking_probability(self):
+        counters = CellCounters(new_requests=10, blocked=3)
+        assert counters.blocking_probability == 0.3
+
+    def test_dropping_probability(self):
+        counters = CellCounters(handoff_attempts=100, handoff_drops=2)
+        assert counters.dropping_probability == 0.02
+
+    def test_zero_denominators(self):
+        counters = CellCounters()
+        assert counters.blocking_probability == 0.0
+        assert counters.dropping_probability == 0.0
+
+
+class TestRecording:
+    def test_requests_counted_per_cell(self):
+        collector = make_collector()
+        collector.record_request(0, 10.0, blocked=False)
+        collector.record_request(0, 11.0, blocked=True)
+        collector.record_request(2, 12.0, blocked=False)
+        assert collector.cells[0].new_requests == 2
+        assert collector.cells[0].blocked == 1
+        assert collector.cells[2].new_requests == 1
+        assert collector.cells[1].new_requests == 0
+
+    def test_warmup_excludes_counters(self):
+        collector = make_collector(warmup=100.0)
+        collector.record_request(0, 50.0, blocked=True)
+        collector.record_handoff(0, 50.0, dropped=True)
+        assert collector.cells[0].new_requests == 0
+        assert collector.cells[0].handoff_attempts == 0
+        collector.record_request(0, 150.0, blocked=True)
+        assert collector.cells[0].new_requests == 1
+
+    def test_admission_test_totals(self):
+        collector = make_collector()
+        collector.record_admission_test(1, 4)
+        collector.record_admission_test(3, 12)
+        assert collector.total_admission_tests == 2
+        assert collector.average_calculations() == 2.0
+        assert collector.average_messages() == 8.0
+
+    def test_averages_zero_without_tests(self):
+        collector = make_collector()
+        assert collector.average_calculations() == 0.0
+        assert collector.average_messages() == 0.0
+
+
+class TestHourly:
+    def test_buckets_by_hour(self):
+        collector = make_collector(hourly=True)
+        collector.record_request(0, 100.0, blocked=False)
+        collector.record_request(0, 3700.0, blocked=True)
+        collector.record_handoff(1, 3800.0, dropped=False)
+        buckets = collector.hourly_buckets()
+        assert [bucket.hour for bucket in buckets] == [0, 1]
+        assert buckets[1].blocked == 1
+        assert buckets[1].handoff_attempts == 1
+
+    def test_custom_hour_seconds(self):
+        collector = make_collector(hourly=True, hour_seconds=60.0)
+        collector.record_request(0, 59.0, blocked=False)
+        collector.record_request(0, 61.0, blocked=False)
+        assert [b.hour for b in collector.hourly_buckets()] == [0, 1]
+
+    def test_hourly_includes_warmup_period(self):
+        # Hourly buckets are timelines, not steady-state stats.
+        collector = make_collector(hourly=True, warmup=7200.0)
+        collector.record_request(0, 100.0, blocked=True)
+        assert collector.hourly_buckets()[0].blocked == 1
+
+    def test_disabled_by_default(self):
+        collector = make_collector()
+        collector.record_request(0, 100.0, blocked=False)
+        assert collector.hourly_buckets() == []
+
+    def test_bucket_probabilities(self):
+        bucket = HourlyBucket(0, new_requests=4, blocked=1,
+                              handoff_attempts=10, handoff_drops=5)
+        assert bucket.blocking_probability == 0.25
+        assert bucket.dropping_probability == 0.5
+        assert HourlyBucket(0).blocking_probability == 0.0
+
+
+class TestTraces:
+    def test_phd_trace_cumulative_from_zero(self):
+        collector = make_collector(tracked_cells=(1,), warmup=1000.0)
+        collector.record_handoff(1, 10.0, dropped=True)
+        collector.record_handoff(1, 20.0, dropped=False)
+        trace = collector.phd_traces[1]
+        assert [point.value for point in trace] == [1.0, 0.5]
+        # Warmup applies to counters, not traces.
+        assert collector.cells[1].handoff_attempts == 0
+
+    def test_untracked_cells_not_traced(self):
+        collector = make_collector(tracked_cells=(1,))
+        collector.record_handoff(0, 10.0, dropped=False)
+        assert collector.phd_traces == {1: []}
+
+    def test_sample_records_tracked_traces(self):
+        collector = make_collector(tracked_cells=(0,))
+        collector.sample_cell(0, 10.0, reservation=5.0, used=50.0, t_est=3.0)
+        assert collector.t_est_traces[0][0].value == 3.0
+        assert collector.reservation_traces[0][0].value == 5.0
+
+    def test_sample_averages_post_warmup_only(self):
+        collector = make_collector(warmup=100.0)
+        collector.sample_cell(0, 50.0, 10.0, 90.0, 1.0)
+        collector.sample_cell(0, 150.0, 20.0, 80.0, 1.0)
+        assert collector.average_reservation() == 20.0
+        assert collector.average_used() == 80.0
+
+
+class TestResult:
+    def make_result(self, cells):
+        return SimulationResult(
+            label="x",
+            scheme="AC3",
+            offered_load=100.0,
+            duration=1000.0,
+            warmup=0.0,
+            num_cells=len(cells),
+            cells=cells,
+            statuses=[],
+            average_reservation=0.0,
+            average_used=0.0,
+            average_calculations=1.0,
+            average_messages=2.0,
+            total_admission_tests=10,
+        )
+
+    def test_aggregate_probabilities(self):
+        cells = [
+            CellCounters(new_requests=10, blocked=2, handoff_attempts=50,
+                         handoff_drops=1),
+            CellCounters(new_requests=30, blocked=2, handoff_attempts=150,
+                         handoff_drops=3),
+        ]
+        result = self.make_result(cells)
+        assert result.blocking_probability == pytest.approx(4 / 40)
+        assert result.dropping_probability == pytest.approx(4 / 200)
+        assert result.total_handoff_attempts == 200
+        assert result.total_new_requests == 40
+
+    def test_empty_network_probabilities(self):
+        result = self.make_result([CellCounters()])
+        assert result.blocking_probability == 0.0
+        assert result.dropping_probability == 0.0
+
+    def test_actual_offered_load(self):
+        cells = [CellCounters(new_requests=500), CellCounters(new_requests=500)]
+        result = self.make_result(cells)
+        # 1000 requests / 1000 s / 2 cells * 1 BU * 120 s = 60 BU.
+        assert result.actual_offered_load(1.0) == pytest.approx(60.0)

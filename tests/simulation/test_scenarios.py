@@ -1,0 +1,120 @@
+"""Unit tests for scenario builders and the sweep runner."""
+
+import pytest
+
+from repro.mobility.models import TravelDirections
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_sweep, sweep_offered_load
+from repro.simulation.scenarios import (
+    one_directional,
+    stationary,
+    time_varying,
+)
+
+
+class TestStationaryScenario:
+    def test_defaults_follow_paper(self):
+        config = stationary("AC3", offered_load=150.0)
+        assert config.num_cells == 10
+        assert config.capacity == 100.0
+        assert config.ring
+        assert config.t_int is None
+        assert config.speed_range == (80.0, 120.0)
+        assert config.target_drop_probability == 0.01
+        assert config.n_quad == 100
+        assert not config.retry_enabled
+
+    def test_low_mobility_range(self):
+        config = stationary("AC3", 100.0, high_mobility=False)
+        assert config.speed_range == (40.0, 60.0)
+
+    def test_overrides_forwarded(self):
+        config = stationary("AC1", 100.0, tracked_cells=(4,), capacity=50.0)
+        assert config.tracked_cells == (4,)
+        assert config.capacity == 50.0
+
+    def test_label_mentions_setup(self):
+        config = stationary("AC2", 250.0, voice_ratio=0.5)
+        assert "AC2" in config.label
+        assert "250" in config.label
+
+
+class TestOneDirectionalScenario:
+    def test_open_road_one_way(self):
+        config = one_directional("AC1")
+        assert not config.ring
+        assert config.directions is TravelDirections.ONE_WAY
+        assert config.offered_load == 300.0
+
+
+class TestTimeVaryingScenario:
+    def test_paper_scale(self):
+        config = time_varying("AC3")
+        assert config.duration == pytest.approx(2 * 86_400.0)
+        assert config.t_int == pytest.approx(3600.0)
+        assert config.retry_enabled
+        assert config.hourly_stats
+        assert config.load_profile is not None
+        assert config.speed_profile is not None
+
+    def test_compression_scales_consistently(self):
+        config = time_varying("AC3", time_compression=24.0)
+        assert config.day_seconds == pytest.approx(3600.0)
+        assert config.duration == pytest.approx(7200.0)
+        assert config.t_int == pytest.approx(150.0)
+        assert config.load_profile.day_seconds == pytest.approx(3600.0)
+
+    def test_compression_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            time_varying("AC3", time_compression=0.5)
+
+
+class TestConfigValidation:
+    def test_bad_voice_ratio(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(voice_ratio=2.0)
+
+    def test_bad_speed_range(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(speed_range=(100.0, 50.0))
+
+    def test_bad_tracked_cell(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_cells=5, tracked_cells=(7,))
+
+    def test_negative_load(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(offered_load=-1.0)
+
+    def test_too_few_cells(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_cells=1)
+
+    def test_is_time_varying_flag(self):
+        assert not SimulationConfig().is_time_varying
+        assert time_varying("AC3").is_time_varying
+
+
+class TestRunner:
+    def test_run_sweep_order_preserved(self):
+        configs = [
+            stationary("static", load, duration=60.0) for load in (60, 120)
+        ]
+        results = run_sweep(configs)
+        assert [r.offered_load for r in results] == [60, 120]
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_sweep(
+            [stationary("static", 60.0, duration=60.0)],
+            progress=lambda config, result: seen.append(config.offered_load),
+        )
+        assert seen == [60.0]
+
+    def test_sweep_offered_load_pairs(self):
+        pairs = sweep_offered_load(
+            lambda load: stationary("static", load, duration=60.0),
+            loads=(60.0, 100.0),
+        )
+        assert [load for load, _result in pairs] == [60.0, 100.0]
+        assert all(result.duration == 60.0 for _load, result in pairs)

@@ -1,0 +1,212 @@
+"""Integration tests: the full simulator against its invariants."""
+
+import pytest
+
+from repro.cellular.topology import HexTopology
+from repro.mobility.models import HexMobilityModel
+from repro.simulation.config import SimulationConfig
+from repro.simulation.scenarios import one_directional, stationary
+from repro.simulation.simulator import CellularSimulator, simulate
+from repro.traffic.connection import ConnectionState
+
+
+def run(config):
+    return CellularSimulator(config).run()
+
+
+def short(scheme="AC3", load=100.0, duration=120.0, seed=1, **kw):
+    return stationary(
+        scheme, offered_load=load, duration=duration, seed=seed, **kw
+    )
+
+
+class TestConservation:
+    def test_request_accounting(self):
+        simulator = CellularSimulator(short(duration=200.0))
+        result = simulator.run()
+        requests = sum(c.new_requests for c in result.cells)
+        blocked = sum(c.blocked for c in result.cells)
+        completed = sum(c.completed for c in result.cells)
+        attempts = sum(c.handoff_attempts for c in result.cells)
+        drops = sum(c.handoff_drops for c in result.cells)
+        in_flight = len(simulator.active_connections)
+        assert requests > 0
+        # Every admitted request ends exactly one way (or is in flight).
+        admitted = requests - blocked
+        assert admitted == completed + drops + in_flight
+        assert drops <= attempts
+
+    def test_bandwidth_never_exceeds_capacity(self):
+        simulator = CellularSimulator(short(load=300.0, duration=150.0))
+        simulator.run()
+        for cell in simulator.network.cells:
+            assert 0.0 <= cell.used_bandwidth <= cell.capacity + 1e-9
+
+    def test_used_bandwidth_matches_active_connections(self):
+        simulator = CellularSimulator(short(duration=150.0))
+        simulator.run()
+        for cell in simulator.network.cells:
+            total = sum(c.bandwidth for c in cell.connections())
+            assert cell.used_bandwidth == pytest.approx(total)
+
+    def test_active_connections_are_attached_exactly_once(self):
+        simulator = CellularSimulator(short(duration=150.0))
+        simulator.run()
+        seen = {}
+        for cell in simulator.network.cells:
+            for connection in cell.connections():
+                assert connection.connection_id not in seen
+                seen[connection.connection_id] = cell.cell_id
+                assert connection.cell_id == cell.cell_id
+        assert set(seen) == set(simulator.active_connections)
+
+    def test_quadruplets_match_successful_and_dropped_departures(self):
+        simulator = CellularSimulator(short(duration=200.0))
+        result = simulator.run()
+        attempts = sum(c.handoff_attempts for c in result.cells)
+        exits = sum(c.exited for c in result.cells)
+        recorded = sum(
+            station.estimator.cache.total_recorded
+            for station in simulator.network.stations
+        )
+        # Every boundary crossing (hand-off attempt or exit) produced
+        # exactly one quadruplet at the departed cell.
+        assert recorded == attempts + exits
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        first = run(short(seed=11))
+        second = run(short(seed=11))
+        assert first.blocking_probability == second.blocking_probability
+        assert first.dropping_probability == second.dropping_probability
+        assert first.events_processed == second.events_processed
+
+    def test_different_seed_different_result(self):
+        first = run(short(seed=11, duration=200.0))
+        second = run(short(seed=12, duration=200.0))
+        assert first.events_processed != second.events_processed
+
+
+class TestSchemeBehaviour:
+    def test_ac3_holds_drop_target_under_overload(self):
+        result = run(short("AC3", load=300.0, duration=600.0, seed=5))
+        assert result.dropping_probability <= 0.015
+        assert result.blocking_probability > 0.3
+
+    def test_static_guard_blocks_more_when_larger(self):
+        small = run(short("static", load=200.0, duration=300.0,
+                          static_guard=5.0))
+        large = run(short("static", load=200.0, duration=300.0,
+                          static_guard=30.0))
+        assert large.blocking_probability > small.blocking_probability
+        assert large.dropping_probability <= small.dropping_probability
+
+    def test_ncalc_ordering_ac1_ac3_ac2(self):
+        results = {
+            scheme: run(short(scheme, load=250.0, duration=300.0, seed=9))
+            for scheme in ("AC1", "AC2", "AC3")
+        }
+        assert results["AC1"].average_calculations == pytest.approx(1.0)
+        assert results["AC2"].average_calculations == pytest.approx(3.0)
+        assert (
+            1.0
+            <= results["AC3"].average_calculations
+            <= results["AC2"].average_calculations
+        )
+
+    def test_ac3_ncalc_is_one_at_low_load(self):
+        result = run(short("AC3", load=60.0, duration=300.0))
+        assert result.average_calculations == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_load_produces_nothing(self):
+        result = run(short(load=0.0))
+        assert result.total_new_requests == 0
+        assert result.blocking_probability == 0.0
+
+
+class TestOneDirectional:
+    def test_first_cell_never_sees_handoffs(self):
+        result = run(one_directional("AC1", duration=300.0))
+        assert result.cells[0].handoff_attempts == 0
+        assert result.cells[0].dropping_probability == 0.0
+
+    def test_exits_recorded_at_last_cell(self):
+        result = run(one_directional("AC3", duration=300.0))
+        assert result.cells[-1].exited > 0
+        assert all(cell.exited == 0 for cell in result.cells[:-1])
+
+    def test_downstream_cells_see_handoffs(self):
+        result = run(one_directional("AC3", duration=300.0))
+        assert result.cells[4].handoff_attempts > 0
+
+
+class TestTraces:
+    def test_tracked_cells_recorded(self):
+        config = short(duration=200.0, tracked_cells=(4, 5))
+        result = run(config)
+        assert set(result.t_est_traces) == {4, 5}
+        assert len(result.t_est_traces[4]) > 0
+        assert len(result.reservation_traces[5]) > 0
+
+    def test_phd_trace_is_cumulative_ratio(self):
+        config = short(load=300.0, duration=300.0, tracked_cells=(4,))
+        result = run(config)
+        trace = result.phd_traces[4]
+        assert trace, "expected hand-offs into cell 4"
+        assert all(0.0 <= point.value <= 1.0 for point in trace)
+        times = [point.time for point in trace]
+        assert times == sorted(times)
+
+    def test_sampling_disabled(self):
+        config = short(duration=100.0, sample_interval=0.0)
+        result = run(config)
+        assert result.average_reservation == 0.0
+        assert result.average_used == 0.0
+
+
+class TestWarmup:
+    def test_warmup_excludes_early_events(self):
+        with_warmup = run(short(duration=300.0, warmup=150.0, seed=3))
+        without = run(short(duration=300.0, warmup=0.0, seed=3))
+        assert (
+            with_warmup.total_new_requests < without.total_new_requests
+        )
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration=100.0, warmup=100.0)
+
+
+class TestLifecycle:
+    def test_simulator_single_use(self):
+        simulator = CellularSimulator(short(duration=50.0))
+        simulator.run()
+        with pytest.raises(RuntimeError):
+            simulator.run()
+
+    def test_simulate_helper(self):
+        result = simulate(short(duration=50.0))
+        assert result.duration == 50.0
+
+    def test_no_active_connection_in_terminal_state(self):
+        simulator = CellularSimulator(short(duration=200.0))
+        simulator.run()
+        for connection in simulator.active_connections.values():
+            assert connection.state is ConnectionState.ACTIVE
+
+
+class TestHexIntegration:
+    def test_runs_on_hex_topology(self):
+        topology = HexTopology(4, 4, wrap=True)
+        config = short("AC3", load=80.0, duration=300.0)
+        simulator = CellularSimulator(
+            config, mobility_model=HexMobilityModel(topology)
+        )
+        result = simulator.run()
+        assert result.num_cells == 16
+        assert result.total_new_requests > 0
+        attempts = sum(c.handoff_attempts for c in result.cells)
+        assert attempts > 0
+        for cell in simulator.network.cells:
+            assert 0.0 <= cell.used_bandwidth <= cell.capacity + 1e-9

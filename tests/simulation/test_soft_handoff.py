@@ -1,0 +1,125 @@
+"""Tests for the CDMA §7 extensions: soft capacity and soft hand-off."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cellular.cell import Cell
+from repro.simulation.config import SimulationConfig
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection
+
+
+class TestSoftCapacityCell:
+    def test_handoff_capacity_above_nominal(self):
+        cell = Cell(0, 100.0, handoff_overload=1.1)
+        assert cell.handoff_capacity == pytest.approx(110.0)
+
+    def test_handoffs_may_use_overload_margin(self):
+        cell = Cell(0, 10.0, handoff_overload=1.2)
+        for _ in range(10):
+            cell.attach(Connection(VOICE, 0.0, 0))
+        assert cell.fits_handoff(2.0)
+        assert not cell.fits_handoff(3.0)
+        assert not cell.fits_new_connection(1.0)
+
+    def test_default_overload_is_hard_capacity(self):
+        cell = Cell(0, 10.0)
+        assert cell.handoff_capacity == 10.0
+
+    def test_invalid_overload_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(0, 10.0, handoff_overload=0.9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(handoff_overload=0.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(soft_handoff_window=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(soft_handoff_retry_interval=0.0)
+
+
+def overloaded(seed=3, **overrides):
+    base = stationary(
+        "static",
+        offered_load=250.0,
+        voice_ratio=0.5,
+        duration=400.0,
+        warmup=100.0,
+        seed=seed,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+class TestSoftCapacityEndToEnd:
+    def test_overload_margin_reduces_drops(self):
+        hard = CellularSimulator(overloaded()).run()
+        soft = CellularSimulator(
+            overloaded(handoff_overload=1.1)
+        ).run()
+        assert soft.dropping_probability < hard.dropping_probability
+
+    def test_usage_may_exceed_nominal_but_not_overload(self):
+        simulator = CellularSimulator(overloaded(handoff_overload=1.1))
+        simulator.run()
+        for cell in simulator.network.cells:
+            assert cell.used_bandwidth <= cell.handoff_capacity + 1e-9
+
+
+class TestSoftHandoffEndToEnd:
+    def test_window_reduces_drops(self):
+        hard = CellularSimulator(overloaded()).run()
+        soft = CellularSimulator(
+            overloaded(soft_handoff_window=5.0)
+        ).run()
+        assert soft.dropping_probability < hard.dropping_probability
+
+    def test_conservation_with_retries(self):
+        # warmup=0: conservation is only exact when counting from t=0.
+        simulator = CellularSimulator(
+            overloaded(soft_handoff_window=5.0, warmup=0.0)
+        )
+        result = simulator.run()
+        requests = sum(c.new_requests for c in result.cells)
+        blocked = sum(c.blocked for c in result.cells)
+        completed = sum(c.completed for c in result.cells)
+        drops = sum(c.handoff_drops for c in result.cells)
+        in_flight = len(simulator.active_connections)
+        assert requests - blocked == completed + drops + in_flight
+        for cell in simulator.network.cells:
+            total = sum(c.bandwidth for c in cell.connections())
+            assert cell.used_bandwidth == pytest.approx(total)
+
+    def test_quadruplets_recorded_once_per_resolution(self):
+        simulator = CellularSimulator(
+            overloaded(soft_handoff_window=5.0, warmup=0.0)
+        )
+        result = simulator.run()
+        attempts = sum(c.handoff_attempts for c in result.cells)
+        exits = sum(c.exited for c in result.cells)
+        recorded = sum(
+            station.estimator.cache.total_recorded
+            for station in simulator.network.stations
+        )
+        # Retried crossings must not double-record quadruplets.
+        assert recorded == attempts + exits
+
+    def test_lifetime_end_cancels_pending_soft_retry(self):
+        # A connection whose lifetime expires mid-window must terminate
+        # cleanly (no resurrection by the pending retry event).
+        simulator = CellularSimulator(
+            overloaded(soft_handoff_window=30.0, seed=8)
+        )
+        simulator.run()
+        for connection in simulator.active_connections.values():
+            assert connection.is_active
+
+    def test_combined_mechanisms_compound(self):
+        hard = CellularSimulator(overloaded()).run()
+        both = CellularSimulator(
+            overloaded(handoff_overload=1.1, soft_handoff_window=5.0)
+        ).run()
+        assert both.dropping_probability < hard.dropping_probability / 2

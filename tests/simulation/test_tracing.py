@@ -1,0 +1,108 @@
+"""Tests for the connection tracer extension."""
+
+import json
+
+import pytest
+
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+from repro.simulation.tracing import ConnectionTracer, replay_counts
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection, ConnectionState
+
+
+class TestUnit:
+    def test_records_lifecycle(self):
+        tracer = ConnectionTracer()
+        connection = Connection(VOICE, 0.0, cell_id=1)
+        tracer.on_admitted(connection, 0.0)
+        connection.move_to(2, 30.0)
+        tracer.on_handoff(connection, 1, 2, 30.0)
+        connection.finish(ConnectionState.COMPLETED, 60.0)
+        tracer.on_connection_end(connection, 60.0)
+        history = tracer.history(connection.connection_id)
+        assert [event.kind for event in history] == [
+            "admitted", "handoff", "completed",
+        ]
+        assert history[1].prev_cell == 1
+        assert history[1].cell_id == 2
+
+    def test_capacity_evicts_oldest(self):
+        tracer = ConnectionTracer(capacity=2)
+        for index in range(4):
+            tracer.on_admitted(Connection(VOICE, 0.0, 0), float(index))
+        assert len(tracer.events) == 2
+        assert tracer.evicted == 2
+        assert tracer.events[0].time == 2.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ConnectionTracer(capacity=0)
+
+    def test_jsonl_roundtrip(self):
+        tracer = ConnectionTracer()
+        tracer.on_admitted(Connection(VOICE, 0.0, 3), 1.5)
+        lines = tracer.to_jsonl().splitlines()
+        parsed = json.loads(lines[0])
+        assert parsed["kind"] == "admitted"
+        assert parsed["cell_id"] == 3
+
+    def test_verify_flags_bad_sequences(self):
+        tracer = ConnectionTracer()
+        connection = Connection(VOICE, 0.0, 0)
+        tracer.on_handoff(connection, 0, 1, 5.0)  # no 'admitted' first
+        problems = tracer.verify()
+        assert problems and "first event" in problems[0]
+
+    def test_verify_truncated_journal(self):
+        tracer = ConnectionTracer(capacity=1)
+        tracer.on_admitted(Connection(VOICE, 0.0, 0), 0.0)
+        tracer.on_admitted(Connection(VOICE, 0.0, 0), 1.0)
+        assert tracer.verify() == [
+            "journal truncated: verification unavailable"
+        ]
+
+    def test_replay_counts(self):
+        tracer = ConnectionTracer()
+        connection = Connection(VOICE, 0.0, 0)
+        tracer.on_admitted(connection, 0.0)
+        tracer.on_handoff(connection, 0, 1, 1.0)
+        tracer.on_handoff(connection, 1, 2, 2.0)
+        assert replay_counts(tracer.events) == {
+            "admitted": 1, "handoff": 2,
+        }
+
+
+class TestEndToEnd:
+    def test_journal_matches_metrics(self):
+        tracer = ConnectionTracer()
+        config = stationary(
+            "AC3", offered_load=150.0, duration=300.0, seed=7
+        )
+        simulator = CellularSimulator(config, extensions=[tracer])
+        result = simulator.run()
+        assert tracer.verify() == []
+        counts = replay_counts(tracer.events)
+        admitted = result.total_new_requests - sum(
+            cell.blocked for cell in result.cells
+        )
+        assert counts["admitted"] == admitted
+        successful_handoffs = sum(
+            cell.handoff_attempts - cell.handoff_drops
+            for cell in result.cells
+        )
+        assert counts.get("handoff", 0) == successful_handoffs
+        assert counts.get("dropped", 0) == sum(
+            cell.handoff_drops for cell in result.cells
+        )
+        assert counts.get("completed", 0) == sum(
+            cell.completed for cell in result.cells
+        )
+        # Unterminated = still active at the horizon.
+        unterminated = (
+            counts["admitted"]
+            - counts.get("dropped", 0)
+            - counts.get("completed", 0)
+            - counts.get("exited", 0)
+        )
+        assert unterminated == len(simulator.active_connections)

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_experiments(capsys):
+    code, out, _err = run_cli(capsys, "list-experiments")
+    assert code == 0
+    assert "fig8+9" in out
+    assert "table3" in out
+
+
+def test_run_prints_report(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "run", "--scheme", "static", "--load", "120",
+        "--duration", "60", "--seed", "3",
+    )
+    assert code == 0
+    assert "P_CB" in out and "P_HD" in out
+    assert "Cell" in out
+    assert out.count("\n") > 12  # per-cell table present
+
+
+def test_run_one_way_and_adaptive_flags(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "run", "--scheme", "AC3", "--load", "150", "--rvo", "0.5",
+        "--duration", "60", "--one-way", "--adaptive-qos",
+    )
+    assert code == 0
+    assert "scheme=adaptive-AC3" in out
+
+
+def test_sweep_prints_one_row_per_load(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "sweep", "--scheme", "static", "--loads", "60,120",
+        "--duration", "60",
+    )
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) == 4  # header + rule + 2 loads
+    assert lines[2].startswith("60")
+
+
+def test_experiment_command(capsys):
+    code, out, _err = run_cli(
+        capsys, "experiment", "table3", "--duration", "60"
+    )
+    assert code == 0
+    assert "table3" in out
+    assert "(AC1)" in out and "(AC3)" in out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    code, _out, err = run_cli(capsys, "experiment", "fig99")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_invalid_rvo_fails_cleanly(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", "--rvo", "1.5", "--duration", "60"
+    )
+    assert code == 2
+    assert "error" in err

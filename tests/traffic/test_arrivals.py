@@ -1,0 +1,102 @@
+"""Unit tests for arrival processes and the retry model."""
+
+import random
+
+import pytest
+
+from repro.traffic.arrivals import (
+    NO_RETRY,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    RetryPolicy,
+)
+from repro.traffic.profiles import DayProfile, constant_profile
+
+
+class TestPoisson:
+    def test_arrivals_strictly_after_now(self):
+        process = PoissonArrivals(2.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert process.next_arrival(10.0, rng) > 10.0
+
+    def test_zero_rate_never_arrives(self):
+        assert PoissonArrivals(0.0).next_arrival(0.0, random.Random(0)) is None
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+    def test_mean_interarrival(self):
+        process = PoissonArrivals(4.0)
+        rng = random.Random(1)
+        now, gaps = 0.0, []
+        for _ in range(20_000):
+            nxt = process.next_arrival(now, rng)
+            gaps.append(nxt - now)
+            now = nxt
+        mean = sum(gaps) / len(gaps)
+        assert 0.24 < mean < 0.26
+
+
+class TestModulated:
+    def test_constant_profile_matches_homogeneous_rate(self):
+        # load 120 BU, E[b]=1, lifetime 120 -> rate 1/s.
+        process = ModulatedPoissonArrivals(constant_profile(120.0), 1.0)
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        rng = random.Random(2)
+        now, count = 0.0, 0
+        while now < 2000.0:
+            now = process.next_arrival(now, rng)
+            count += 1
+        assert 1800 < count < 2200
+
+    def test_rate_follows_profile(self):
+        profile = DayProfile([(0.0, 0.0), (12.0, 240.0)])
+        process = ModulatedPoissonArrivals(profile, 2.0, 120.0)
+        assert process.rate_at(12 * 3600.0) == pytest.approx(1.0)
+        assert process.rate_at(0.0) == pytest.approx(0.0)
+
+    def test_thinning_respects_low_rate_regions(self):
+        profile = DayProfile([(0.0, 1.0), (12.0, 1200.0)])
+        process = ModulatedPoissonArrivals(profile, 1.0, 120.0)
+        rng = random.Random(3)
+        # Sample arrivals starting at midnight; with rate ~1/120 per
+        # second there, gaps should be two orders above the peak's.
+        first = process.next_arrival(0.0, rng)
+        assert first > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModulatedPoissonArrivals(constant_profile(10.0), 0.0)
+        with pytest.raises(ValueError):
+            ModulatedPoissonArrivals(constant_profile(0.0), 1.0)
+
+
+class TestRetry:
+    def test_disabled_never_retries(self):
+        rng = random.Random(0)
+        assert not NO_RETRY.should_retry(1, rng)
+
+    def test_probability_declines_with_attempts(self):
+        policy = RetryPolicy()
+        rng = random.Random(5)
+        trials = 20_000
+        for attempts, expected in [(1, 0.9), (5, 0.5), (9, 0.1)]:
+            retries = sum(
+                policy.should_retry(attempts, rng) for _ in range(trials)
+            )
+            assert abs(retries / trials - expected) < 0.02
+
+    def test_gives_up_at_ten(self):
+        policy = RetryPolicy()
+        rng = random.Random(0)
+        assert not any(policy.should_retry(10, rng) for _ in range(100))
+        assert not any(policy.should_retry(15, rng) for _ in range(100))
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().should_retry(0, random.Random(0))
+
+    def test_default_delay_is_five_seconds(self):
+        assert RetryPolicy().delay == 5.0

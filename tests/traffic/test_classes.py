@@ -1,0 +1,79 @@
+"""Unit tests for traffic classes and the voice/video mix."""
+
+import random
+
+import pytest
+
+from repro.traffic.classes import (
+    VIDEO,
+    VOICE,
+    TrafficClass,
+    TrafficMix,
+)
+
+
+def test_bu_definitions():
+    assert VOICE.bandwidth == 1.0
+    assert VIDEO.bandwidth == 4.0
+
+
+def test_traffic_class_validation():
+    with pytest.raises(ValueError):
+        TrafficClass("bad", 0.0)
+
+
+def test_mix_ratio_validation():
+    with pytest.raises(ValueError):
+        TrafficMix(-0.1)
+    with pytest.raises(ValueError):
+        TrafficMix(1.1)
+
+
+def test_pure_voice_mix():
+    mix = TrafficMix(1.0)
+    rng = random.Random(0)
+    assert all(mix.sample(rng) is VOICE for _ in range(100))
+    assert mix.mean_bandwidth == 1.0
+
+
+def test_pure_video_mix():
+    mix = TrafficMix(0.0)
+    rng = random.Random(0)
+    assert all(mix.sample(rng) is VIDEO for _ in range(100))
+    assert mix.mean_bandwidth == 4.0
+
+
+def test_mean_bandwidth_formula():
+    assert TrafficMix(0.5).mean_bandwidth == 2.5
+    assert TrafficMix(0.8).mean_bandwidth == pytest.approx(1.6)
+
+
+def test_sample_frequency_tracks_ratio():
+    mix = TrafficMix(0.8)
+    rng = random.Random(7)
+    draws = [mix.sample(rng) for _ in range(20_000)]
+    voice_fraction = sum(1 for draw in draws if draw is VOICE) / len(draws)
+    assert 0.78 < voice_fraction < 0.82
+
+
+class TestEquation7:
+    def test_rate_for_load_pure_voice(self):
+        mix = TrafficMix(1.0)
+        # L = lambda * 1 BU * 120 s  ->  lambda = L / 120.
+        assert mix.arrival_rate_for_load(300.0) == pytest.approx(2.5)
+
+    def test_rate_for_load_mixed(self):
+        mix = TrafficMix(0.5)  # E[b] = 2.5
+        assert mix.arrival_rate_for_load(300.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        mix = TrafficMix(0.8)
+        rate = mix.arrival_rate_for_load(150.0)
+        assert mix.offered_load(rate) == pytest.approx(150.0)
+
+    def test_validation(self):
+        mix = TrafficMix(1.0)
+        with pytest.raises(ValueError):
+            mix.arrival_rate_for_load(-1.0)
+        with pytest.raises(ValueError):
+            mix.arrival_rate_for_load(10.0, mean_lifetime=0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for time-of-day profiles."""
+
+import pytest
+
+from repro.traffic.profiles import (
+    DayProfile,
+    constant_profile,
+    paper_load_profile,
+    paper_speed_profile,
+)
+
+
+def test_constant_profile():
+    profile = constant_profile(42.0)
+    for hour in (0.0, 6.3, 23.99):
+        assert profile.value_at_hour(hour) == 42.0
+
+
+def test_interpolation_between_breakpoints():
+    profile = DayProfile([(0.0, 0.0), (12.0, 120.0)])
+    assert profile.value_at_hour(6.0) == 60.0
+    assert profile.value_at_hour(3.0) == 30.0
+
+
+def test_wraps_midnight():
+    profile = DayProfile([(22.0, 100.0), (2.0, 0.0)])
+    # 22h -> 2h spans midnight: 0h is halfway.
+    assert profile.value_at_hour(0.0) == 50.0
+    assert profile.value_at_hour(23.0) == 75.0
+    assert profile.value_at_hour(1.0) == 25.0
+
+
+def test_hour_wraps_modulo_24():
+    profile = DayProfile([(0.0, 10.0), (12.0, 20.0)])
+    assert profile.value_at_hour(25.0) == profile.value_at_hour(1.0)
+    assert profile.value_at_hour(-1.0) == profile.value_at_hour(23.0)
+
+
+def test_value_at_seconds_default_day():
+    profile = DayProfile([(0.0, 0.0), (12.0, 120.0)])
+    assert profile.value_at(6 * 3600.0) == 60.0
+    assert profile.value_at(30 * 3600.0) == 60.0  # next day
+
+
+def test_compressed_day():
+    profile = DayProfile([(0.0, 0.0), (12.0, 120.0)], day_seconds=2400.0)
+    # One "day" is 2400 s -> hour 12 is at 1200 s.
+    assert profile.value_at(1200.0) == 120.0
+    assert profile.value_at(600.0) == 60.0
+    assert profile.value_at(2400.0 + 600.0) == 60.0
+
+
+def test_maximum_bounds_profile():
+    profile = paper_load_profile(peak=180.0, base=20.0)
+    maximum = profile.maximum()
+    assert maximum == pytest.approx(180.0, rel=0.01)
+    for hour in range(0, 24):
+        assert profile.value_at_hour(float(hour)) <= maximum + 1e-9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DayProfile([])
+    with pytest.raises(ValueError):
+        DayProfile([(25.0, 1.0)])
+    with pytest.raises(ValueError):
+        DayProfile([(1.0, 1.0), (1.0, 2.0)])
+    with pytest.raises(ValueError):
+        DayProfile([(0.0, 1.0)], day_seconds=0.0)
+
+
+class TestPaperShapes:
+    def test_load_peaks_at_rush_hours(self):
+        profile = paper_load_profile(peak=180.0, base=20.0)
+        assert profile.value_at_hour(9.0) == 180.0
+        assert profile.value_at_hour(17.5) == 180.0
+        assert profile.value_at_hour(3.0) == 20.0
+        # The lunch bump is between base and peak.
+        assert 20.0 < profile.value_at_hour(13.0) < 180.0
+
+    def test_speed_dips_at_rush_hours(self):
+        profile = paper_speed_profile(fast=100.0, slow=40.0)
+        assert profile.value_at_hour(9.0) == 40.0
+        assert profile.value_at_hour(17.5) == 40.0
+        assert profile.value_at_hour(3.0) == 100.0
+
+    def test_load_and_speed_anticorrelate_at_peaks(self):
+        load = paper_load_profile()
+        speed = paper_speed_profile()
+        # Rush hour: max load, min speed; night: the reverse.
+        assert load.value_at_hour(9.0) > load.value_at_hour(3.0)
+        assert speed.value_at_hour(9.0) < speed.value_at_hour(3.0)

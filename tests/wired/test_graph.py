@@ -1,0 +1,110 @@
+"""Unit tests for the backbone graph and routing."""
+
+import pytest
+
+from repro.wired.graph import (
+    GATEWAY,
+    BackboneGraph,
+    bs_node,
+    chain_backbone,
+    mesh_backbone,
+    star_backbone,
+)
+
+
+def triangle():
+    graph = BackboneGraph()
+    graph.add_link("a", "b", 10.0)
+    graph.add_link("b", "c", 10.0)
+    graph.add_link("a", "c", 10.0)
+    return graph
+
+
+class TestGraph:
+    def test_duplicate_link_rejected(self):
+        graph = triangle()
+        with pytest.raises(ValueError):
+            graph.add_link("b", "a", 5.0)
+
+    def test_link_lookup_symmetric(self):
+        graph = triangle()
+        assert graph.link("a", "b") is graph.link("b", "a")
+        with pytest.raises(KeyError):
+            graph.link("a", "z")
+
+    def test_neighbors(self):
+        graph = triangle()
+        assert set(graph.neighbors("a")) == {"b", "c"}
+        assert graph.neighbors("unknown") == ()
+
+
+class TestShortestPath:
+    def test_direct_path(self):
+        graph = triangle()
+        assert graph.shortest_path("a", "b") == ["a", "b"]
+
+    def test_self_path(self):
+        assert triangle().shortest_path("a", "a") == ["a"]
+
+    def test_multi_hop(self):
+        graph = BackboneGraph()
+        graph.add_link("a", "b", 1.0)
+        graph.add_link("b", "c", 1.0)
+        graph.add_link("c", "d", 1.0)
+        assert graph.shortest_path("a", "d") == ["a", "b", "c", "d"]
+
+    def test_disconnected_returns_none(self):
+        graph = BackboneGraph()
+        graph.add_link("a", "b", 1.0)
+        graph.add_link("c", "d", 1.0)
+        assert graph.shortest_path("a", "d") is None
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            triangle().shortest_path("a", "zz")
+
+    def test_weights_override_hops(self):
+        graph = BackboneGraph()
+        graph.add_link("a", "b", 1.0)
+        graph.add_link("b", "d", 1.0)
+        graph.add_link("a", "c", 1.0)
+        graph.add_link("c", "d", 1.0)
+        weights = {("a", "b"): 10.0}
+        path = graph.shortest_path("a", "d", weight=weights)
+        assert path == ["a", "c", "d"]
+
+    def test_path_links(self):
+        graph = triangle()
+        links = graph.path_links(["a", "b", "c"])
+        assert [link.key for link in links] == [("a", "b"), ("b", "c")]
+
+
+class TestBuilders:
+    def test_star_routes_via_msc(self):
+        graph = star_backbone(4)
+        path = graph.shortest_path(bs_node(2), GATEWAY)
+        assert path == ["bs2", "msc", GATEWAY]
+
+    def test_chain_far_cells_cross_trunks(self):
+        graph = chain_backbone(10, cells_per_router=2)
+        path = graph.shortest_path(bs_node(9), GATEWAY)
+        assert path[0] == "bs9"
+        assert path[-1] == GATEWAY
+        assert len(path) > 4  # several trunk hops
+
+    def test_chain_every_cell_reaches_gateway(self):
+        graph = chain_backbone(7, cells_per_router=3)
+        for cell_id in range(7):
+            assert graph.shortest_path(bs_node(cell_id), GATEWAY)
+
+    def test_mesh_is_dense(self):
+        graph = mesh_backbone(5)
+        # 5 choose 2 BS-BS links + 1 gateway link.
+        assert len(list(graph.links())) == 11
+        assert graph.shortest_path(bs_node(4), GATEWAY) == [
+            "bs4", "bs0", GATEWAY,
+        ]
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            chain_backbone(4, cells_per_router=0)

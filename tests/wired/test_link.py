@@ -1,0 +1,69 @@
+"""Unit tests for wired link accounting."""
+
+import pytest
+
+from repro.wired.link import WiredCapacityError, WiredLink
+
+
+def test_initial_state():
+    link = WiredLink("a", "b", 100.0)
+    assert link.key == ("a", "b")
+    assert link.free_bandwidth == 100.0
+    assert link.utilization() == 0.0
+
+
+def test_key_is_order_independent():
+    assert WiredLink("b", "a", 10.0).key == WiredLink("a", "b", 10.0).key
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WiredLink("a", "a", 10.0)
+    with pytest.raises(ValueError):
+        WiredLink("a", "b", 0.0)
+
+
+def test_allocate_release_roundtrip():
+    link = WiredLink("a", "b", 10.0)
+    link.allocate(1, 4.0)
+    assert link.used_bandwidth == 4.0
+    assert link.holds(1)
+    assert link.release(1) == 4.0
+    assert link.used_bandwidth == 0.0
+    assert not link.holds(1)
+
+
+def test_double_allocate_rejected():
+    link = WiredLink("a", "b", 10.0)
+    link.allocate(1, 2.0)
+    with pytest.raises(WiredCapacityError):
+        link.allocate(1, 2.0)
+
+
+def test_over_capacity_rejected():
+    link = WiredLink("a", "b", 10.0)
+    link.allocate(1, 8.0)
+    with pytest.raises(WiredCapacityError):
+        link.allocate(2, 3.0)
+
+
+def test_release_unknown_rejected():
+    link = WiredLink("a", "b", 10.0)
+    with pytest.raises(WiredCapacityError):
+        link.release(9)
+
+
+def test_fits_new_respects_reservation():
+    link = WiredLink("a", "b", 10.0)
+    link.reserved_target = 4.0
+    link.allocate(1, 6.0)
+    assert not link.fits_new(1.0)
+    assert link.fits_reroute(4.0)
+    assert not link.fits_reroute(5.0)
+
+
+def test_fits_new_boundary():
+    link = WiredLink("a", "b", 10.0)
+    link.reserved_target = 2.0
+    assert link.fits_new(8.0)
+    assert not link.fits_new(8.5)
