@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Run the persisted benchmark harness (thin wrapper over repro.benchtool).
+
+Usage:  python scripts/bench.py [--smoke] [--output FILE]
+
+Writes ``BENCH_<date>.json`` in the current directory unless --output is
+given.  See ``repro/benchtool.py`` for what is measured.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.benchtool import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: tier-1 test suite plus a smoke pass of the benchmark harness.
+# Run from the repository root:  sh scripts/ci.sh
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== benchmark smoke =="
+PYTHONPATH=src python scripts/bench.py --smoke --output /tmp/bench-smoke.json
+rm -f /tmp/bench-smoke.json
+
+echo "CI OK"

@@ -5,16 +5,19 @@ Writes one text file per experiment under ``results/`` plus a combined
 ``results/ALL.txt``.  This is the recorded-scale run behind
 EXPERIMENTS.md; the pytest benchmarks run the same code CI-sized.
 
-Usage:  python scripts/run_experiments.py [experiment-id ...]
+Usage:  python scripts/run_experiments.py [--workers N] [experiment-id ...]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Experiments whose runners accept a ``workers`` process-pool argument.
+PARALLEL_EXPERIMENTS = {"fig7", "fig8+9", "fig12+13"}
 
 #: Recorded-scale parameters per experiment (paper-comparable horizons).
 SCALES: dict[str, dict[str, object]] = {
@@ -35,13 +38,22 @@ SCALES: dict[str, dict[str, object]] = {
 }
 
 
-def main(argv: list[str]) -> int:
-    names = argv or list(EXPERIMENTS)
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", metavar="experiment-id",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-pool size for the sweep experiments"
+                        " (results are unchanged, only faster)")
+    args = parser.parse_args(argv)
+    names = args.names or list(EXPERIMENTS)
     results_dir = Path(__file__).resolve().parent.parent / "results"
     results_dir.mkdir(exist_ok=True)
     combined: list[str] = []
     for name in names:
-        kwargs = SCALES.get(name, {})
+        kwargs = dict(SCALES.get(name, {}))
+        if args.workers is not None and name in PARALLEL_EXPERIMENTS:
+            kwargs["workers"] = args.workers
         started = time.perf_counter()
         print(f"[{time.strftime('%H:%M:%S')}] running {name} {kwargs} ...",
               flush=True)
@@ -54,7 +66,7 @@ def main(argv: list[str]) -> int:
             combined.append(rendered)
             print(f"  wrote {path} ({elapsed:.1f}s total for {name})",
                   flush=True)
-    if not argv:
+    if not args.names:
         # Only a full run may rewrite the combined file; partial runs
         # would otherwise clobber it with a subset.
         (results_dir / "ALL.txt").write_text(
@@ -65,4 +77,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    raise SystemExit(main())

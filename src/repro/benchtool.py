@@ -1,0 +1,222 @@
+"""Persisted benchmark harness: time the hot paths and record a JSON report.
+
+Complements the pytest micro-benchmarks (``benchmarks/``) with a
+dependency-free runner that can be executed anywhere the package is
+importable and leaves an artifact behind::
+
+    python scripts/bench.py            # full run, writes BENCH_<date>.json
+    python scripts/bench.py --smoke    # CI-sized sanity run
+    repro-bench --output out.json      # installed console entry point
+
+The report covers:
+
+* micro-benchmarks — steady-state Eq. 6 reservation update, the Eq. 4
+  hand-off probability query, and the raw event loop (ops/sec each);
+* one representative AC3 simulation — wall time, events/sec, and the
+  paper's complexity metrics (``N_calc`` per admission test, average
+  inter-BS messages).
+
+Per-benchmark measuring time defaults to ``REPRO_BENCH_DURATION``
+seconds (0.5 if unset), so CI can shrink it without flag plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from datetime import date
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.des import Engine
+from repro.estimation.cache import CacheConfig
+from repro.estimation.estimator import MobilityEstimator
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection
+
+
+def _measure(operation: Callable[[], object], duration: float) -> dict:
+    """Time ``operation`` repeatedly for about ``duration`` seconds."""
+    # Warm up and calibrate a batch size so the clock is read far less
+    # often than the operation runs.
+    operation()
+    started = time.perf_counter()
+    operation()
+    single = time.perf_counter() - started
+    batch = max(1, int(0.01 / single) if single > 0 else 1000)
+    calls = 0
+    started = time.perf_counter()
+    while True:
+        for _ in range(batch):
+            operation()
+        calls += batch
+        elapsed = time.perf_counter() - started
+        if elapsed >= duration:
+            break
+    mean = elapsed / calls
+    return {
+        "calls": calls,
+        "mean_us": mean * 1e6,
+        "ops_per_sec": 1.0 / mean if mean > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# micro-benchmark setups (mirroring benchmarks/test_microbench.py)
+# ----------------------------------------------------------------------
+def _reservation_update_station():
+    network = CellularNetwork(
+        LinearTopology(10),
+        cache_config=CacheConfig(interval=None),
+    )
+    rng = random.Random(1)
+    for neighbor in (1, 9):
+        station = network.station(neighbor)
+        for index in range(100):
+            station.estimator.record_departure(
+                float(index), None, 0, rng.uniform(10.0, 60.0)
+            )
+        for _ in range(80):
+            connection = Connection(
+                VOICE, 0.0, neighbor, cell_entry_time=rng.uniform(0, 90)
+            )
+            network.cell(neighbor).attach(connection)
+    station = network.station(0)
+    station.window.t_est = 10.0
+    return station
+
+
+def bench_reservation_update(duration: float) -> dict:
+    """Steady-state Eq. 6 update: 2 contributing neighbours, 80 conns each."""
+    station = _reservation_update_station()
+    return _measure(
+        lambda: station.update_target_reservation(100.0), duration
+    )
+
+
+def bench_handoff_probability(duration: float) -> dict:
+    """One Eq. 4 query against a warm 100-quadruplet snapshot."""
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    rng = random.Random(0)
+    for index in range(100):
+        estimator.record_departure(
+            float(index), 1, rng.choice((0, 2)), rng.uniform(10.0, 60.0)
+        )
+    estimator.function_for(1000.0, 1)
+    return _measure(
+        lambda: estimator.handoff_probability(1000.0, 1, 20.0, 2, 15.0),
+        duration,
+    )
+
+
+def bench_event_loop(duration: float) -> dict:
+    """10k self-rescheduling events through a fresh engine per call."""
+
+    def run_10k_events():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.call_in(1.0, tick)
+
+        engine.call_in(1.0, tick)
+        engine.run()
+
+    report = _measure(run_10k_events, max(duration, 0.2))
+    report["events_per_sec"] = report["ops_per_sec"] * 10_000
+    return report
+
+
+# ----------------------------------------------------------------------
+# representative simulation
+# ----------------------------------------------------------------------
+def bench_ac3_run(smoke: bool) -> dict:
+    """One AC3 run at L=200: wall time plus the paper's cost metrics."""
+    config = stationary(
+        "AC3",
+        offered_load=200.0,
+        voice_ratio=0.8,
+        high_mobility=True,
+        duration=200.0 if smoke else 1000.0,
+        seed=3,
+    )
+    result = CellularSimulator(config).run()
+    return {
+        "duration": config.duration,
+        "offered_load": config.offered_load,
+        "wall_seconds": result.wall_seconds,
+        "events_processed": result.events_processed,
+        "events_per_sec": (
+            result.events_processed / result.wall_seconds
+            if result.wall_seconds > 0
+            else float("inf")
+        ),
+        "n_calc": result.average_calculations,
+        "avg_messages": result.average_messages,
+        "p_cb": result.blocking_probability,
+        "p_hd": result.dropping_probability,
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    duration = float(os.environ.get("REPRO_BENCH_DURATION", "0.5"))
+    if smoke:
+        duration = min(duration, 0.1)
+    report = {
+        "date": date.today().isoformat(),
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro_seconds_per_bench": duration,
+        "micro": {
+            "reservation_update": bench_reservation_update(duration),
+            "handoff_probability": bench_handoff_probability(duration),
+            "event_loop": bench_event_loop(duration),
+        },
+        "simulation": {"ac3_load200": bench_ac3_run(smoke)},
+    }
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: tiny measuring windows and a short simulation",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="report path (default: ./BENCH_<date>.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke)
+    output = args.output
+    if output is None:
+        output = Path(f"BENCH_{report['date']}.json")
+    if output.parent != Path("."):
+        output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    micro = report["micro"]
+    for name, stats in micro.items():
+        print(f"{name:<22} {stats['mean_us']:>10.2f} us/op "
+              f"{stats['ops_per_sec']:>14,.0f} ops/s")
+    sim = report["simulation"]["ac3_load200"]
+    print(f"{'ac3_load200':<22} {sim['wall_seconds']:>10.2f} s    "
+          f"{sim['events_per_sec']:>14,.0f} events/s  "
+          f"N_calc={sim['n_calc']:.2f}  msgs={sim['avg_messages']:.2f}")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ class BaseStation:
         network: "CellularNetwork",
         estimator: MobilityEstimator,
         window_controller: EstimationWindowController,
+        reservation_cache: bool = True,
     ) -> None:
         self.cell = cell
         self.network = network
@@ -64,6 +65,17 @@ class BaseStation:
         self.reservation_calculations = 0
         #: Inter-BS (or BS<->MSC) messages attributable to this station.
         self.messages_sent = 0
+        #: Whether Eq. 5 contributions are memoized (see
+        #: :meth:`outgoing_reservation`).  Disabling falls back to the
+        #: naive rescan-everything path — useful to verify equivalence.
+        self.reservation_cache_enabled = reservation_cache
+        #: ``target -> (validity stamp, contribution)`` memo of Eq. 5
+        #: results this station computed for its neighbours.
+        self._contribution_cache: dict[
+            int, tuple[tuple[float, float, int, int], float]
+        ] = {}
+        self.contribution_cache_hits = 0
+        self.contribution_cache_misses = 0
 
     @property
     def cell_id(self) -> int:
@@ -86,10 +98,45 @@ class BaseStation:
     # ------------------------------------------------------------------
     def outgoing_reservation(self, now: float, target_cell: int,
                              t_est: float) -> float:
-        """Eq. 5: expected hand-off bandwidth from here toward a neighbour."""
-        return expected_handoff_bandwidth(
-            self.estimator, now, self.cell.connections(), target_cell, t_est
+        """Eq. 5: expected hand-off bandwidth from here toward a neighbour.
+
+        Incremental: the last contribution per target cell is memoized
+        under a validity stamp ``(now, t_est, cell version, estimator
+        version)``.  The cell version changes on every connection
+        attach/detach (and QoS re-sizing); the estimator version on
+        every new quadruplet, which is also what invalidates F_HOE
+        snapshots.  ``now`` participates because Eq. 4 conditions on
+        the extant sojourn, which grows with the clock even while the
+        connection set is unchanged — dropping it would trade accuracy
+        for hit rate and break bit-identity with the uncached scheme.
+        """
+        estimator_version = getattr(self.estimator, "version", None)
+        if not self.reservation_cache_enabled or estimator_version is None:
+            # Disabled, or a duck-typed estimator without change
+            # tracking: fall back to the naive full recomputation.
+            return expected_handoff_bandwidth(
+                self.estimator,
+                now,
+                self.cell.connections(),
+                target_cell,
+                t_est,
+            )
+        stamp = (now, t_est, self.cell.version, estimator_version)
+        cached = self._contribution_cache.get(target_cell)
+        if cached is not None and cached[0] == stamp:
+            self.contribution_cache_hits += 1
+            return cached[1]
+        value = expected_handoff_bandwidth(
+            self.estimator,
+            now,
+            self.cell.connections(),
+            target_cell,
+            t_est,
+            groups=self.cell.reservation_groups(),
         )
+        self._contribution_cache[target_cell] = (stamp, value)
+        self.contribution_cache_misses += 1
+        return value
 
     def update_target_reservation(self, now: float) -> float:
         """Eq. 6: recompute and install this cell's ``B_r``.

@@ -60,7 +60,18 @@ class Cell:
         #: this cell (``B_r^{prev}`` in the AC3 description, §4.3).  For the
         #: static scheme this is the constant guard band ``G``.
         self.reserved_target = 0.0
+        #: Monotone counter bumped on every attach/detach/adjustment;
+        #: lets the base station's reservation cache detect that its
+        #: memoized Eq. 5 contributions may be stale.
+        self.version = 0
         self._connections: dict[int, "Connection"] = {}
+        #: Incremental ``prev -> {connection_id: (entry_time, basis)}``
+        #: buckets over the attached connections — the grouped input of
+        #: the batched Eq. 5 path (both fields are immutable while a
+        #: connection stays attached).
+        self._by_prev: dict[
+            int | None, dict[int, tuple[float, float]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # capacity queries
@@ -78,6 +89,19 @@ class Cell:
     def connections(self) -> Iterator["Connection"]:
         """Iterate over the connections currently in this cell."""
         return iter(self._connections.values())
+
+    def reservation_groups(
+        self,
+    ) -> dict[int | None, dict[int, tuple[float, float]]]:
+        """Attached connections bucketed by ``prev`` cell.
+
+        Maps ``prev -> {connection_id: (cell_entry_time, basis)}`` where
+        ``basis`` is the connection's reservation basis (its minimum
+        rate).  Maintained incrementally on attach/detach, so Eq. 5 can
+        fetch each F_HOE snapshot once per bucket and batch its queries.
+        The returned mapping is live — treat it as read-only.
+        """
+        return self._by_prev
 
     def fits_new_connection(self, bandwidth: float) -> bool:
         """Admission test of Eq. (1): new traffic must respect ``B_r``."""
@@ -123,6 +147,16 @@ class Cell:
             )
         self._connections[connection.connection_id] = connection
         self.used_bandwidth += connection.bandwidth
+        # Duck-typed minimal connections (bandwidth only) still account;
+        # they just bucket under prev=None at entry time 0.
+        group = self._by_prev.setdefault(
+            getattr(connection, "prev_cell", None), {}
+        )
+        group[connection.connection_id] = (
+            getattr(connection, "cell_entry_time", 0.0),
+            getattr(connection, "reservation_basis", connection.bandwidth),
+        )
+        self.version += 1
 
     def detach(self, connection: "Connection") -> None:
         """Release a connection's bandwidth (hand-off out or completion)."""
@@ -132,6 +166,8 @@ class Cell:
                 f"connection {connection.connection_id} not in cell"
                 f" {self.cell_id}"
             )
+        self._discard_from_groups(connection)
+        self.version += 1
         self.used_bandwidth -= connection.bandwidth
         if self.used_bandwidth < -1e-9:
             raise CapacityError(
@@ -172,6 +208,28 @@ class Cell:
             )
         self.used_bandwidth += delta
         connection.allocated_bandwidth = new_bandwidth
+        # The reservation basis (minimum rate) is unaffected, but bump
+        # the version so memoized Eq. 5 results are conservatively
+        # recomputed after a QoS adaptation.
+        self.version += 1
+
+    def _discard_from_groups(self, connection: "Connection") -> None:
+        prev = getattr(connection, "prev_cell", None)
+        group = self._by_prev.get(prev)
+        if (
+            group is not None
+            and group.pop(connection.connection_id, None) is not None
+        ):
+            if not group:
+                del self._by_prev[prev]
+            return
+        # ``prev_cell`` mutated while attached (only possible with
+        # hand-rolled test doubles): fall back to scanning the buckets.
+        for prev, members in list(self._by_prev.items()):
+            if members.pop(connection.connection_id, None) is not None:
+                if not members:
+                    del self._by_prev[prev]
+                return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

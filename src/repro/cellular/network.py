@@ -28,6 +28,9 @@ class CellularNetwork:
         Window-controller parameters shared by all stations.
     estimator_factory:
         Override to plug a custom estimator (e.g. ``KnownPathEstimator``).
+    reservation_cache:
+        Whether base stations memoize their Eq. 5 contributions (see
+        :meth:`repro.cellular.base_station.BaseStation.outgoing_reservation`).
     """
 
     def __init__(
@@ -38,6 +41,7 @@ class CellularNetwork:
         window_config: WindowControllerConfig | None = None,
         estimator_factory: Callable[[int], MobilityEstimator] | None = None,
         handoff_overload: float = 1.0,
+        reservation_cache: bool = True,
     ) -> None:
         self.topology = topology
         self.cells: list[Cell] = []
@@ -59,7 +63,13 @@ class CellularNetwork:
             )
             self.cells.append(cell)
             self.stations.append(
-                BaseStation(cell, self, estimator, controller)
+                BaseStation(
+                    cell,
+                    self,
+                    estimator,
+                    controller,
+                    reservation_cache=reservation_cache,
+                )
             )
 
     @property

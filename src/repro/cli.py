@@ -20,7 +20,7 @@ from typing import Sequence
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import Table
 from repro.mobility.models import TravelDirections
-from repro.simulation.runner import sweep_offered_load
+from repro.simulation.runner import run_sweep
 from repro.simulation.scenarios import stationary
 from repro.simulation.simulator import CellularSimulator
 
@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--loads",
         default="60,100,150,200,250,300",
         help="comma-separated offered loads (BUs per cell)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the sweep on a process pool of N workers"
+        " (results are identical to the sequential run)",
     )
 
     experiment_parser = commands.add_parser(
@@ -144,8 +149,9 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     loads = [float(piece) for piece in args.loads.split(",") if piece]
-    pairs = sweep_offered_load(
-        lambda load: _build_config(args, load=load), loads=loads
+    configs = [_build_config(args, load=load) for load in loads]
+    pairs = list(
+        zip(loads, run_sweep(configs, workers=args.workers))
     )
     rows = [
         [

@@ -40,6 +40,7 @@ def expected_handoff_bandwidth(
     connections: Iterable[ReservableConnection],
     target_cell: int,
     t_est: float,
+    groups: dict | None = None,
 ) -> float:
     """Eq. 5: expected hand-off bandwidth from one cell toward ``target_cell``.
 
@@ -55,8 +56,21 @@ def expected_handoff_bandwidth(
         Global id of the cell computing its reservation.
     t_est:
         The target cell's estimation window ``T_est`` (seconds).
+    groups:
+        Optional incremental ``prev -> {key: (entry_time, basis)}``
+        buckets of the same connections (see
+        :meth:`repro.cellular.cell.Cell.reservation_groups`); lets the
+        estimator batch its snapshot queries.
     """
-    return estimator.expected_bandwidth(now, connections, target_cell, t_est)
+    if groups is None:
+        # Keep the positional call so duck-typed estimators that predate
+        # the ``groups`` parameter keep working.
+        return estimator.expected_bandwidth(
+            now, connections, target_cell, t_est
+        )
+    return estimator.expected_bandwidth(
+        now, connections, target_cell, t_est, groups=groups
+    )
 
 
 def aggregate_reservation(per_neighbor: Iterable[float]) -> float:

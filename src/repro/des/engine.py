@@ -30,6 +30,10 @@ class SimulationError(RuntimeError):
     """Raised on engine misuse (e.g. scheduling in the past)."""
 
 
+#: Cancelled heap entries tolerated before a compaction is considered.
+_COMPACT_MIN = 256
+
+
 class Engine:
     """A single-threaded discrete-event simulation engine.
 
@@ -45,6 +49,7 @@ class Engine:
         self._sequence = 0
         self._running = False
         self._stopped = False
+        self._cancelled_pending = 0
         self.events_processed = 0
 
     @property
@@ -54,8 +59,32 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (uncancelled) events still in the queue.
+
+        Cancelled entries awaiting lazy deletion are not counted; the
+        engine tracks them separately and compacts the heap when they
+        start to dominate.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancellation(self) -> None:
+        """Called (via the event's cancel hook) when a queued event dies.
+
+        Long runs cancel events en masse (every completed connection
+        cancels its crossing event and vice versa); without compaction
+        the heap would keep every corpse until its firing time, growing
+        the queue — and every push/pop — without bound.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._queue = [
+                event for event in self._queue if not event.cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     def call_at(
         self,
@@ -69,7 +98,14 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, int(priority), self._sequence, callback, args)
+        event = Event(
+            time,
+            int(priority),
+            self._sequence,
+            callback,
+            args,
+            _cancel_hook=self._note_cancellation,
+        )
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return event
@@ -94,6 +130,7 @@ class Engine:
         """Time of the next live event, or ``None`` if the queue is drained."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
         if not self._queue:
             return None
         return self._queue[0].time
@@ -103,9 +140,13 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue corrupted: time went backwards")
+            # The event left the heap: a late cancel() must not count it
+            # as a dead heap entry.
+            event._cancel_hook = None
             self._now = event.time
             self.events_processed += 1
             event.fire()

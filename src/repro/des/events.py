@@ -44,6 +44,11 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Owner notification (engine bookkeeping of dead heap entries);
+    #: invoked at most once, on the first :meth:`cancel`.
+    _cancel_hook: Callable[[], None] | None = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Prevent this event from firing.
@@ -51,7 +56,13 @@ class Event:
         Cancelling an already-fired or already-cancelled event is a
         harmless no-op; the engine skips cancelled entries lazily.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        hook = self._cancel_hook
+        if hook is not None:
+            self._cancel_hook = None
+            hook()
 
     def fire(self) -> None:
         """Invoke the callback (engine use only)."""

@@ -18,18 +18,29 @@ smaller recency-adjusted distance ``|T_event + n*T_day - t0|``.
 ``T_int = None`` models the paper's stationary runs (``T_int = inf``):
 every cached quadruplet is in-window with weight ``w_0`` and the
 ``N_quad`` most recent per pair are used.
+
+Selection is *incremental*: entries are kept time-ordered in an
+offset-compacted array with a mirrored event-time array, so each
+rebuild finds every periodic window with two binary searches instead of
+scanning (and sorting) the whole pair store, and only computes recency
+distances when a window actually overflows ``N_quad``.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Deque, Iterable
+from itertools import islice
+from typing import Iterator
 
 from repro.estimation.quadruplet import HandoffQuadruplet
 
 #: Seconds in a day (``T_day`` in the paper).
 DAY_SECONDS = 86_400.0
+
+#: Dead-prefix length beyond which a pair store is compacted.
+_COMPACT_THRESHOLD = 512
 
 
 @dataclass
@@ -42,7 +53,7 @@ class CacheConfig:
     max_per_pair: int = 100
     #: Day-age weights ``w_0, w_1, ...``; entries beyond the list are 0.
     #: Must be non-increasing with ``w_0 = 1`` dominance (Eq. 3 requires
-    #: ``1 >= w_n >= w_{n+1}``).
+    #: ``1 >= w_n >= w_{n+1} >= 0``).
     weights: tuple[float, ...] = (1.0, 1.0)
     #: Cycle length (``T_day`` by default; use 7 days for weekend sets).
     period: float = DAY_SECONDS
@@ -54,6 +65,8 @@ class CacheConfig:
             raise ValueError("max_per_pair must be >= 1")
         if not self.weights or self.weights[0] > 1.0:
             raise ValueError("weights must start at w_0 <= 1")
+        if self.weights[-1] < 0.0:
+            raise ValueError("weights cannot be negative")
         for earlier, later in zip(self.weights, self.weights[1:]):
             if later > earlier:
                 raise ValueError("weights must be non-increasing")
@@ -76,9 +89,39 @@ class WeightedQuadruplet:
 
 @dataclass
 class _PairStore:
-    """Per-(prev, next) storage; newest entries at the right end."""
+    """Per-(prev, next) storage; newest entries at the right end.
 
-    entries: Deque[HandoffQuadruplet] = field(default_factory=deque)
+    Live entries are ``quads[start:]``; eviction advances ``start`` and
+    the dead prefix is deleted once it grows past a threshold (amortised
+    O(1) per eviction).  ``times`` mirrors ``quads`` with the event
+    times so selection windows are located by binary search with O(1)
+    random access — a deque would make every ``bisect`` probe O(n).
+    """
+
+    quads: list[HandoffQuadruplet] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    start: int = 0
+
+    def __len__(self) -> int:
+        return len(self.quads) - self.start
+
+    def append(self, quadruplet: HandoffQuadruplet) -> None:
+        self.quads.append(quadruplet)
+        self.times.append(quadruplet.event_time)
+
+    def newest_time(self) -> float:
+        return self.times[-1]
+
+    def drop_left(self, count: int) -> None:
+        """Evict the ``count`` oldest live entries."""
+        self.start += count
+        if (
+            self.start > _COMPACT_THRESHOLD
+            and self.start * 2 >= len(self.quads)
+        ):
+            del self.quads[: self.start]
+            del self.times[: self.start]
+            self.start = 0
 
 
 class QuadrupletCache:
@@ -87,6 +130,7 @@ class QuadrupletCache:
     def __init__(self, config: CacheConfig | None = None) -> None:
         self.config = config or CacheConfig()
         self._pairs: dict[tuple[int | None, int], _PairStore] = {}
+        self._prev_keys: set[int | None] = set()
         self.total_recorded = 0
 
     # ------------------------------------------------------------------
@@ -99,9 +143,10 @@ class QuadrupletCache:
         if store is None:
             store = _PairStore()
             self._pairs[key] = store
-        if store.entries and quadruplet.event_time < store.entries[-1].event_time:
+            self._prev_keys.add(quadruplet.prev)
+        if len(store) and quadruplet.event_time < store.newest_time():
             raise ValueError("quadruplets must be recorded in time order")
-        store.entries.append(quadruplet)
+        store.append(quadruplet)
         self.total_recorded += 1
         self._evict(store, quadruplet.event_time)
 
@@ -115,16 +160,23 @@ class QuadrupletCache:
         """
         config = self.config
         if config.interval is None:
-            while len(store.entries) > config.max_per_pair:
-                store.entries.popleft()
+            excess = len(store) - config.max_per_pair
+            if excess > 0:
+                store.drop_left(excess)
             return
         horizon = config.window_days * config.period + config.interval
-        while store.entries and now - store.entries[0].event_time > horizon:
-            store.entries.popleft()
+        # Entries are time-ordered: the out-of-date prefix ends at the
+        # first event time still within the horizon.
+        keep_from = bisect_left(
+            store.times, now - horizon, store.start, len(store.times)
+        )
+        if keep_from > store.start:
+            store.drop_left(keep_from - store.start)
         # Memory bound: one full window of N_quad per contributing day.
         limit = config.max_per_pair * (config.window_days + 1)
-        while len(store.entries) > limit:
-            store.entries.popleft()
+        excess = len(store) - limit
+        if excess > 0:
+            store.drop_left(excess)
 
     # ------------------------------------------------------------------
     # selection (Eqs. 2-3 + priority rule)
@@ -140,57 +192,94 @@ class QuadrupletCache:
         for (stored_prev, next_cell), store in self._pairs.items():
             if stored_prev != prev:
                 continue
-            selected = self._select_pair(store.entries, now)
+            selected = self._select_pair(store, now)
             if selected:
                 result[next_cell] = selected
         return result
 
-    def pairs(self) -> Iterable[tuple[int | None, int]]:
-        """All ``(prev, next)`` pairs with any cached entries."""
-        return list(self._pairs)
+    def pairs(self) -> Iterator[tuple[int | None, int]]:
+        """Iterate over all ``(prev, next)`` pairs with any cached entries."""
+        return iter(self._pairs)
+
+    def prev_keys(self) -> set[int | None]:
+        """Every ``prev`` that ever contributed a quadruplet.
+
+        Maintained incrementally so hot callers (``max_sojourn`` on each
+        hand-off arrival) need not rebuild the set from :meth:`pairs`.
+        The returned set is live — treat it as read-only.
+        """
+        return self._prev_keys
 
     def size(self) -> int:
         """Total quadruplets currently cached (all pairs)."""
-        return sum(len(store.entries) for store in self._pairs.values())
+        return sum(len(store) for store in self._pairs.values())
 
     def _select_pair(
-        self, entries: Deque[HandoffQuadruplet], now: float
+        self, store: _PairStore, now: float
     ) -> list[WeightedQuadruplet]:
         config = self.config
+        quads = store.quads
+        end = len(quads)
+        if end == store.start:
+            return []
         if config.interval is None:
-            newest = list(entries)[-config.max_per_pair:]
             weight = config.weights[0]
-            return [WeightedQuadruplet(quad, weight) for quad in newest]
+            begin = max(store.start, end - config.max_per_pair)
+            return [
+                WeightedQuadruplet(quad, weight)
+                for quad in islice(quads, begin, end)
+            ]
+        return self._select_pair_windowed(store, now)
 
-        candidates: list[tuple[int, float, HandoffQuadruplet]] = []
-        for quad in entries:
-            day_age = self._day_index(quad.event_time, now)
-            if day_age is None:
-                continue
-            weight = config.weights[day_age]
-            if weight <= 0:
-                continue
-            distance = abs(quad.event_time + day_age * config.period - now)
-            candidates.append((day_age, distance, quad))
-        # Paper priority rule: smaller n first, then smaller distance.
-        candidates.sort(key=lambda item: (item[0], item[1]))
-        selected = candidates[: config.max_per_pair]
-        return [
-            WeightedQuadruplet(quad, config.weights[day_age])
-            for day_age, _distance, quad in selected
-        ]
+    def _select_pair_windowed(
+        self, store: _PairStore, now: float
+    ) -> list[WeightedQuadruplet]:
+        """Finite ``T_int``: pick per periodic window via binary search.
 
-    def _day_index(self, event_time: float, now: float) -> int | None:
-        """Smallest ``n`` whose periodic window contains ``event_time``.
-
-        ``None`` when the quadruplet is in no window (Eq. 2 fails for
-        all ``n`` within ``N_win-days``).
+        Equivalent to scoring every entry with the priority rule and
+        sorting by ``(n, distance)``, but each window ``n`` is located
+        with two bisects and recency distances are only computed when a
+        window overflows the remaining ``N_quad`` budget.
         """
         config = self.config
         interval = config.interval
         assert interval is not None
-        for day_age in range(config.window_days + 1):
-            shifted = event_time + day_age * config.period
-            if now - interval <= shifted < now + interval:
-                return day_age
-        return None
+        times = store.times
+        quads = store.quads
+        start, end = store.start, len(quads)
+        # Consecutive windows can overlap (entries then belong to the
+        # *smallest* n — Eq. 2); only track claims when geometry allows it.
+        overlapping = 2.0 * interval > config.period
+        claimed: set[int] = set()
+        budget = config.max_per_pair
+        selected: list[WeightedQuadruplet] = []
+        for day_age, weight in enumerate(config.weights):
+            if budget <= 0:
+                break
+            if weight <= 0.0:
+                continue
+            center = now - day_age * config.period
+            lo = bisect_left(times, center - interval, start, end)
+            hi = bisect_left(times, center + interval, lo, end)
+            if lo == hi:
+                continue
+            if overlapping and claimed:
+                indices = [i for i in range(lo, hi) if i not in claimed]
+            else:
+                indices = range(lo, hi)
+            if len(indices) <= budget:
+                chosen = indices
+            else:
+                # Window overflow: the paper's priority rule keeps the
+                # entries closest to the (periodically shifted) instant.
+                chosen = heapq.nsmallest(
+                    budget,
+                    indices,
+                    key=lambda i: (abs(times[i] - center), i),
+                )
+            for index in chosen:
+                selected.append(WeightedQuadruplet(quads[index], weight))
+            if overlapping:
+                claimed.update(chosen)
+            budget -= len(chosen)
+        return selected

@@ -143,10 +143,15 @@ class CalendarEstimator:
         )
 
     def expected_bandwidth(
-        self, now: float, connections, target_cell: int, t_est: float
+        self,
+        now: float,
+        connections,
+        target_cell: int,
+        t_est: float,
+        groups: dict | None = None,
     ) -> float:
         return self.estimator_for(now).expected_bandwidth(
-            now, connections, target_cell, t_est
+            now, connections, target_cell, t_est, groups=groups
         )
 
     def is_stationary(
@@ -161,6 +166,18 @@ class CalendarEstimator:
 
     def function_for(self, now: float, prev: int | None):
         return self.estimator_for(now).function_for(now, prev)
+
+    @property
+    def version(self) -> int:
+        """Monotone change counter (sum over the per-day-type estimators).
+
+        Lets the base-station reservation memo treat a calendar
+        estimator like a plain one: any new quadruplet, whichever day
+        type it lands in, bumps the aggregate.
+        """
+        return sum(
+            estimator.version for estimator in self._estimators.values()
+        )
 
     @property
     def cache(self):

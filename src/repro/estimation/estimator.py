@@ -50,6 +50,10 @@ class MobilityEstimator:
             int | None, tuple[float, HandoffEstimationFunction]
         ] = {}
         self._dirty: set[int | None] = set()
+        #: Monotone counter bumped on every new observation.  Consumers
+        #: (the base-station reservation cache) treat any change as
+        #: "every F_HOE snapshot may differ" and recompute.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -66,6 +70,7 @@ class MobilityEstimator:
             HandoffQuadruplet(event_time, prev, next_cell, sojourn)
         )
         self._dirty.add(prev)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # snapshots
@@ -139,37 +144,73 @@ class MobilityEstimator:
         connections,
         target_cell: int,
         t_est: float,
+        groups: dict | None = None,
     ) -> float:
         """Eq. 5 in batch: expected hand-off bandwidth toward a cell.
 
         Equivalent to summing ``bandwidth * handoff_probability(...)``
         over ``connections`` but fetches each ``prev`` snapshot once —
         this is the hot path of the reservation protocol.
+
+        ``groups`` is an optional pre-bucketed view of ``connections``
+        (``prev -> {key: (cell_entry_time, reservation_basis)}``, as
+        maintained incrementally by :class:`repro.cellular.cell.Cell`).
+        When given, each snapshot is queried over a sorted extant-
+        sojourn array with resumable binary searches instead of three
+        fresh lookups per connection.  Contributions are still summed
+        in ``connections`` iteration order, so the result is
+        bit-identical to the ungrouped path.
         """
         if t_est <= 0:
             return 0.0
-        total = 0.0
-        snapshots: dict[int | None, HandoffEstimationFunction] = {}
-        for connection in connections:
-            prev = connection.prev_cell
-            snapshot = snapshots.get(prev)
-            if snapshot is None:
-                snapshot = self.function_for(now, prev)
-                snapshots[prev] = snapshot
-            extant = now - connection.cell_entry_time
-            denominator = snapshot.total_mass_above(extant)
-            if denominator <= 0.0:
-                continue  # estimated stationary
-            numerator = snapshot.mass_between(
-                target_cell, extant, extant + t_est
-            )
-            if numerator > 0.0:
-                # Adaptive-QoS connections reserve their minimum rate
-                # (paper §1); rigid ones expose it as the full rate.
-                basis = getattr(
-                    connection, "reservation_basis", connection.bandwidth
+        if groups is None:
+            total = 0.0
+            snapshots: dict[int | None, HandoffEstimationFunction] = {}
+            for connection in connections:
+                prev = connection.prev_cell
+                snapshot = snapshots.get(prev)
+                if snapshot is None:
+                    snapshot = self.function_for(now, prev)
+                    snapshots[prev] = snapshot
+                extant = now - connection.cell_entry_time
+                denominator = snapshot.total_mass_above(extant)
+                if denominator <= 0.0:
+                    continue  # estimated stationary
+                numerator = snapshot.mass_between(
+                    target_cell, extant, extant + t_est
                 )
-                total += basis * min(numerator / denominator, 1.0)
+                if numerator > 0.0:
+                    # Adaptive-QoS connections reserve their minimum rate
+                    # (paper §1); rigid ones expose it as the full rate.
+                    basis = getattr(
+                        connection, "reservation_basis", connection.bandwidth
+                    )
+                    total += basis * min(numerator / denominator, 1.0)
+            return total
+        if not groups:
+            return 0.0
+        contributions: dict[int, float] = {}
+        for prev, members in groups.items():
+            snapshot = self.function_for(now, prev)
+            if snapshot.is_empty:
+                continue
+            rows = sorted(
+                (
+                    (key, now - entry_time, basis)
+                    for key, (entry_time, basis) in members.items()
+                ),
+                key=lambda row: row[1],
+            )
+            contributions.update(
+                snapshot.batch_contributions(target_cell, rows, t_est)
+            )
+        if not contributions:
+            return 0.0
+        total = 0.0
+        for connection in connections:
+            value = contributions.get(connection.connection_id)
+            if value is not None:
+                total += value
         return total
 
     def is_stationary(
@@ -180,10 +221,14 @@ class MobilityEstimator:
         return snapshot.total_mass_above(extant_sojourn) <= 0.0
 
     def max_sojourn(self, now: float) -> float:
-        """Largest active sojourn over all ``prev`` (bounds ``T_est``)."""
+        """Largest active sojourn over all ``prev`` (bounds ``T_est``).
+
+        Runs on every hand-off arrival (via ``neighborhood_max_sojourn``)
+        so it iterates the cache's incrementally maintained prev-key set
+        instead of rebuilding one from the pair listing each call.
+        """
         maximum = 0.0
-        prevs = {prev for prev, _next in self.cache.pairs()}
-        for prev in prevs:
+        for prev in self.cache.prev_keys():
             maximum = max(maximum, self.function_for(now, prev).max_sojourn())
         return maximum
 
@@ -224,11 +269,17 @@ class KnownPathEstimator(MobilityEstimator):
         connections,
         target_cell: int,
         t_est: float,
+        groups: dict | None = None,
     ) -> float:
-        """Eq. 5 with routes: mass concentrates on each known next cell."""
+        """Eq. 5 with routes: mass concentrates on each known next cell.
+
+        The route oracle is consulted per connection, so the grouped
+        fast path does not apply here; ``groups`` is accepted (and
+        ignored) for interface compatibility with the base class.
+        """
         if self.route_oracle is None:
             return super().expected_bandwidth(
-                now, connections, target_cell, t_est
+                now, connections, target_cell, t_est, groups=groups
             )
         if t_est <= 0:
             return 0.0

@@ -121,6 +121,54 @@ class HandoffEstimationFunction:
         """Unweighted number of active quadruplets beyond ``sojourn``."""
         return self._union.count_above(sojourn)
 
+    def batch_contributions(
+        self,
+        target_cell: int,
+        rows: Sequence[tuple[int, float, float]],
+        t_est: float,
+    ) -> dict[int, float]:
+        """Eq. 5 contributions for many connections sharing one ``prev``.
+
+        ``rows`` is ``(key, extant_sojourn, basis)`` tuples sorted by
+        *non-decreasing* extant sojourn; the result maps ``key`` to
+        ``basis * p_h`` for every row with a positive contribution.
+        Because the query sojourns are sorted, every binary search
+        resumes from the previous hit instead of restarting, and the
+        walk stops at the first estimated-stationary row (the Eq. 4
+        denominator is non-increasing in the extant sojourn).  Each
+        contribution is computed with exactly the per-connection
+        arithmetic of Eq. 4, so results are bit-identical to querying
+        one connection at a time.
+        """
+        per_next = self._per_next.get(target_cell)
+        if per_next is None or t_est <= 0:
+            return {}
+        union_sojourns = self._union.sojourns
+        union_cumulative = self._union.cumulative
+        total = self._union.total
+        target_sojourns = per_next.sojourns
+        target_cumulative = per_next.cumulative
+        contributions: dict[int, float] = {}
+        union_lo = 0
+        low_lo = 0
+        high_lo = 0
+        for key, extant, basis in rows:
+            union_lo = bisect_right(union_sojourns, extant, union_lo)
+            below = union_cumulative[union_lo - 1] if union_lo else 0.0
+            denominator = total - below
+            if denominator <= 0.0:
+                break  # estimated stationary — and so is every later row
+            low_lo = bisect_right(target_sojourns, extant, low_lo)
+            low_mass = target_cumulative[low_lo - 1] if low_lo else 0.0
+            high_lo = bisect_right(target_sojourns, extant + t_est, high_lo)
+            high_mass = target_cumulative[high_lo - 1] if high_lo else 0.0
+            numerator = high_mass - low_mass
+            if numerator > 0.0:
+                contributions[key] = basis * min(
+                    numerator / denominator, 1.0
+                )
+        return contributions
+
     def footprint(self) -> dict[int, list[tuple[float, float]]]:
         """``next -> [(sojourn, cumulative weight), ...]`` (Figure 4 aid)."""
         return {

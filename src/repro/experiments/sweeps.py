@@ -11,9 +11,8 @@ from typing import Sequence
 
 from repro.experiments.report import ExperimentOutput, Series
 from repro.simulation.metrics import SimulationResult
-from repro.simulation.runner import DEFAULT_LOAD_AXIS
+from repro.simulation.runner import DEFAULT_LOAD_AXIS, run_sweep
 from repro.simulation.scenarios import stationary
-from repro.simulation.simulator import CellularSimulator
 
 #: Voice ratios examined by Figures 7 and 8.
 PAPER_VOICE_RATIOS = (1.0, 0.8, 0.5)
@@ -27,11 +26,11 @@ def _sweep(
     duration: float,
     seed: int,
     warmup: float = 0.0,
+    workers: int | None = None,
     **overrides: object,
 ) -> list[SimulationResult]:
-    results = []
-    for load in loads:
-        config = stationary(
+    configs = [
+        stationary(
             scheme,
             offered_load=load,
             voice_ratio=voice_ratio,
@@ -41,8 +40,9 @@ def _sweep(
             seed=seed,
             **overrides,
         )
-        results.append(CellularSimulator(config).run())
-    return results
+        for load in loads
+    ]
+    return run_sweep(configs, workers=workers)
 
 
 def _mobility_label(high_mobility: bool) -> str:
@@ -57,6 +57,7 @@ def run_fig07_static(
     duration: float = 1000.0,
     seed: int = 7,
     warmup: float = 0.0,
+    workers: int | None = None,
 ) -> ExperimentOutput:
     """Figure 7: P_CB and P_HD vs offered load, static reservation G=10."""
     output = ExperimentOutput(
@@ -78,6 +79,7 @@ def run_fig07_static(
             duration,
             seed,
             warmup=warmup,
+            workers=workers,
             static_guard=guard,
         )
         output.series.append(
@@ -108,6 +110,7 @@ def run_fig08_fig09_ac3(
     duration: float = 1000.0,
     seed: int = 8,
     warmup: float = 0.0,
+    workers: int | None = None,
 ) -> tuple[ExperimentOutput, ExperimentOutput]:
     """Figures 8 and 9 from one AC3 sweep.
 
@@ -128,7 +131,7 @@ def run_fig08_fig09_ac3(
     for voice_ratio in voice_ratios:
         results = _sweep(
             "AC3", loads, voice_ratio, high_mobility, duration, seed,
-            warmup=warmup,
+            warmup=warmup, workers=workers,
         )
         pairs = list(zip(loads, results))
         fig8.series.append(
@@ -165,6 +168,7 @@ def run_fig12_fig13_comparison(
     duration: float = 1000.0,
     seed: int = 12,
     warmup: float = 0.0,
+    workers: int | None = None,
 ) -> tuple[ExperimentOutput, ExperimentOutput]:
     """Figures 12 and 13 from one AC1/AC2/AC3 sweep.
 
@@ -192,7 +196,7 @@ def run_fig12_fig13_comparison(
     for scheme in ("AC1", "AC2", "AC3"):
         results = _sweep(
             scheme, loads, voice_ratio, high_mobility, duration, seed,
-            warmup=warmup,
+            warmup=warmup, workers=workers,
         )
         pairs = list(zip(loads, results))
         fig12.series.append(

@@ -78,6 +78,10 @@ class SimulationConfig:
     #: compresses the §5.3 scenario.
     day_seconds: float = 86_400.0
     step_policy: StepPolicy = StepPolicy.UNIT
+    #: Memoize per-station Eq. 5 contributions (pure optimisation —
+    #: metrics are bit-identical either way; keep the switch so the
+    #: equivalence is testable).
+    reservation_cache: bool = True
 
     # --- run control ----------------------------------------------------
     duration: float = 2000.0

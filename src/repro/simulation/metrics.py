@@ -7,7 +7,7 @@ counted (the scheme still learns from them).  Time traces (Figures 10,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -108,6 +108,17 @@ class SimulationResult:
     phd_traces: dict[int, list[TracePoint]] = field(default_factory=dict)
     events_processed: int = 0
     wall_seconds: float = 0.0
+
+    def metrics_key(self) -> dict:
+        """Every simulation-determined field, as plain data.
+
+        Excludes ``wall_seconds`` (host speed, not simulation output),
+        so two runs of the same scenario — cached vs uncached, parallel
+        vs sequential — compare equal iff their metrics are identical.
+        """
+        data = asdict(self)
+        data.pop("wall_seconds", None)
+        return data
 
     # ------------------------------------------------------------------
     # aggregates

@@ -108,6 +108,7 @@ class CellularSimulator:
                 step_policy=config.step_policy,
             ),
             handoff_overload=config.handoff_overload,
+            reservation_cache=config.reservation_cache,
         )
         if policy is not None:
             self.policy = policy

@@ -215,3 +215,53 @@ def test_callback_arguments_passed():
     engine.call_at(1.0, lambda a, b: seen.append((a, b)), "x", 2)
     engine.run()
     assert seen == [("x", 2)]
+
+
+def test_pending_excludes_cancelled_events():
+    engine = Engine()
+    keep = engine.call_at(1.0, lambda: None)
+    drop = engine.call_at(2.0, lambda: None)
+    drop.cancel()
+    assert engine.pending == 1
+    keep.cancel()
+    assert engine.pending == 0
+
+
+def test_mass_cancellation_compacts_the_heap():
+    engine = Engine()
+    events = [
+        engine.call_at(1000.0 + index, lambda: None)
+        for index in range(2000)
+    ]
+    for event in events:
+        event.cancel()
+    assert engine.pending == 0
+    # Lazy deletion alone would keep all 2000 corpses until t=1000;
+    # compaction must have physically shrunk the queue.
+    assert len(engine._queue) < len(events)
+    engine.run()
+    assert engine.events_processed == 0
+
+
+def test_compaction_preserves_live_events():
+    engine = Engine()
+    fired = []
+    for index in range(1500):
+        event = engine.call_at(10.0 + index, lambda: None)
+        event.cancel()
+    engine.call_at(5.0, lambda: fired.append("early"))
+    engine.call_at(2000.0, lambda: fired.append("late"))
+    assert engine.pending == 2
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    engine = Engine()
+    event = engine.call_at(1.0, lambda: None)
+    engine.call_at(2.0, lambda: None)
+    engine.run(until=1.5)
+    event.cancel()  # already fired: must not count as a dead heap entry
+    assert engine.pending == 1
+    engine.run()
+    assert engine.pending == 0

@@ -1,0 +1,63 @@
+"""Parallel sweep runner: process-pool results equal the sequential run."""
+
+from repro.simulation.runner import run_sweep, sweep_offered_load
+from repro.simulation.scenarios import stationary
+
+
+def _configs(loads=(60.0, 150.0), duration=150.0):
+    return [
+        stationary(
+            "AC3",
+            offered_load=load,
+            voice_ratio=0.8,
+            high_mobility=True,
+            duration=duration,
+            seed=8,
+        )
+        for load in loads
+    ]
+
+
+def test_parallel_matches_sequential_in_order():
+    configs = _configs()
+    sequential = run_sweep(configs)
+    parallel = run_sweep(configs, workers=4)
+    assert len(parallel) == len(sequential) == len(configs)
+    for seq, par in zip(sequential, parallel):
+        assert par.metrics_key() == seq.metrics_key()
+    # Order is the input order, not completion order.
+    assert [r.offered_load for r in parallel] == [
+        c.offered_load for c in configs
+    ]
+
+
+def test_parallel_progress_fires_in_order():
+    configs = _configs()
+    seen = []
+    run_sweep(
+        configs,
+        progress=lambda config, result: seen.append(config.offered_load),
+        workers=2,
+    )
+    assert seen == [config.offered_load for config in configs]
+
+
+def test_workers_one_runs_in_process():
+    configs = _configs(loads=(60.0,))
+    assert (
+        run_sweep(configs, workers=1)[0].metrics_key()
+        == run_sweep(configs)[0].metrics_key()
+    )
+
+
+def test_sweep_offered_load_accepts_workers():
+    loads = (60.0, 150.0)
+    sequential = sweep_offered_load(
+        lambda load: _configs(loads=(load,))[0], loads=loads
+    )
+    parallel = sweep_offered_load(
+        lambda load: _configs(loads=(load,))[0], loads=loads, workers=2
+    )
+    for (load_s, res_s), (load_p, res_p) in zip(sequential, parallel):
+        assert load_s == load_p
+        assert res_s.metrics_key() == res_p.metrics_key()
