@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI gate: tier-1 test suite plus a smoke pass of the benchmark harness.
+# CI gate: tier-1 test suite plus a smoke pass of the benchmark harness
+# compared against the newest committed BENCH_<date>.json baseline.
 # Run from the repository root:  sh scripts/ci.sh
 set -e
 
@@ -9,7 +10,18 @@ echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
 echo "== benchmark smoke =="
-PYTHONPATH=src python scripts/bench.py --smoke --output /tmp/bench-smoke.json
+# A slightly longer-than-smoke measuring window keeps the regression
+# comparison out of timer-noise territory while staying CI-cheap.
+BASELINE=$(git ls-files 'BENCH_*.json' | sort | tail -n 1)
+if [ -n "$BASELINE" ]; then
+    echo "comparing against $BASELINE"
+    REPRO_BENCH_DURATION=0.3 PYTHONPATH=src python scripts/bench.py \
+        --output /tmp/bench-smoke.json \
+        --compare "$BASELINE"
+else
+    PYTHONPATH=src python scripts/bench.py --smoke \
+        --output /tmp/bench-smoke.json
+fi
 rm -f /tmp/bench-smoke.json
 
 echo "CI OK"

@@ -1,0 +1,83 @@
+"""Estimation-kernel selection: numpy-batched or pure-Python columnar.
+
+This is the single place that imports :mod:`numpy`.  The package works
+without it — every batched code path has a pure-Python ``bisect``
+fallback — but when numpy is installed (``pip install repro[fast]``)
+the columnar F_HOE/Bayes kernels evaluate whole query batches with
+``searchsorted`` + prefix sums instead of per-connection loops.
+
+Selection order:
+
+1. an explicit :func:`set_kernel` call (``SimulationConfig.kernel``,
+   the ``--kernel`` CLI flag, and ``repro-bench --kernel`` end here);
+2. the ``REPRO_KERNEL`` environment variable (``numpy`` / ``python``);
+3. ``auto``: numpy when importable, python otherwise.
+
+The resolved choice is logged once (logger ``repro.kernel``, INFO) so
+long runs record which kernel produced them.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+logger = logging.getLogger("repro.kernel")
+
+try:  # the only numpy import in the package — keep it that way
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _numpy = None
+
+#: Whether the optional ``[fast]`` dependency is importable at all.
+HAS_NUMPY = _numpy is not None
+
+KERNELS = ("auto", "numpy", "python")
+
+_active: str | None = None
+
+
+def _resolve(requested: str) -> str:
+    if requested == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if requested == "numpy" and not HAS_NUMPY:
+        raise RuntimeError(
+            "the numpy kernel was requested but numpy is not installed;"
+            " install the optional extra (pip install 'repro[fast]')"
+            " or select --kernel python"
+        )
+    return requested
+
+
+def set_kernel(name: str) -> str:
+    """Select the estimation kernel; returns the resolved name."""
+    global _active
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {KERNELS}"
+        )
+    resolved = _resolve(name)
+    if resolved != _active:
+        _active = resolved
+        logger.info(
+            "estimation kernel: %s%s",
+            resolved,
+            "" if HAS_NUMPY else " (numpy not installed)",
+        )
+    return resolved
+
+
+def kernel_name() -> str:
+    """The active kernel (``numpy`` or ``python``), resolving lazily."""
+    if _active is None:
+        set_kernel(os.environ.get("REPRO_KERNEL", "auto"))
+    return _active  # type: ignore[return-value]
+
+
+def numpy_or_none():
+    """The numpy module when the numpy kernel is active, else ``None``.
+
+    Batched code paths branch on this exactly once per batch, so the
+    per-call overhead is one function call and a string compare.
+    """
+    return _numpy if kernel_name() == "numpy" else None

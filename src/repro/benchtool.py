@@ -7,14 +7,23 @@ importable and leaves an artifact behind::
     python scripts/bench.py            # full run, writes BENCH_<date>.json
     python scripts/bench.py --smoke    # CI-sized sanity run
     repro-bench --output out.json      # installed console entry point
+    repro-bench --kernel python        # force the pure-Python kernel
+    repro-bench --profile              # cProfile the run, print the top-N
+    repro-bench --compare BENCH_x.json # per-bench speedups vs a baseline
 
 The report covers:
 
-* micro-benchmarks — steady-state Eq. 6 reservation update, the Eq. 4
-  hand-off probability query, and the raw event loop (ops/sec each);
+* micro-benchmarks — steady-state Eq. 6 reservation update, batched and
+  scalar Eq. 4 hand-off probability queries, and the raw event loop
+  (ops/sec each);
 * one representative AC3 simulation — wall time, events/sec, and the
   paper's complexity metrics (``N_calc`` per admission test, average
   inter-BS messages).
+
+``--compare`` prints the per-bench throughput delta against a previous
+report and exits non-zero when any bench regressed by more than the
+``--regression-threshold`` (20% by default) — the CI gate
+(``scripts/ci.sh``) runs it against the newest committed baseline.
 
 Per-benchmark measuring time defaults to ``REPRO_BENCH_DURATION``
 seconds (0.5 if unset), so CI can shrink it without flag plumbing.
@@ -32,6 +41,7 @@ from datetime import date
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro._kernel import KERNELS, kernel_name, set_kernel
 from repro.cellular.network import CellularNetwork
 from repro.cellular.topology import LinearTopology
 from repro.des import Engine
@@ -42,9 +52,21 @@ from repro.simulation.simulator import CellularSimulator
 from repro.traffic.classes import VOICE
 from repro.traffic.connection import Connection
 
+#: Queries per call of the batched Eq. 4 micro-benchmark.
+_BATCH = 256
 
-def _measure(operation: Callable[[], object], duration: float) -> dict:
-    """Time ``operation`` repeatedly for about ``duration`` seconds."""
+
+def _measure(
+    operation: Callable[[], object], duration: float, repeats: int = 5
+) -> dict:
+    """Time ``operation`` for about ``duration`` seconds; best-of-N.
+
+    The budget is split into ``repeats`` slices and the *fastest* slice
+    is reported: transient interference (other tenants, frequency
+    scaling) only ever slows a slice down, so the minimum mean is the
+    most reproducible estimate — which is what the ``--compare``
+    regression gate needs.
+    """
     # Warm up and calibrate a batch size so the clock is read far less
     # often than the operation runs.
     operation()
@@ -52,20 +74,27 @@ def _measure(operation: Callable[[], object], duration: float) -> dict:
     operation()
     single = time.perf_counter() - started
     batch = max(1, int(0.01 / single) if single > 0 else 1000)
-    calls = 0
-    started = time.perf_counter()
-    while True:
-        for _ in range(batch):
-            operation()
-        calls += batch
-        elapsed = time.perf_counter() - started
-        if elapsed >= duration:
-            break
-    mean = elapsed / calls
+    slice_duration = duration / repeats
+    best_mean = float("inf")
+    total_calls = 0
+    for _ in range(repeats):
+        calls = 0
+        started = time.perf_counter()
+        while True:
+            for _ in range(batch):
+                operation()
+            calls += batch
+            elapsed = time.perf_counter() - started
+            if elapsed >= slice_duration:
+                break
+        total_calls += calls
+        mean = elapsed / calls
+        if mean < best_mean:
+            best_mean = mean
     return {
-        "calls": calls,
-        "mean_us": mean * 1e6,
-        "ops_per_sec": 1.0 / mean if mean > 0 else float("inf"),
+        "calls": total_calls,
+        "mean_us": best_mean * 1e6,
+        "ops_per_sec": 1.0 / best_mean if best_mean > 0 else float("inf"),
     }
 
 
@@ -102,8 +131,7 @@ def bench_reservation_update(duration: float) -> dict:
     )
 
 
-def bench_handoff_probability(duration: float) -> dict:
-    """One Eq. 4 query against a warm 100-quadruplet snapshot."""
+def _warm_estimator() -> MobilityEstimator:
     estimator = MobilityEstimator(CacheConfig(interval=None))
     rng = random.Random(0)
     for index in range(100):
@@ -111,6 +139,34 @@ def bench_handoff_probability(duration: float) -> dict:
             float(index), 1, rng.choice((0, 2)), rng.uniform(10.0, 60.0)
         )
     estimator.function_for(1000.0, 1)
+    return estimator
+
+
+def bench_handoff_probability(duration: float) -> dict:
+    """Batched Eq. 4: 256 extant sojourns per call, per-probability rate.
+
+    This is how the reservation protocol actually consumes Eq. 4 — whole
+    per-``prev`` connection populations against one warm snapshot — so
+    the headline number is probabilities/second, not batch calls/second.
+    """
+    estimator = _warm_estimator()
+    rng = random.Random(7)
+    extants = [rng.uniform(0.0, 70.0) for _ in range(_BATCH)]
+    report = _measure(
+        lambda: estimator.handoff_probability_batch(
+            1000.0, 1, extants, 2, 15.0
+        ),
+        duration,
+    )
+    report["batch_size"] = _BATCH
+    report["mean_us"] /= _BATCH
+    report["ops_per_sec"] *= _BATCH
+    return report
+
+
+def bench_handoff_probability_scalar(duration: float) -> dict:
+    """One Eq. 4 query against a warm 100-quadruplet snapshot."""
+    estimator = _warm_estimator()
     return _measure(
         lambda: estimator.handoff_probability(1000.0, 1, 20.0, 2, 15.0),
         duration,
@@ -150,7 +206,12 @@ def bench_ac3_run(smoke: bool) -> dict:
         duration=200.0 if smoke else 1000.0,
         seed=3,
     )
+    # Best of two runs: the simulation is deterministic, so both produce
+    # identical metrics and only wall time differs with machine noise.
     result = CellularSimulator(config).run()
+    rerun = CellularSimulator(config).run()
+    if rerun.wall_seconds < result.wall_seconds:
+        result = rerun
     return {
         "duration": config.duration,
         "offered_load": config.offered_load,
@@ -177,15 +238,79 @@ def run_benchmarks(smoke: bool = False) -> dict:
         "smoke": smoke,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "kernel": kernel_name(),
         "micro_seconds_per_bench": duration,
         "micro": {
             "reservation_update": bench_reservation_update(duration),
             "handoff_probability": bench_handoff_probability(duration),
+            "handoff_probability_scalar": bench_handoff_probability_scalar(
+                duration
+            ),
             "event_loop": bench_event_loop(duration),
         },
         "simulation": {"ac3_load200": bench_ac3_run(smoke)},
     }
     return report
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (the CI regression gate)
+# ----------------------------------------------------------------------
+def _throughputs(report: dict) -> dict[str, float]:
+    """Flatten a report into comparable ``bench -> throughput`` pairs."""
+    flat = {
+        name: stats["ops_per_sec"]
+        for name, stats in report.get("micro", {}).items()
+    }
+    simulation = report.get("simulation", {}).get("ac3_load200")
+    if simulation:
+        flat["ac3_load200"] = simulation["events_per_sec"]
+    return flat
+
+
+def compare_reports(
+    baseline: dict, current: dict, threshold: float
+) -> list[str]:
+    """Print per-bench deltas; return the benches that regressed.
+
+    A bench regresses when its throughput falls below
+    ``baseline * (1 - threshold)``.  Benches present in only one report
+    are listed but never counted as regressions (the harness itself
+    evolves — e.g. ``handoff_probability`` became batched).
+    """
+    base = _throughputs(baseline)
+    now = _throughputs(current)
+    regressions: list[str] = []
+    print(f"{'bench':<28} {'baseline':>14} {'current':>14} {'speedup':>8}")
+    for name in sorted(base.keys() | now.keys()):
+        if name not in base:
+            print(f"{name:<28} {'-':>14} {now[name]:>14,.0f} {'new':>8}")
+            continue
+        if name not in now:
+            print(f"{name:<28} {base[name]:>14,.0f} {'-':>14} {'gone':>8}")
+            continue
+        speedup = now[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if now[name] < base[name] * (1.0 - threshold):
+            regressions.append(name)
+            flag = "  ** REGRESSION"
+        print(
+            f"{name:<28} {base[name]:>14,.0f} {now[name]:>14,.0f}"
+            f" {speedup:>7.2f}x{flag}"
+        )
+    return regressions
+
+
+def _print_report(report: dict, output: Path) -> None:
+    print(f"kernel: {report['kernel']}")
+    for name, stats in report["micro"].items():
+        print(f"{name:<28} {stats['mean_us']:>10.3f} us/op "
+              f"{stats['ops_per_sec']:>14,.0f} ops/s")
+    sim = report["simulation"]["ac3_load200"]
+    print(f"{'ac3_load200':<28} {sim['wall_seconds']:>10.2f} s    "
+          f"{sim['events_per_sec']:>14,.0f} events/s  "
+          f"N_calc={sim['n_calc']:.2f}  msgs={sim['avg_messages']:.2f}")
+    print(f"wrote {output}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -198,23 +323,65 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--output", type=Path, default=None, metavar="FILE",
         help="report path (default: ./BENCH_<date>.json)",
     )
+    parser.add_argument(
+        "--kernel", default=None, choices=list(KERNELS),
+        help="estimation kernel to benchmark (default: auto-detect)",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", type=int, const=25, default=None,
+        metavar="N",
+        help="cProfile the benchmark run and print the top N entries"
+        " by internal time (default 25)",
+    )
+    parser.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="print per-bench speedups against a previous report and"
+        " exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.20,
+        metavar="FRACTION",
+        help="throughput drop that counts as a regression for --compare"
+        " (default 0.20)",
+    )
     args = parser.parse_args(argv)
-    report = run_benchmarks(smoke=args.smoke)
+    if args.kernel is not None:
+        set_kernel(args.kernel)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_benchmarks(smoke=args.smoke)
+        profiler.disable()
+    else:
+        report = run_benchmarks(smoke=args.smoke)
     output = args.output
     if output is None:
         output = Path(f"BENCH_{report['date']}.json")
     if output.parent != Path("."):
         output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=2) + "\n")
-    micro = report["micro"]
-    for name, stats in micro.items():
-        print(f"{name:<22} {stats['mean_us']:>10.2f} us/op "
-              f"{stats['ops_per_sec']:>14,.0f} ops/s")
-    sim = report["simulation"]["ac3_load200"]
-    print(f"{'ac3_load200':<22} {sim['wall_seconds']:>10.2f} s    "
-          f"{sim['events_per_sec']:>14,.0f} events/s  "
-          f"N_calc={sim['n_calc']:.2f}  msgs={sim['avg_messages']:.2f}")
-    print(f"wrote {output}")
+    _print_report(report, output)
+    if args.profile is not None:
+        print(f"\n== cProfile top {args.profile} (by internal time) ==")
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(
+            args.profile
+        )
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        print(f"\n== comparison vs {args.compare} ==")
+        regressions = compare_reports(
+            baseline, report, args.regression_threshold
+        )
+        if regressions:
+            print(
+                f"FAIL: {len(regressions)} bench(es) regressed more than"
+                f" {args.regression_threshold:.0%}: {', '.join(regressions)}"
+            )
+            return 1
+        print("no regressions")
     return 0
 
 

@@ -100,6 +100,12 @@ class BaseStation:
                              t_est: float) -> float:
         """Eq. 5: expected hand-off bandwidth from here toward a neighbour.
 
+        The cell's incrementally maintained columnar ``prev``-buckets
+        (:meth:`repro.cellular.cell.Cell.reservation_groups`) are handed
+        to the estimator, which evaluates each bucket against one F_HOE
+        snapshot in a single batched pass — vectorized under the numpy
+        kernel, a resumable binary-search walk otherwise.
+
         Incremental: the last contribution per target cell is memoized
         under a validity stamp ``(now, t_est, cell version, estimator
         version)``.  The cell version changes on every connection

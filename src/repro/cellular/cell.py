@@ -9,11 +9,15 @@ admitted connections.  Two admission paths exist, mirroring the paper:
 * **hand-offs** may use the whole capacity, including the reserved band.
 
 The cell itself only does bandwidth accounting; *which* reservation
-target applies is decided by the admission policy.
+target applies is decided by the admission policy.  As a side product
+of that accounting it maintains columnar ``prev``-buckets of its
+connections (:class:`ReservationGroup`), the batch input of the Eq. 5
+kernels.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -22,6 +26,92 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 class CapacityError(ValueError):
     """Raised when bandwidth accounting would go out of [0, C]."""
+
+
+class ReservationGroup:
+    """Columnar view of one ``prev``-bucket of attached connections.
+
+    Three parallel lists sorted ascending by entry time: connection ids,
+    cell entry times, and reservation bases (both immutable while a
+    connection stays attached).  Sorted order is what lets the Eq. 5
+    kernels run a single vectorized ``searchsorted`` pass (numpy) or a
+    resumable binary-search walk (python) over the whole bucket without
+    re-sorting per reservation update.  Simulated attaches happen at
+    ``now`` so the common insert is an append; out-of-order entry times
+    (synthetic populations) fall back to an insort.
+    """
+
+    __slots__ = ("keys", "entries", "bases", "_arrays")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.entries: list[float] = []
+        self.bases: list[float] = []
+        #: Cached ``(entries, bases)`` ndarray pair (see :meth:`arrays`);
+        #: invalidated by every mutation.
+        self._arrays = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def add(self, key: int, entry_time: float, basis: float) -> None:
+        self._arrays = None
+        entries = self.entries
+        if not entries or entry_time >= entries[-1]:
+            self.keys.append(key)
+            entries.append(entry_time)
+            self.bases.append(basis)
+            return
+        index = bisect_right(entries, entry_time)
+        self.keys.insert(index, key)
+        entries.insert(index, entry_time)
+        self.bases.insert(index, basis)
+
+    def remove(self, key: int, entry_time: float) -> bool:
+        """Drop one connection located via its (exact) entry time."""
+        entries = self.entries
+        index = bisect_left(entries, entry_time)
+        count = len(entries)
+        keys = self.keys
+        while index < count and entries[index] == entry_time:
+            if keys[index] == key:
+                self._arrays = None
+                del keys[index]
+                del entries[index]
+                del self.bases[index]
+                return True
+            index += 1
+        return False
+
+    def discard(self, key: int) -> bool:
+        """Linear-scan removal for when the entry time is unreliable."""
+        try:
+            index = self.keys.index(key)
+        except ValueError:
+            return False
+        self._arrays = None
+        del self.keys[index]
+        del self.entries[index]
+        del self.bases[index]
+        return True
+
+    def arrays(self, np):
+        """Cached ``(entries, bases)`` float64 ndarrays of the columns.
+
+        Reservation updates re-query the same (unchanged) groups for
+        every neighbour target; caching the conversion keeps the numpy
+        Eq. 5 path from re-materialising arrays each time.
+        """
+        cached = self._arrays
+        if cached is None:
+            cached = self._arrays = (
+                np.asarray(self.entries, dtype=np.float64),
+                np.asarray(self.bases, dtype=np.float64),
+            )
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReservationGroup(size={len(self.keys)})"
 
 
 class Cell:
@@ -65,13 +155,10 @@ class Cell:
         #: memoized Eq. 5 contributions may be stale.
         self.version = 0
         self._connections: dict[int, "Connection"] = {}
-        #: Incremental ``prev -> {connection_id: (entry_time, basis)}``
-        #: buckets over the attached connections — the grouped input of
-        #: the batched Eq. 5 path (both fields are immutable while a
-        #: connection stays attached).
-        self._by_prev: dict[
-            int | None, dict[int, tuple[float, float]]
-        ] = {}
+        #: Incremental ``prev -> ReservationGroup`` buckets over the
+        #: attached connections — the grouped columnar input of the
+        #: batched Eq. 5 path.
+        self._by_prev: dict[int | None, ReservationGroup] = {}
 
     # ------------------------------------------------------------------
     # capacity queries
@@ -90,16 +177,14 @@ class Cell:
         """Iterate over the connections currently in this cell."""
         return iter(self._connections.values())
 
-    def reservation_groups(
-        self,
-    ) -> dict[int | None, dict[int, tuple[float, float]]]:
+    def reservation_groups(self) -> dict[int | None, "ReservationGroup"]:
         """Attached connections bucketed by ``prev`` cell.
 
-        Maps ``prev -> {connection_id: (cell_entry_time, basis)}`` where
-        ``basis`` is the connection's reservation basis (its minimum
-        rate).  Maintained incrementally on attach/detach, so Eq. 5 can
-        fetch each F_HOE snapshot once per bucket and batch its queries.
-        The returned mapping is live — treat it as read-only.
+        Maps ``prev -> ReservationGroup`` (parallel id/entry-time/basis
+        columns sorted by entry time).  Maintained incrementally on
+        attach/detach, so Eq. 5 can fetch each F_HOE snapshot once per
+        bucket and evaluate the whole bucket in one batched pass.  The
+        returned mapping is live — treat it as read-only.
         """
         return self._by_prev
 
@@ -149,10 +234,13 @@ class Cell:
         self.used_bandwidth += connection.bandwidth
         # Duck-typed minimal connections (bandwidth only) still account;
         # they just bucket under prev=None at entry time 0.
-        group = self._by_prev.setdefault(
-            getattr(connection, "prev_cell", None), {}
+        group = self._by_prev.get(
+            prev := getattr(connection, "prev_cell", None)
         )
-        group[connection.connection_id] = (
+        if group is None:
+            group = self._by_prev[prev] = ReservationGroup()
+        group.add(
+            connection.connection_id,
             getattr(connection, "cell_entry_time", 0.0),
             getattr(connection, "reservation_basis", connection.bandwidth),
         )
@@ -216,17 +304,18 @@ class Cell:
     def _discard_from_groups(self, connection: "Connection") -> None:
         prev = getattr(connection, "prev_cell", None)
         group = self._by_prev.get(prev)
-        if (
-            group is not None
-            and group.pop(connection.connection_id, None) is not None
+        if group is not None and group.remove(
+            connection.connection_id,
+            getattr(connection, "cell_entry_time", 0.0),
         ):
             if not group:
                 del self._by_prev[prev]
             return
-        # ``prev_cell`` mutated while attached (only possible with
-        # hand-rolled test doubles): fall back to scanning the buckets.
+        # ``prev_cell`` or ``cell_entry_time`` mutated while attached
+        # (only possible with hand-rolled test doubles): fall back to
+        # scanning the buckets.
         for prev, members in list(self._by_prev.items()):
-            if members.pop(connection.connection_id, None) is not None:
+            if members.discard(connection.connection_id):
                 if not members:
                     del self._by_prev[prev]
                 return

@@ -97,6 +97,10 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--overload", type=float, default=1.0,
                         metavar="FACTOR",
                         help="CDMA soft-capacity hand-off margin (§7)")
+    parser.add_argument("--kernel", default="auto",
+                        choices=["auto", "numpy", "python"],
+                        help="estimation kernel: numpy-batched or pure"
+                        " python (auto picks numpy when installed)")
 
 
 def _build_config(args: argparse.Namespace, load: float | None = None):
@@ -107,6 +111,7 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
         "adaptive_qos": args.adaptive_qos,
         "soft_handoff_window": args.soft_handoff,
         "handoff_overload": args.overload,
+        "kernel": args.kernel,
     }
     if args.one_way:
         overrides["directions"] = TravelDirections.ONE_WAY

@@ -33,6 +33,9 @@ class SimulationError(RuntimeError):
 #: Cancelled heap entries tolerated before a compaction is considered.
 _COMPACT_MIN = 256
 
+#: Maximum number of fired events kept on the engine's free list.
+_POOL_MAX = 512
+
 
 class Engine:
     """A single-threaded discrete-event simulation engine.
@@ -50,6 +53,10 @@ class Engine:
         self._running = False
         self._stopped = False
         self._cancelled_pending = 0
+        #: Free list of fired events awaiting reuse.  A long run fires
+        #: millions of events; recycling them makes the steady-state
+        #: hot loop allocation-free (heap push/pop of reused objects).
+        self._pool: list[Event] = []
         self.events_processed = 0
 
     @property
@@ -98,14 +105,26 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(
-            time,
-            int(priority),
-            self._sequence,
-            callback,
-            args,
-            _cancel_hook=self._note_cancellation,
-        )
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event._reset(
+                time,
+                int(priority),
+                self._sequence,
+                callback,
+                args,
+                self._note_cancellation,
+            )
+        else:
+            event = Event(
+                time,
+                int(priority),
+                self._sequence,
+                callback,
+                args,
+                _cancel_hook=self._note_cancellation,
+            )
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return event
@@ -150,8 +169,27 @@ class Engine:
             self._now = event.time
             self.events_processed += 1
             event.fire()
+            self._recycle(event)
             return True
         return False
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired event to the free list.
+
+        The instance is wiped (no callback/args leak) and marked
+        cancelled, so a holder's late ``cancel()`` stays the no-op it
+        always was for fired events.  Holders must not cancel a fired
+        event after scheduling anything new — the instance may by then
+        be carrying the newer event (standard free-list aliasing; the
+        bundled simulator drops its event references at fire time).
+        """
+        event.cancelled = True
+        event.callback = None  # type: ignore[assignment]
+        event.args = ()
+        event._cancel_hook = None
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            pool.append(event)
 
     def run(
         self,

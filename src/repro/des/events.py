@@ -5,12 +5,19 @@ totally ordered by ``(time, priority, sequence)`` so that simultaneous
 events fire in a deterministic order: first by explicit priority, then
 by scheduling order.  Events may be cancelled; cancelled events stay in
 the heap but are skipped by the engine (lazy deletion).
+
+``Event`` is the single most-allocated object of a simulation run, so
+it is a hand-rolled ``__slots__`` class: no instance ``__dict__``, a
+plain ``__init__`` (no dataclass machinery), and a ``__lt__`` that
+compares only the ordering triple instead of a generated full-field
+tuple comparison.  The engine additionally recycles fired instances
+through a free list (:class:`repro.des.engine.Engine`), which
+:meth:`_reset` supports.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -30,25 +37,67 @@ class EventPriority(enum.IntEnum):
     MONITOR = 9
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback in virtual time.
 
-    Instances are created via :meth:`repro.des.engine.Engine.schedule`;
+    Instances are created via :meth:`repro.des.engine.Engine.call_at`;
     user code normally only keeps them around to :meth:`cancel` them.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    #: Owner notification (engine bookkeeping of dead heap entries);
-    #: invoked at most once, on the first :meth:`cancel`.
-    _cancel_hook: Callable[[], None] | None = field(
-        compare=False, default=None, repr=False
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "cancelled",
+        "_cancel_hook",
     )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+        _cancel_hook: Callable[[], None] | None = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        #: Owner notification (engine bookkeeping of dead heap entries);
+        #: invoked at most once, on the first :meth:`cancel`.
+        self._cancel_hook = _cancel_hook
+
+    def _reset(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        cancel_hook: Callable[[], None] | None,
+    ) -> None:
+        """Re-initialise a recycled instance (engine free-list use only)."""
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._cancel_hook = cancel_hook
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
 
     def cancel(self) -> None:
         """Prevent this event from firing.
@@ -67,3 +116,9 @@ class Event:
     def fire(self) -> None:
         """Invoke the callback (engine use only)."""
         self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r},"
+            f" sequence={self.sequence!r}, cancelled={self.cancelled!r})"
+        )

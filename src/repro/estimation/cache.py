@@ -24,15 +24,24 @@ offset-compacted array with a mirrored event-time array, so each
 rebuild finds every periodic window with two binary searches instead of
 scanning (and sorting) the whole pair store, and only computes recency
 distances when a window actually overflows ``N_quad``.
+
+**Columnar fast path (infinite interval).**  With ``T_int = None`` the
+live store of a pair *is* its active set, so the cache additionally
+maintains, per pair and per ``prev`` (the Eq. 4 denominator union), a
+sojourn-sorted column of the live sojourn times.  F_HOE snapshots are
+then built by copying those columns (no comparison sort, no per-entry
+wrapper objects) — see :meth:`QuadrupletCache.active_columns` — and the
+largest active sojourn is the last element of a column
+(:meth:`QuadrupletCache.max_active_sojourn`).
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.estimation.quadruplet import HandoffQuadruplet
 
@@ -79,15 +88,58 @@ class CacheConfig:
         return len(self.weights) - 1
 
 
-@dataclass(frozen=True, slots=True)
 class WeightedQuadruplet:
-    """A cache hit: the quadruplet plus its day-age weight ``w_n``."""
+    """A cache hit: the quadruplet plus its day-age weight ``w_n``.
 
-    quadruplet: HandoffQuadruplet
-    weight: float
+    Created in bulk on every (fallback-path) F_HOE rebuild, so this is
+    a bare ``__slots__`` pair rather than a dataclass.
+    """
+
+    __slots__ = ("quadruplet", "weight")
+
+    def __init__(self, quadruplet: HandoffQuadruplet, weight: float) -> None:
+        self.quadruplet = quadruplet
+        self.weight = weight
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedQuadruplet):
+            return NotImplemented
+        return (
+            self.quadruplet == other.quadruplet
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.quadruplet, self.weight))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedQuadruplet({self.quadruplet!r}, {self.weight!r})"
 
 
-@dataclass
+class ColumnarActive:
+    """The active set of one ``prev`` as sojourn-sorted columns.
+
+    ``per_next`` maps each next cell to a *sorted* sequence of active
+    sojourn times; ``union`` is the sorted concatenation over all next
+    cells (the Eq. 4 denominator support); every entry carries the same
+    ``uniform_weight`` (infinite-interval selection assigns ``w_0`` to
+    everything).  The sequences are snapshots owned by the caller.
+    """
+
+    __slots__ = ("per_next", "union", "uniform_weight")
+
+    def __init__(
+        self,
+        per_next: dict[int, Sequence[float]],
+        union: Sequence[float],
+        uniform_weight: float,
+    ) -> None:
+        self.per_next = per_next
+        self.union = union
+        self.uniform_weight = uniform_weight
+
+
+@dataclass(slots=True)
 class _PairStore:
     """Per-(prev, next) storage; newest entries at the right end.
 
@@ -96,11 +148,16 @@ class _PairStore:
     O(1) per eviction).  ``times`` mirrors ``quads`` with the event
     times so selection windows are located by binary search with O(1)
     random access — a deque would make every ``bisect`` probe O(n).
+
+    ``sorted_sojourns`` is the columnar mirror maintained for infinite
+    intervals only: the live sojourn times in ascending order, kept
+    consistent by ``insort`` on record and ``bisect`` removal on evict.
     """
 
     quads: list[HandoffQuadruplet] = field(default_factory=list)
     times: list[float] = field(default_factory=list)
     start: int = 0
+    sorted_sojourns: list[float] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.quads) - self.start
@@ -131,6 +188,10 @@ class QuadrupletCache:
         self.config = config or CacheConfig()
         self._pairs: dict[tuple[int | None, int], _PairStore] = {}
         self._prev_keys: set[int | None] = set()
+        #: ``prev -> sorted union of live sojourn times`` (infinite
+        #: interval only): the Eq. 4 denominator column, maintained
+        #: incrementally alongside the per-pair columns.
+        self._union_sojourns: dict[int | None, list[float]] = {}
         self.total_recorded = 0
 
     # ------------------------------------------------------------------
@@ -148,22 +209,37 @@ class QuadrupletCache:
             raise ValueError("quadruplets must be recorded in time order")
         store.append(quadruplet)
         self.total_recorded += 1
-        self._evict(store, quadruplet.event_time)
+        if self.config.interval is None:
+            insort(store.sorted_sojourns, quadruplet.sojourn)
+            union = self._union_sojourns.get(quadruplet.prev)
+            if union is None:
+                union = self._union_sojourns[quadruplet.prev] = []
+            insort(union, quadruplet.sojourn)
+            excess = len(store) - self.config.max_per_pair
+            if excess > 0:
+                self._drop_oldest_columnar(store, quadruplet.prev, excess)
+        else:
+            self._evict_windowed(store, quadruplet.event_time)
 
-    def _evict(self, store: _PairStore, now: float) -> None:
+    def _drop_oldest_columnar(
+        self, store: _PairStore, prev: int | None, count: int
+    ) -> None:
+        """Infinite interval: evict beyond ``N_quad``, keeping columns."""
+        union = self._union_sojourns[prev]
+        sorted_sojourns = store.sorted_sojourns
+        for quad in store.quads[store.start : store.start + count]:
+            sojourn = quad.sojourn
+            del sorted_sojourns[bisect_left(sorted_sojourns, sojourn)]
+            del union[bisect_left(union, sojourn)]
+        store.drop_left(count)
+
+    def _evict_windowed(self, store: _PairStore, now: float) -> None:
         """Drop entries that can never participate again (paper §3.1).
 
         A quadruplet older than ``N_win-days * period + T_int`` is
-        out-of-date for every future estimation instant.  With an
-        infinite interval only the ``N_quad`` most recent entries can
-        ever be selected, so older ones are dropped too.
+        out-of-date for every future estimation instant.
         """
         config = self.config
-        if config.interval is None:
-            excess = len(store) - config.max_per_pair
-            if excess > 0:
-                store.drop_left(excess)
-            return
         horizon = config.window_days * config.period + config.interval
         # Entries are time-ordered: the out-of-date prefix ends at the
         # first event time still within the horizon.
@@ -196,6 +272,47 @@ class QuadrupletCache:
             if selected:
                 result[next_cell] = selected
         return result
+
+    def active_columns(
+        self, now: float, prev: int | None
+    ) -> ColumnarActive | None:
+        """Columnar active set for one ``prev``, or ``None``.
+
+        Only the infinite-interval configuration has an incrementally
+        maintained columnar form (the live store *is* the active set);
+        finite ``T_int`` callers must fall back to :meth:`active`.  The
+        returned columns are copies — snapshots stay immutable while
+        the live store keeps evolving.
+        """
+        if self.config.interval is not None:
+            return None
+        per_next: dict[int, Sequence[float]] = {}
+        for (stored_prev, next_cell), store in self._pairs.items():
+            if stored_prev != prev or not len(store):
+                continue
+            per_next[next_cell] = store.sorted_sojourns[:]
+        union = self._union_sojourns.get(prev)
+        return ColumnarActive(
+            per_next,
+            union[:] if union else [],
+            self.config.weights[0],
+        )
+
+    def max_active_sojourn(self) -> float | None:
+        """Largest active sojourn over all ``prev``; ``None`` if unknown.
+
+        O(number of pairs) for infinite intervals (last element of each
+        union column).  Finite ``T_int`` selection is window-dependent,
+        so the caller must derive the maximum from snapshots instead —
+        signalled by ``None``.
+        """
+        if self.config.interval is not None:
+            return None
+        maximum = 0.0
+        for union in self._union_sojourns.values():
+            if union and union[-1] > maximum:
+                maximum = union[-1]
+        return maximum
 
     def pairs(self) -> Iterator[tuple[int | None, int]]:
         """Iterate over all ``(prev, next)`` pairs with any cached entries."""

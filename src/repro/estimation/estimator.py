@@ -17,14 +17,28 @@ hand-off probabilities are zero (paper §4.1).
 Function snapshots are cached per ``prev`` and rebuilt lazily when new
 quadruplets arrive or (for finite ``T_int``) when the snapshot is older
 than ``rebuild_interval`` — a documented approximation of the paper's
-continuously sliding periodic windows.
+continuously sliding periodic windows.  Infinite-interval snapshots are
+assembled from the cache's columnar fast path (sorted sojourn columns,
+no per-entry wrappers); Eq. 4/5 batches then evaluate over whole
+per-``prev`` connection populations in one vectorized pass when the
+numpy kernel is active (:mod:`repro._kernel`).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
+from repro._kernel import numpy_or_none
 from repro.estimation.cache import CacheConfig, QuadrupletCache
 from repro.estimation.function import HandoffEstimationFunction
 from repro.estimation.quadruplet import HandoffQuadruplet
+
+#: Group size below which the resumable pure-Python walk beats the
+#: vectorized kernel (ndarray call overhead dominates tiny batches;
+#: measured crossover is ~32 rows on CPython 3.11 + numpy 2.x).  Both
+#: paths compute bit-identical contributions, so mixing them per group
+#: never changes metrics.
+_VECTOR_MIN_ROWS = 32
 
 
 class MobilityEstimator:
@@ -87,7 +101,11 @@ class MobilityEstimator:
                 or now - built_at < self.rebuild_interval
             ):
                 return snapshot
-        snapshot = HandoffEstimationFunction(self.cache.active(now, prev))
+        columns = self.cache.active_columns(now, prev)
+        if columns is not None:
+            snapshot = HandoffEstimationFunction.from_columns(columns)
+        else:
+            snapshot = HandoffEstimationFunction(self.cache.active(now, prev))
         self._snapshots[prev] = (now, snapshot)
         self._dirty.discard(prev)
         return snapshot
@@ -116,6 +134,26 @@ class MobilityEstimator:
         probability = numerator / denominator
         # Guard against floating point drift; Eq. 4 is a probability.
         return min(max(probability, 0.0), 1.0)
+
+    def handoff_probability_batch(
+        self,
+        now: float,
+        prev: int | None,
+        extant_sojourns: Sequence[float],
+        next_cell: int,
+        t_est: float,
+    ) -> list[float]:
+        """Eq. 4 over a whole batch of extant sojourn times.
+
+        One snapshot fetch, then a single vectorized ``searchsorted``
+        + prefix-sum pass under the numpy kernel (per-query binary
+        searches otherwise).  Each element equals the corresponding
+        :meth:`handoff_probability` call exactly.
+        """
+        snapshot = self.function_for(now, prev)
+        return snapshot.batch_probabilities(
+            next_cell, list(extant_sojourns), t_est
+        )
 
     def handoff_probabilities(
         self,
@@ -152,14 +190,15 @@ class MobilityEstimator:
         over ``connections`` but fetches each ``prev`` snapshot once —
         this is the hot path of the reservation protocol.
 
-        ``groups`` is an optional pre-bucketed view of ``connections``
-        (``prev -> {key: (cell_entry_time, reservation_basis)}``, as
-        maintained incrementally by :class:`repro.cellular.cell.Cell`).
-        When given, each snapshot is queried over a sorted extant-
-        sojourn array with resumable binary searches instead of three
-        fresh lookups per connection.  Contributions are still summed
-        in ``connections`` iteration order, so the result is
-        bit-identical to the ungrouped path.
+        ``groups`` is an optional pre-bucketed columnar view of
+        ``connections`` (``prev -> ReservationGroup`` with parallel
+        key/entry-time/basis arrays sorted by entry time, as maintained
+        incrementally by :class:`repro.cellular.cell.Cell`).  When
+        given, each snapshot is queried over the whole group at once:
+        one vectorized ``searchsorted`` pass under the numpy kernel, a
+        resumable sorted binary-search walk otherwise.  Contributions
+        are still summed in ``connections`` iteration order, so the
+        result is bit-identical to the ungrouped path.
         """
         if t_est <= 0:
             return 0.0
@@ -189,21 +228,37 @@ class MobilityEstimator:
             return total
         if not groups:
             return 0.0
+        np = numpy_or_none()
         contributions: dict[int, float] = {}
-        for prev, members in groups.items():
+        for prev, group in groups.items():
             snapshot = self.function_for(now, prev)
             if snapshot.is_empty:
                 continue
-            rows = sorted(
-                (
-                    (key, now - entry_time, basis)
-                    for key, (entry_time, basis) in members.items()
-                ),
-                key=lambda row: row[1],
-            )
-            contributions.update(
-                snapshot.batch_contributions(target_cell, rows, t_est)
-            )
+            keys = group.keys
+            if np is not None and len(keys) >= _VECTOR_MIN_ROWS:
+                entries, bases = group.arrays(np)
+                snapshot.batch_contributions_arrays(
+                    np,
+                    target_cell,
+                    keys,
+                    now - entries,
+                    bases,
+                    t_est,
+                    contributions,
+                )
+            else:
+                # Entry times ascend, so walking them in reverse yields
+                # the non-decreasing extant sojourns the resumable
+                # binary searches need — no per-call sort.
+                entries = group.entries
+                bases = group.bases
+                rows = (
+                    (keys[index], now - entries[index], bases[index])
+                    for index in range(len(keys) - 1, -1, -1)
+                )
+                contributions.update(
+                    snapshot.batch_contributions(target_cell, rows, t_est)
+                )
         if not contributions:
             return 0.0
         total = 0.0
@@ -223,10 +278,15 @@ class MobilityEstimator:
     def max_sojourn(self, now: float) -> float:
         """Largest active sojourn over all ``prev`` (bounds ``T_est``).
 
-        Runs on every hand-off arrival (via ``neighborhood_max_sojourn``)
-        so it iterates the cache's incrementally maintained prev-key set
-        instead of rebuilding one from the pair listing each call.
+        Runs on every hand-off arrival (via ``neighborhood_max_sojourn``),
+        so it must not rebuild snapshots.  Infinite-interval caches
+        answer from their incrementally sorted union columns in
+        O(number of pairs); only the windowed configuration still walks
+        the per-``prev`` snapshots.
         """
+        fast = self.cache.max_active_sojourn()
+        if fast is not None:
+            return fast
         maximum = 0.0
         for prev in self.cache.prev_keys():
             maximum = max(maximum, self.function_for(now, prev).max_sojourn())

@@ -5,31 +5,70 @@ A :class:`HandoffEstimationFunction` is an immutable snapshot, for one
 It answers the mass queries needed by Bayes' rule (Eq. 4) in
 ``O(log N_quad)`` per query using sorted sojourn arrays with prefix
 weight sums.
+
+The storage is *columnar*: one sorted sojourn array plus one prefix
+weight-sum array per next cell (and one pair for the union over next
+cells, which makes the Eq. 4 denominator a single binary search).
+Snapshots are built either from the legacy ``WeightedQuadruplet``
+listing or, far cheaper, straight from the cache's incrementally
+sorted columns (:meth:`from_columns`).  Batch queries — *many* extant
+sojourns against one snapshot — run through ``numpy.searchsorted``
+over those arrays when the numpy kernel is active
+(:mod:`repro._kernel`) and through resumable ``bisect`` walks
+otherwise; both produce bit-identical masses to the scalar queries.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
+from itertools import accumulate, repeat
 from typing import Mapping, Sequence
 
-from repro.estimation.cache import WeightedQuadruplet
+from repro._kernel import numpy_or_none
+from repro.estimation.cache import ColumnarActive, WeightedQuadruplet
 
 
-class _NextCellMass:
+class _Mass:
     """Sorted sojourn times and cumulative weights for one next cell."""
 
-    __slots__ = ("sojourns", "cumulative")
+    __slots__ = ("sojourns", "cumulative", "_ndarrays")
 
-    def __init__(self, weighted: Sequence[WeightedQuadruplet]) -> None:
+    def __init__(
+        self, sojourns: list[float], cumulative: list[float]
+    ) -> None:
+        self.sojourns = sojourns
+        self.cumulative = cumulative
+        #: Lazily built ``(sojourns, zero-prefixed cumulative)`` numpy
+        #: pair, cached per snapshot for the batch kernels.
+        self._ndarrays = None
+
+    @classmethod
+    def from_weighted(
+        cls, weighted: Sequence[WeightedQuadruplet]
+    ) -> "_Mass":
         ordered = sorted(
             (item.quadruplet.sojourn, item.weight) for item in weighted
         )
-        self.sojourns = [sojourn for sojourn, _weight in ordered]
-        self.cumulative: list[float] = []
-        running = 0.0
-        for _sojourn, weight in ordered:
-            running += weight
-            self.cumulative.append(running)
+        return cls(
+            [sojourn for sojourn, _weight in ordered],
+            list(accumulate(weight for _sojourn, weight in ordered)),
+        )
+
+    @classmethod
+    def from_column(
+        cls, sorted_sojourns: Sequence[float], uniform_weight: float
+    ) -> "_Mass":
+        """Build from an already-sorted column of equal-weight entries.
+
+        The cumulative array is produced by the same left-to-right
+        running addition as :meth:`from_weighted`, so masses are
+        bit-identical to the legacy path for any ``w_0``.
+        """
+        sojourns = list(sorted_sojourns)
+        return cls(
+            sojourns,
+            list(accumulate(repeat(uniform_weight, len(sojourns)))),
+        )
 
     @property
     def total(self) -> float:
@@ -57,6 +96,18 @@ class _NextCellMass:
     def max_sojourn(self) -> float:
         return self.sojourns[-1] if self.sojourns else 0.0
 
+    def arrays(self, np):
+        """``(sojourns, cum0)`` ndarrays; ``cum0[i]`` = mass of the
+        first ``i`` entries (zero-prefixed so gather needs no branch)."""
+        cached = self._ndarrays
+        if cached is None:
+            sojourns = np.asarray(self.sojourns, dtype=np.float64)
+            cum0 = np.empty(len(self.cumulative) + 1, dtype=np.float64)
+            cum0[0] = 0.0
+            cum0[1:] = self.cumulative
+            cached = self._ndarrays = (sojourns, cum0)
+        return cached
+
 
 class HandoffEstimationFunction:
     """``F_HOE(t0, prev, ., .)`` for a fixed ``prev`` at a fixed instant.
@@ -66,14 +117,18 @@ class HandoffEstimationFunction:
     weighted_by_next:
         Mapping ``next cell id -> active weighted quadruplets``, as
         produced by :meth:`repro.estimation.cache.QuadrupletCache.active`.
+        Snapshots over the cache's columnar fast path are built with
+        :meth:`from_columns` instead.
     """
+
+    __slots__ = ("_per_next", "_union")
 
     def __init__(
         self,
         weighted_by_next: Mapping[int, Sequence[WeightedQuadruplet]],
     ) -> None:
         self._per_next = {
-            next_cell: _NextCellMass(items)
+            next_cell: _Mass.from_weighted(items)
             for next_cell, items in weighted_by_next.items()
             if items
         }
@@ -82,7 +137,24 @@ class HandoffEstimationFunction:
         all_items = [
             item for items in weighted_by_next.values() for item in items
         ]
-        self._union = _NextCellMass(all_items)
+        self._union = _Mass.from_weighted(all_items)
+
+    @classmethod
+    def from_columns(cls, columns: ColumnarActive) -> "HandoffEstimationFunction":
+        """Build straight from the cache's sorted columns (no sorting).
+
+        ``columns`` ownership transfers to the snapshot — the cache
+        hands over fresh copies, so live stores may keep evolving.
+        """
+        function = cls.__new__(cls)
+        weight = columns.uniform_weight
+        function._per_next = {
+            next_cell: _Mass.from_column(sojourns, weight)
+            for next_cell, sojourns in columns.per_next.items()
+            if sojourns
+        }
+        function._union = _Mass.from_column(columns.union, weight)
+        return function
 
     # ------------------------------------------------------------------
     # mass queries (building blocks of Eq. 4)
@@ -120,6 +192,59 @@ class HandoffEstimationFunction:
     def sample_count_above(self, sojourn: float) -> int:
         """Unweighted number of active quadruplets beyond ``sojourn``."""
         return self._union.count_above(sojourn)
+
+    # ------------------------------------------------------------------
+    # batch kernels (many extant sojourns against one snapshot)
+    # ------------------------------------------------------------------
+    def batch_probabilities(
+        self,
+        next_cell: int,
+        extant_sojourns: Sequence[float],
+        t_est: float,
+    ) -> list[float]:
+        """Eq. 4 for a whole batch of extant sojourn times at once.
+
+        Returns one ``p_h(-> next_cell)`` per query, in order; zeros
+        for estimated-stationary queries.  The numpy kernel evaluates
+        the batch with three ``searchsorted`` gathers; the python
+        kernel falls back to per-query binary searches.  Either way
+        each probability equals the scalar Eq. 4 arithmetic exactly.
+        """
+        if t_est <= 0 or not extant_sojourns:
+            return [0.0] * len(extant_sojourns)
+        per_next = self._per_next.get(next_cell)
+        if per_next is None:
+            return [0.0] * len(extant_sojourns)
+        np = numpy_or_none()
+        if np is not None:
+            union_s, union_c0 = self._union.arrays(np)
+            target_s, target_c0 = per_next.arrays(np)
+            extants = np.asarray(extant_sojourns, dtype=np.float64)
+            denominator = self._union.total - union_c0[
+                np.searchsorted(union_s, extants, side="right")
+            ]
+            low = target_c0[np.searchsorted(target_s, extants, side="right")]
+            high = target_c0[
+                np.searchsorted(target_s, extants + t_est, side="right")
+            ]
+            numerator = high - low
+            valid = denominator > 0.0
+            out = np.zeros(len(extants), dtype=np.float64)
+            ratio = numerator[valid] / denominator[valid]
+            np.clip(ratio, 0.0, 1.0, out=ratio)
+            out[valid] = ratio
+            return out.tolist()
+        union = self._union
+        result = []
+        for extant in extant_sojourns:
+            denominator = union.mass_above(extant)
+            if denominator <= 0.0:
+                result.append(0.0)
+                continue
+            numerator = per_next.mass_between(extant, extant + t_est)
+            probability = numerator / denominator
+            result.append(min(max(probability, 0.0), 1.0))
+        return result
 
     def batch_contributions(
         self,
@@ -168,6 +293,49 @@ class HandoffEstimationFunction:
                     numerator / denominator, 1.0
                 )
         return contributions
+
+    def batch_contributions_arrays(
+        self,
+        np,
+        target_cell: int,
+        keys: Sequence[int],
+        extants,
+        bases,
+        t_est: float,
+        out: dict[int, float],
+    ) -> None:
+        """Numpy-kernel Eq. 5: vectorized ``basis * p_h`` per connection.
+
+        ``extants`` and ``bases`` are parallel float arrays; positive
+        contributions are written into ``out`` keyed by ``keys``.  The
+        per-row arithmetic mirrors :meth:`batch_contributions` op for
+        op (gather, subtract, divide, ``min``), so the contributions
+        are bit-identical to the scalar walk.
+        """
+        per_next = self._per_next.get(target_cell)
+        if per_next is None or t_est <= 0:
+            return
+        union_s, union_c0 = self._union.arrays(np)
+        target_s, target_c0 = per_next.arrays(np)
+        denominator = self._union.total - union_c0[
+            np.searchsorted(union_s, extants, side="right")
+        ]
+        low = target_c0[np.searchsorted(target_s, extants, side="right")]
+        high = target_c0[
+            np.searchsorted(target_s, extants + t_est, side="right")
+        ]
+        numerator = high - low
+        valid = (denominator > 0.0) & (numerator > 0.0)
+        if not valid.any():
+            return
+        ratio = numerator[valid] / denominator[valid]
+        np.minimum(ratio, 1.0, out=ratio)
+        contributions = bases[valid] * ratio
+        for key, value in zip(
+            (keys[index] for index in np.flatnonzero(valid)),
+            contributions.tolist(),
+        ):
+            out[key] = value
 
     def footprint(self) -> dict[int, list[tuple[float, float]]]:
         """``next -> [(sojourn, cumulative weight), ...]`` (Figure 4 aid)."""

@@ -4,14 +4,17 @@ Whenever a mobile departs a cell, that cell's base station caches
 ``(T_event, prev, next, T_soj)``: departure time, the cell the mobile
 came from (``None`` if the connection was born in this cell — the
 paper's ``prev = 0``), the cell it entered, and its sojourn time here.
+
+Quadruplets are created on every hand-off and held by the thousands in
+:class:`repro.estimation.cache.QuadrupletCache`, so the class is a
+hand-rolled ``__slots__`` value type rather than a dataclass: no
+instance ``__dict__``, and construction skips the frozen-dataclass
+``object.__setattr__`` detour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True, slots=True)
 class HandoffQuadruplet:
     """One observed hand-off departure.
 
@@ -29,13 +32,38 @@ class HandoffQuadruplet:
         cell.
     """
 
-    event_time: float
-    prev: int | None
-    next: int
-    sojourn: float
+    __slots__ = ("event_time", "prev", "next", "sojourn")
 
-    def __post_init__(self) -> None:
-        if self.sojourn < 0:
-            raise ValueError(f"negative sojourn time {self.sojourn}")
-        if self.event_time < 0:
-            raise ValueError(f"negative event time {self.event_time}")
+    def __init__(
+        self,
+        event_time: float,
+        prev: int | None,
+        next: int,
+        sojourn: float,
+    ) -> None:
+        if sojourn < 0:
+            raise ValueError(f"negative sojourn time {sojourn}")
+        if event_time < 0:
+            raise ValueError(f"negative event time {event_time}")
+        self.event_time = event_time
+        self.prev = prev
+        self.next = next
+        self.sojourn = sojourn
+
+    def _key(self) -> tuple:
+        return (self.event_time, self.prev, self.next, self.sojourn)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HandoffQuadruplet):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HandoffQuadruplet(event_time={self.event_time!r},"
+            f" prev={self.prev!r}, next={self.next!r},"
+            f" sojourn={self.sojourn!r})"
+        )

@@ -20,9 +20,9 @@ def reset_mobile_ids() -> None:
     _mobile_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Mobile:
-    """One mobile terminal.
+    """One mobile terminal (slotted — one live instance per connection).
 
     Attributes
     ----------

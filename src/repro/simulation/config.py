@@ -83,6 +83,11 @@ class SimulationConfig:
     #: equivalence is testable).
     reservation_cache: bool = True
 
+    #: Estimation kernel: ``auto`` (numpy when installed), ``numpy``
+    #: (require the ``[fast]`` extra) or ``python`` (force the pure
+    #: bisect fallback).  See :mod:`repro._kernel`.
+    kernel: str = "auto"
+
     # --- run control ----------------------------------------------------
     duration: float = 2000.0
     #: Metrics ignore everything before this time (the scheme still
@@ -122,6 +127,10 @@ class SimulationConfig:
             raise ValueError("soft hand-off window cannot be negative")
         if self.soft_handoff_retry_interval <= 0:
             raise ValueError("soft hand-off retry interval must be positive")
+        if self.kernel not in ("auto", "numpy", "python"):
+            raise ValueError(
+                f"kernel must be auto, numpy or python, got {self.kernel!r}"
+            )
 
     @property
     def is_time_varying(self) -> bool:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time as wall_clock
 
+from repro._kernel import kernel_name, set_kernel
 from repro.cellular.base_station import EXIT_CELL
 from repro.cellular.network import CellularNetwork
 from repro.cellular.topology import LinearTopology
@@ -78,6 +79,13 @@ class CellularSimulator:
         extensions=(),
     ) -> None:
         self.config = config
+        # Select (and log) the estimation kernel before any estimator
+        # work happens; "auto" resolves lazily via REPRO_KERNEL/numpy
+        # availability, an explicit choice overrides the environment.
+        if config.kernel == "auto":
+            kernel_name()
+        else:
+            set_kernel(config.kernel)
         self.engine = Engine()
         self.streams = RandomStreams(config.seed)
         if config.adaptive_qos:

@@ -37,9 +37,12 @@ def reset_connection_ids() -> None:
     _connection_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Connection:
     """One admitted connection and its per-cell session state.
+
+    Slotted: a loaded run carries thousands of live connections and the
+    Eq. 5 kernels read their fields in tight loops.
 
     Attributes
     ----------

@@ -1,0 +1,91 @@
+"""Columnar reservation groups: the Cell's incremental Eq. 5 buckets."""
+
+import random
+
+from repro.cellular.cell import Cell, ReservationGroup
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection
+
+
+def _columns_sorted(group: ReservationGroup) -> bool:
+    return group.entries == sorted(group.entries)
+
+
+def test_add_keeps_columns_parallel_and_sorted():
+    group = ReservationGroup()
+    rng = random.Random(4)
+    expected = {}
+    for key in range(50):
+        entry = rng.uniform(0.0, 100.0)
+        basis = float(key)
+        group.add(key, entry, basis)
+        expected[key] = (entry, basis)
+    assert len(group) == 50
+    assert _columns_sorted(group)
+    rebuilt = {
+        key: (entry, basis)
+        for key, entry, basis in zip(group.keys, group.entries, group.bases)
+    }
+    assert rebuilt == expected
+
+
+def test_append_fast_path_for_monotone_entries():
+    group = ReservationGroup()
+    for key in range(10):
+        group.add(key, float(key), 1.0)
+    assert group.keys == list(range(10))
+    assert group.entries == [float(key) for key in range(10)]
+
+
+def test_remove_by_exact_entry_time():
+    group = ReservationGroup()
+    group.add(1, 5.0, 1.0)
+    group.add(2, 5.0, 2.0)  # duplicate entry time
+    group.add(3, 9.0, 3.0)
+    assert group.remove(2, 5.0)
+    assert group.keys == [1, 3]
+    assert group.bases == [1.0, 3.0]
+    assert not group.remove(2, 5.0)  # already gone
+    assert not group.remove(3, 5.0)  # wrong entry time
+
+
+def test_discard_fallback_scans_by_key():
+    group = ReservationGroup()
+    group.add(1, 5.0, 1.0)
+    group.add(2, 7.0, 2.0)
+    assert group.discard(2)
+    assert not group.discard(2)
+    assert group.keys == [1]
+
+
+def test_cell_buckets_track_attach_and_detach():
+    cell = Cell(0, capacity=1_000.0)
+    rng = random.Random(11)
+    connections = []
+    for _ in range(40):
+        connection = Connection(
+            VOICE,
+            0.0,
+            0,
+            prev_cell=rng.choice((None, 1, 2)),
+            cell_entry_time=rng.uniform(0.0, 50.0),
+        )
+        cell.attach(connection)
+        connections.append(connection)
+    groups = cell.reservation_groups()
+    assert sum(len(group) for group in groups.values()) == 40
+    for group in groups.values():
+        assert _columns_sorted(group)
+    rng.shuffle(connections)
+    for connection in connections:
+        cell.detach(connection)
+    assert cell.reservation_groups() == {}
+
+
+def test_cell_bucket_survives_mutated_prev_cell():
+    cell = Cell(0, capacity=100.0)
+    connection = Connection(VOICE, 0.0, 0, prev_cell=1, cell_entry_time=3.0)
+    cell.attach(connection)
+    connection.prev_cell = 2  # hand-rolled double mutating while attached
+    cell.detach(connection)
+    assert cell.reservation_groups() == {}

@@ -1,0 +1,218 @@
+"""Numpy-kernel vs pure-Python-kernel equivalence (property-based).
+
+The columnar estimation core has two implementations of every batch
+query: vectorized ``searchsorted`` gathers (numpy kernel) and resumable
+``bisect`` walks (python kernel).  The contract is *bit-identity* — the
+same floats out, not just close ones — because the simulator's cached
+and naive paths are asserted metric-equal elsewhere.  These tests drive
+randomized quadruplet stores and query batches through both kernels.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _kernel
+from repro.cellular.cell import Cell
+from repro.estimation.cache import CacheConfig
+from repro.estimation.estimator import MobilityEstimator
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection
+
+requires_numpy = pytest.mark.skipif(
+    not _kernel.HAS_NUMPY, reason="numpy kernel not installed"
+)
+
+
+@contextmanager
+def force_kernel(name):
+    saved = _kernel._active
+    _kernel._active = None
+    _kernel.set_kernel(name)
+    try:
+        yield
+    finally:
+        _kernel._active = saved
+
+
+sojourns = st.floats(
+    min_value=0.0, max_value=10_000.0, allow_nan=False, allow_infinity=False
+)
+next_cells = st.integers(min_value=0, max_value=4)
+observations = st.lists(
+    st.tuples(sojourns, next_cells), min_size=0, max_size=60
+)
+query_batches = st.lists(sojourns, min_size=0, max_size=50)
+windows = st.floats(
+    min_value=0.0, max_value=5_000.0, allow_nan=False, allow_infinity=False
+)
+
+
+def build_estimator(items):
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    for index, (sojourn, next_cell) in enumerate(items):
+        estimator.record_departure(float(index), 1, next_cell, sojourn)
+    return estimator
+
+
+# ----------------------------------------------------------------------
+# Eq. 4 batches
+# ----------------------------------------------------------------------
+@requires_numpy
+@given(observations, query_batches, windows, next_cells)
+def test_batch_probabilities_identical_across_kernels(
+    items, extants, t_est, next_cell
+):
+    estimator = build_estimator(items)
+    with force_kernel("numpy"):
+        vectorized = estimator.handoff_probability_batch(
+            1e6, 1, extants, next_cell, t_est
+        )
+    with force_kernel("python"):
+        fallback = estimator.handoff_probability_batch(
+            1e6, 1, extants, next_cell, t_est
+        )
+    assert vectorized == fallback
+
+
+@requires_numpy
+@given(observations, query_batches, windows, next_cells)
+def test_batch_probabilities_match_scalar_queries(
+    items, extants, t_est, next_cell
+):
+    estimator = build_estimator(items)
+    with force_kernel("numpy"):
+        batched = estimator.handoff_probability_batch(
+            1e6, 1, extants, next_cell, t_est
+        )
+    scalar = [
+        estimator.handoff_probability(1e6, 1, extant, next_cell, t_est)
+        for extant in extants
+    ]
+    assert batched == scalar
+
+
+@requires_numpy
+@given(query_batches, windows, next_cells)
+def test_empty_store_batch_is_all_zero(extants, t_est, next_cell):
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    for kernel in ("numpy", "python"):
+        with force_kernel(kernel):
+            result = estimator.handoff_probability_batch(
+                1e6, 1, extants, next_cell, t_est
+            )
+        assert result == [0.0] * len(extants)
+
+
+@requires_numpy
+@given(sojourns, query_batches, windows)
+def test_single_sample_store_across_kernels(sojourn, extants, t_est):
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    estimator.record_departure(0.0, 1, 2, sojourn)
+    results = {}
+    for kernel in ("numpy", "python"):
+        with force_kernel(kernel):
+            results[kernel] = estimator.handoff_probability_batch(
+                1e6, 1, extants, 2, t_est
+            )
+    assert results["numpy"] == results["python"]
+    # A single observation yields all-or-nothing probabilities.
+    for extant, probability in zip(extants, results["numpy"]):
+        if extant >= sojourn or t_est <= 0:
+            assert probability == 0.0  # no mass above, or empty window
+        else:
+            assert probability in (0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. 5 grouped batches (vectorized contributions vs resumable walk)
+# ----------------------------------------------------------------------
+@requires_numpy
+@settings(max_examples=40)
+@given(
+    observations,
+    st.lists(
+        st.floats(min_value=0.0, max_value=1_000.0), min_size=1, max_size=70
+    ),
+    windows,
+    next_cells,
+)
+def test_batch_contributions_arrays_matches_walk(
+    items, entry_times, t_est, target
+):
+    import numpy as np
+
+    snapshot = build_estimator(items).function_for(1e6, 1)
+    now = 1_000.0
+    entries = sorted(entry_times)
+    keys = list(range(len(entries)))
+    bases = [1.0 + (key % 3) for key in keys]
+    walked = snapshot.batch_contributions(
+        target,
+        [
+            (keys[i], now - entries[i], bases[i])
+            for i in range(len(keys) - 1, -1, -1)
+        ],
+        t_est,
+    )
+    vectorized: dict[int, float] = {}
+    snapshot.batch_contributions_arrays(
+        np,
+        target,
+        keys,
+        now - np.asarray(entries, dtype=np.float64),
+        np.asarray(bases, dtype=np.float64),
+        t_est,
+        vectorized,
+    )
+    assert vectorized == walked
+
+
+@requires_numpy
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=2**31), windows)
+def test_grouped_expected_bandwidth_identical_across_kernels(seed, t_est):
+    """Grouped Eq. 5 over a Cell's columnar buckets, both kernels vs naive.
+
+    Group sizes straddle the vectorization cutoff so both the numpy
+    gather path and the small-group walk are exercised.
+    """
+    import random
+
+    rng = random.Random(seed)
+    estimator = MobilityEstimator(CacheConfig(interval=None))
+    for index in range(rng.randrange(0, 120)):
+        estimator.record_departure(
+            float(index),
+            rng.choice((None, 1, 2)),
+            rng.choice((0, 2, 3)),
+            rng.uniform(0.0, 90.0),
+        )
+    cell = Cell(5, capacity=10_000.0)
+    connections = []
+    for _ in range(rng.randrange(0, 90)):
+        connection = Connection(
+            VOICE,
+            0.0,
+            5,
+            prev_cell=rng.choice((None, 1, 2)),
+            cell_entry_time=rng.uniform(0.0, 1_000.0),
+        )
+        cell.attach(connection)
+        connections.append(connection)
+    now = 1_000.0
+    naive = estimator.expected_bandwidth(now, connections, 0, t_est)
+    results = {}
+    for kernel in ("numpy", "python"):
+        with force_kernel(kernel):
+            results[kernel] = estimator.expected_bandwidth(
+                now,
+                connections,
+                0,
+                t_est,
+                groups=cell.reservation_groups(),
+            )
+    assert results["numpy"] == naive
+    assert results["python"] == naive

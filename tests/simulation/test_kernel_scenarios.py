@@ -1,0 +1,63 @@
+"""End-to-end kernel equivalence: AC3 runs under numpy vs pure Python.
+
+The estimation kernels must not change simulation outcomes — Eq. 4/5
+are evaluated with IEEE-identical operations either way, so a whole
+AC3 scenario produces the same event sequence and the same metrics.
+"""
+
+import pytest
+
+from repro import _kernel
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+
+requires_numpy = pytest.mark.skipif(
+    not _kernel.HAS_NUMPY, reason="numpy kernel not installed"
+)
+
+
+def _run_ac3(kernel: str):
+    saved = _kernel._active
+    _kernel._active = None
+    try:
+        config = stationary(
+            "AC3",
+            offered_load=200.0,
+            voice_ratio=0.8,
+            high_mobility=True,
+            duration=150.0,
+            seed=3,
+            kernel=kernel,
+        )
+        return CellularSimulator(config).run()
+    finally:
+        _kernel._active = saved
+
+
+@requires_numpy
+def test_ac3_metrics_equivalent_across_kernels():
+    vectorized = _run_ac3("numpy")
+    fallback = _run_ac3("python")
+    assert vectorized.events_processed == fallback.events_processed
+    assert abs(
+        vectorized.blocking_probability - fallback.blocking_probability
+    ) <= 1e-9
+    assert abs(
+        vectorized.dropping_probability - fallback.dropping_probability
+    ) <= 1e-9
+    assert vectorized.metrics_key() == fallback.metrics_key()
+
+
+def test_config_rejects_unknown_kernel():
+    with pytest.raises(ValueError):
+        stationary("AC3", offered_load=100.0, kernel="fortran")
+
+
+@requires_numpy
+def test_auto_kernel_resolves_to_numpy_when_available():
+    saved = _kernel._active
+    _kernel._active = None
+    try:
+        assert _kernel.set_kernel("auto") == "numpy"
+    finally:
+        _kernel._active = saved
