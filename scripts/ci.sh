@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== telemetry smoke =="
+PYTHONPATH=src python scripts/telemetry_smoke.py
+
 echo "== benchmark smoke =="
 # A slightly longer-than-smoke measuring window keeps the regression
 # comparison out of timer-noise territory while staying CI-cheap.

@@ -15,6 +15,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import configure_logging, ensure_configured
 
 #: Experiments whose runners accept a ``workers`` process-pool argument.
 PARALLEL_EXPERIMENTS = {"fig7", "fig8+9", "fig12+13"}
@@ -45,7 +46,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="process-pool size for the sweep experiments"
                         " (results are unchanged, only faster)")
+    parser.add_argument("--log-level", default=None, metavar="SPEC",
+                        help="log level spec, e.g. 'info' or"
+                        " 'info,experiments=debug' (also: REPRO_LOG)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines (also:"
+                        " REPRO_LOG_JSON=1)")
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        configure_logging(spec=args.log_level, json_lines=args.log_json)
+    else:
+        ensure_configured()
     names = args.names or list(EXPERIMENTS)
     results_dir = Path(__file__).resolve().parent.parent / "results"
     results_dir.mkdir(exist_ok=True)

@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 
 from repro._kernel import KERNELS, kernel_name, set_kernel
 from repro.cellular.network import CellularNetwork
+from repro.obs import configure_logging, ensure_configured
 from repro.cellular.topology import LinearTopology
 from repro.des import Engine
 from repro.estimation.cache import CacheConfig
@@ -229,6 +230,51 @@ def bench_ac3_run(smoke: bool) -> dict:
     }
 
 
+def _rate(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def bench_ac3_telemetry(smoke: bool) -> dict:
+    """One telemetry-enabled AC3 run: cache/dispatch ratios + snapshot.
+
+    Not a timing benchmark (``compare_reports`` ignores it): it records
+    the *efficiency* observables — memo and snapshot hit rates, the
+    Eq. 4 kernel dispatch split, the event-pool hit rate — so a report
+    shows not just how fast the run was but why.
+    """
+    config = stationary(
+        "AC3",
+        offered_load=200.0,
+        voice_ratio=0.8,
+        high_mobility=True,
+        duration=200.0,
+        seed=3,
+        telemetry=True,
+    )
+    snapshot = CellularSimulator(config).run().telemetry
+    counters = snapshot["counters"]
+    return {
+        "eq5_memo_hit_rate": _rate(
+            counters.get('cellular.eq5_memo{outcome="hit"}', 0),
+            counters.get('cellular.eq5_memo{outcome="miss"}', 0),
+        ),
+        "eq4_numpy_batch_fraction": _rate(
+            counters.get('estimation.eq4_batches{kernel="numpy"}', 0),
+            counters.get('estimation.eq4_batches{kernel="python"}', 0),
+        ),
+        "snapshot_hit_rate": _rate(
+            counters.get('estimation.snapshot{outcome="hit"}', 0),
+            counters.get('estimation.snapshot{outcome="build"}', 0),
+        ),
+        "event_pool_hit_rate": _rate(
+            counters.get('des.event_pool{outcome="hit"}', 0),
+            counters.get('des.event_pool{outcome="miss"}', 0),
+        ),
+        "snapshot": snapshot,
+    }
+
+
 def run_benchmarks(smoke: bool = False) -> dict:
     duration = float(os.environ.get("REPRO_BENCH_DURATION", "0.5"))
     if smoke:
@@ -250,6 +296,8 @@ def run_benchmarks(smoke: bool = False) -> dict:
         },
         "simulation": {"ac3_load200": bench_ac3_run(smoke)},
     }
+    # After the timed runs, so the instrumented run cannot perturb them.
+    report["telemetry"] = bench_ac3_telemetry(smoke)
     return report
 
 
@@ -310,6 +358,15 @@ def _print_report(report: dict, output: Path) -> None:
     print(f"{'ac3_load200':<28} {sim['wall_seconds']:>10.2f} s    "
           f"{sim['events_per_sec']:>14,.0f} events/s  "
           f"N_calc={sim['n_calc']:.2f}  msgs={sim['avg_messages']:.2f}")
+    telemetry = report.get("telemetry")
+    if telemetry:
+        print(
+            "telemetry (instrumented run):"
+            f" snapshot_hit={telemetry['snapshot_hit_rate']:.1%}"
+            f" eq5_memo_hit={telemetry['eq5_memo_hit_rate']:.1%}"
+            f" pool_hit={telemetry['event_pool_hit_rate']:.1%}"
+            f" eq4_numpy={telemetry['eq4_numpy_batch_fraction']:.1%}"
+        )
     print(f"wrote {output}")
 
 
@@ -344,7 +401,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="throughput drop that counts as a regression for --compare"
         " (default 0.20)",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="SPEC",
+        help="log level spec, e.g. 'info' or 'info,des=debug'"
+        " (also: REPRO_LOG)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines (also: REPRO_LOG_JSON=1)",
+    )
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        configure_logging(spec=args.log_level, json_lines=args.log_json)
+    else:
+        ensure_configured()
     if args.kernel is not None:
         set_kernel(args.kernel)
     if args.profile is not None:

@@ -41,7 +41,7 @@ class ReservationGroup:
     (synthetic populations) fall back to an insort.
     """
 
-    __slots__ = ("keys", "entries", "bases", "_arrays")
+    __slots__ = ("keys", "entries", "bases", "_arrays", "rebuilds")
 
     def __init__(self) -> None:
         self.keys: list[int] = []
@@ -50,6 +50,9 @@ class ReservationGroup:
         #: Cached ``(entries, bases)`` ndarray pair (see :meth:`arrays`);
         #: invalidated by every mutation.
         self._arrays = None
+        #: Times the ndarray cache was rebuilt (a telemetry observable:
+        #: rebuilds / queries is the group-level cache miss rate).
+        self.rebuilds = 0
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -104,6 +107,7 @@ class ReservationGroup:
         """
         cached = self._arrays
         if cached is None:
+            self.rebuilds += 1
             cached = self._arrays = (
                 np.asarray(self.entries, dtype=np.float64),
                 np.asarray(self.bases, dtype=np.float64),
@@ -159,6 +163,9 @@ class Cell:
         #: attached connections — the grouped columnar input of the
         #: batched Eq. 5 path.
         self._by_prev: dict[int | None, ReservationGroup] = {}
+        #: ndarray-cache rebuilds of buckets already emptied and dropped
+        #: (so :attr:`group_rebuilds` survives bucket turnover).
+        self._retired_rebuilds = 0
 
     # ------------------------------------------------------------------
     # capacity queries
@@ -187,6 +194,13 @@ class Cell:
         returned mapping is live — treat it as read-only.
         """
         return self._by_prev
+
+    @property
+    def group_rebuilds(self) -> int:
+        """Total ``ReservationGroup`` ndarray-cache rebuilds (telemetry)."""
+        return self._retired_rebuilds + sum(
+            group.rebuilds for group in self._by_prev.values()
+        )
 
     def fits_new_connection(self, bandwidth: float) -> bool:
         """Admission test of Eq. (1): new traffic must respect ``B_r``."""
@@ -309,6 +323,7 @@ class Cell:
             getattr(connection, "cell_entry_time", 0.0),
         ):
             if not group:
+                self._retired_rebuilds += group.rebuilds
                 del self._by_prev[prev]
             return
         # ``prev_cell`` or ``cell_entry_time`` mutated while attached
@@ -317,6 +332,7 @@ class Cell:
         for prev, members in list(self._by_prev.items()):
             if members.discard(connection.connection_id):
                 if not members:
+                    self._retired_rebuilds += members.rebuilds
                     del self._by_prev[prev]
                 return
 

@@ -20,9 +20,18 @@ from typing import Sequence
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import Table
 from repro.mobility.models import TravelDirections
+from repro.obs import (
+    configure_logging,
+    ensure_configured,
+    get_logger,
+    merge_snapshots,
+    snapshot_to_json,
+    to_prometheus,
+)
 from repro.simulation.runner import run_sweep
 from repro.simulation.scenarios import stationary
 from repro.simulation.simulator import CellularSimulator
+from repro.simulation.tracing import ConnectionTracer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,11 +48,18 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one scenario and print the per-cell report"
     )
     _add_scenario_arguments(run_parser)
+    _add_observability_arguments(run_parser)
+    run_parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="record the connection-lifecycle journal and write it as"
+        " JSON lines (verify() violations are logged)",
+    )
 
     sweep_parser = commands.add_parser(
         "sweep", help="sweep the offered load and print P_CB / P_HD"
     )
     _add_scenario_arguments(sweep_parser)
+    _add_observability_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--loads",
         default="60,100,150,200,250,300",
@@ -103,6 +119,67 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         " python (auto picks numpy when installed)")
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--telemetry", action="store_true",
+                       help="collect run telemetry (also: REPRO_TELEMETRY=1)")
+    group.add_argument("--progress", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="heartbeat progress lines at most this often"
+                       " (0 disables)")
+    group.add_argument("--log-level", default=None, metavar="SPEC",
+                       help="log level, optionally per subsystem:"
+                       " 'info' or 'info,des=debug,window=debug'"
+                       " (also: REPRO_LOG)")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit logs as JSON lines (also:"
+                       " REPRO_LOG_JSON=1)")
+    group.add_argument("--prom-out", default=None, metavar="PATH",
+                       help="write the telemetry snapshot in Prometheus"
+                       " text format (implies --telemetry)")
+    group.add_argument("--telemetry-json", default=None, metavar="PATH",
+                       help="write the telemetry snapshot as JSON"
+                       " (implies --telemetry)")
+
+
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(
+        args.telemetry or args.prom_out or args.telemetry_json
+    )
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    if args.log_level is not None or args.log_json:
+        configure_logging(spec=args.log_level, json_lines=args.log_json)
+    else:
+        ensure_configured()
+
+
+def _export_telemetry(snapshot, args: argparse.Namespace) -> None:
+    """Write/print the snapshot per the export flags."""
+    if snapshot is None:
+        return
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(snapshot))
+    if args.telemetry_json:
+        with open(args.telemetry_json, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(snapshot))
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    events = counters.get("des.events_fired", 0)
+    rate = gauges.get("des.events_per_sec", 0.0)
+    eq5_hits = counters.get('cellular.eq5_memo{outcome="hit"}', 0)
+    eq5_misses = counters.get('cellular.eq5_memo{outcome="miss"}', 0)
+    eq5_total = eq5_hits + eq5_misses
+    print()
+    print(f"telemetry: run_id={snapshot.get('run_id', '')}")
+    print(f"  events fired: {events:,.0f} ({rate:,.0f} events/s)")
+    if eq5_total:
+        print(f"  Eq.5 memo hit rate: {eq5_hits / eq5_total:.1%}"
+              f" ({eq5_total:,.0f} lookups)")
+
+
 def _build_config(args: argparse.Namespace, load: float | None = None):
     overrides = {
         "num_cells": args.cells,
@@ -112,6 +189,8 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
         "soft_handoff_window": args.soft_handoff,
         "handoff_overload": args.overload,
         "kernel": args.kernel,
+        "telemetry": _wants_telemetry(args),
+        "progress_interval": args.progress,
     }
     if args.one_way:
         overrides["directions"] = TravelDirections.ONE_WAY
@@ -128,7 +207,31 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    result = CellularSimulator(_build_config(args)).run()
+    _configure_observability(args)
+    extensions = []
+    tracer = None
+    if args.trace_jsonl:
+        tracer = ConnectionTracer()
+        extensions.append(tracer)
+    result = CellularSimulator(
+        _build_config(args), extensions=extensions
+    ).run()
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_jsonl)
+        log = get_logger("trace")
+        violations = tracer.verify()
+        for violation in violations:
+            log.warning(
+                "trace violation", extra={"violation": violation}
+            )
+        log.info(
+            "trace journal written",
+            extra={
+                "path": args.trace_jsonl,
+                "events": len(tracer.events),
+                "violations": len(violations),
+            },
+        )
     print(f"scheme={result.scheme}  L={result.offered_load:g}"
           f"  duration={result.duration:g}s")
     print(f"P_CB = {result.blocking_probability:.4f}")
@@ -149,15 +252,16 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     print()
     print(Table(["Cell", "PCB", "PHD", "Test", "Br", "Bu"], rows).render())
+    _export_telemetry(result.telemetry, args)
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    _configure_observability(args)
     loads = [float(piece) for piece in args.loads.split(",") if piece]
     configs = [_build_config(args, load=load) for load in loads]
-    pairs = list(
-        zip(loads, run_sweep(configs, workers=args.workers))
-    )
+    results = run_sweep(configs, workers=args.workers)
+    pairs = list(zip(loads, results))
     rows = [
         [
             load,
@@ -169,6 +273,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         for load, result in pairs
     ]
     print(Table(["L", "PCB", "PHD", "avg Br", "Ncalc"], rows).render())
+    # Each run (worker process or not) carries its own snapshot; the
+    # merged view is what gets exported.
+    _export_telemetry(
+        merge_snapshots(result.telemetry for result in results), args
+    )
     return 0
 
 

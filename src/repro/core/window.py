@@ -27,8 +27,11 @@ and finding they over-react; both are implemented here as
 from __future__ import annotations
 
 import enum
+import logging
 import math
 from dataclasses import dataclass
+
+_log = logging.getLogger("repro.window")
 
 
 class StepPolicy(enum.Enum):
@@ -74,6 +77,9 @@ class WindowAdjustment:
     time: float
     new_window: float
     increased: bool
+    #: ``n_H`` / ``n_HD`` counter values at the moment of adaptation.
+    handoffs: int = 0
+    drops: int = 0
 
 
 class EstimationWindowController:
@@ -143,7 +149,22 @@ class EstimationWindowController:
             self.t_est = min(self.t_est + step, max(bound, self.config.min_window))
         else:
             self.t_est = max(self.t_est - step, self.config.min_window)
-        self.adjustments.append(WindowAdjustment(now, self.t_est, increase))
+        self.adjustments.append(
+            WindowAdjustment(
+                now, self.t_est, increase, self.handoffs, self.drops
+            )
+        )
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "T_est adjusted",
+                extra={
+                    "direction": "up" if increase else "down",
+                    "t_est": self.t_est,
+                    "n_h": self.handoffs,
+                    "n_hd": self.drops,
+                    "virtual_time": now,
+                },
+            )
 
     def _step_size(self) -> float:
         policy = self.config.step_policy

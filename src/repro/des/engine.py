@@ -58,6 +58,15 @@ class Engine:
         #: hot loop allocation-free (heap push/pop of reused objects).
         self._pool: list[Event] = []
         self.events_processed = 0
+        # Observability counters (plain ints: harvested into the
+        # telemetry registry at end of run, ~free on the hot path).
+        #: Scheduled events served from the free list vs freshly built.
+        self.pool_hits = 0
+        self.pool_misses = 0
+        #: Queued events cancelled before firing.
+        self.events_cancelled = 0
+        #: Lazy-deletion heap compactions performed.
+        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
@@ -74,6 +83,11 @@ class Engine:
         """
         return len(self._queue) - self._cancelled_pending
 
+    @property
+    def queue_len(self) -> int:
+        """Raw heap length, cancelled corpses included (a telemetry gauge)."""
+        return len(self._queue)
+
     def _note_cancellation(self) -> None:
         """Called (via the event's cancel hook) when a queued event dies.
 
@@ -83,6 +97,7 @@ class Engine:
         the queue — and every push/pop — without bound.
         """
         self._cancelled_pending += 1
+        self.events_cancelled += 1
         if (
             self._cancelled_pending > _COMPACT_MIN
             and self._cancelled_pending * 2 > len(self._queue)
@@ -92,6 +107,7 @@ class Engine:
             ]
             heapq.heapify(self._queue)
             self._cancelled_pending = 0
+            self.heap_compactions += 1
 
     def call_at(
         self,
@@ -107,6 +123,7 @@ class Engine:
             )
         pool = self._pool
         if pool:
+            self.pool_hits += 1
             event = pool.pop()
             event._reset(
                 time,
@@ -117,6 +134,7 @@ class Engine:
                 self._note_cancellation,
             )
         else:
+            self.pool_misses += 1
             event = Event(
                 time,
                 int(priority),
@@ -195,6 +213,8 @@ class Engine:
         self,
         until: float | None = None,
         max_events: int | None = None,
+        heartbeat: Callable[[], None] | None = None,
+        heartbeat_events: int = 4096,
     ) -> None:
         """Run until the queue drains, ``until`` is reached, or ``stop()``.
 
@@ -206,12 +226,23 @@ class Engine:
             to exactly ``until``.
         max_events:
             Safety budget on the number of events fired in this call.
+        heartbeat:
+            Optional hook invoked every ``heartbeat_events`` fired
+            events (progress reporting).  The hook observes the engine;
+            it must not schedule or cancel events, so a run with a
+            heartbeat fires exactly the events it would without one.
+        heartbeat_events:
+            Firing cadence of ``heartbeat`` (the hook throttles itself
+            further on wall time; this only bounds hook-call overhead).
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
+        if heartbeat_events < 1:
+            raise SimulationError("heartbeat_events must be >= 1")
         self._running = True
         self._stopped = False
         fired = 0
+        next_beat = heartbeat_events if heartbeat is not None else None
         try:
             while not self._stopped:
                 next_time = self.peek()
@@ -223,6 +254,9 @@ class Engine:
                     break
                 self.step()
                 fired += 1
+                if next_beat is not None and fired >= next_beat:
+                    heartbeat()
+                    next_beat = fired + heartbeat_events
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

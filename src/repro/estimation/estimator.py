@@ -32,6 +32,7 @@ from repro._kernel import numpy_or_none
 from repro.estimation.cache import CacheConfig, QuadrupletCache
 from repro.estimation.function import HandoffEstimationFunction
 from repro.estimation.quadruplet import HandoffQuadruplet
+from repro.obs.telemetry import get_telemetry
 
 #: Group size below which the resumable pure-Python walk beats the
 #: vectorized kernel (ndarray call overhead dominates tiny batches;
@@ -68,6 +69,22 @@ class MobilityEstimator:
         #: (the base-station reservation cache) treat any change as
         #: "every F_HOE snapshot may differ" and recompute.
         self.version = 0
+        # Observability counters (plain ints, harvested at end of run).
+        #: Snapshot cache: reuses vs (re)builds vs dirty invalidations.
+        self.snapshot_hits = 0
+        self.snapshot_builds = 0
+        self.snapshot_invalidations = 0
+        #: Eq. 4/5 batch dispatch split: vectorized numpy passes vs
+        #: pure-python bisect walks, in batches and total rows.
+        self.eq4_vector_batches = 0
+        self.eq4_scalar_batches = 0
+        self.eq4_vector_rows = 0
+        self.eq4_scalar_rows = 0
+        #: Batch-size distribution, observed into the active telemetry
+        #: registry (a shared no-op when telemetry is disabled).
+        self._batch_rows_histogram = get_telemetry().histogram(
+            "estimation.eq4_batch_rows"
+        )
 
     # ------------------------------------------------------------------
     # recording
@@ -83,6 +100,8 @@ class MobilityEstimator:
         self.cache.record(
             HandoffQuadruplet(event_time, prev, next_cell, sojourn)
         )
+        if prev not in self._dirty and prev in self._snapshots:
+            self.snapshot_invalidations += 1
         self._dirty.add(prev)
         self.version += 1
 
@@ -100,6 +119,7 @@ class MobilityEstimator:
                 self.cache.config.interval is None
                 or now - built_at < self.rebuild_interval
             ):
+                self.snapshot_hits += 1
                 return snapshot
         columns = self.cache.active_columns(now, prev)
         if columns is not None:
@@ -108,7 +128,18 @@ class MobilityEstimator:
             snapshot = HandoffEstimationFunction(self.cache.active(now, prev))
         self._snapshots[prev] = (now, snapshot)
         self._dirty.discard(prev)
+        self.snapshot_builds += 1
         return snapshot
+
+    def _count_dispatch(self, vectorized: bool, rows: int) -> None:
+        """Record one Eq. 4/5 batch dispatch (kernel choice + size)."""
+        if vectorized:
+            self.eq4_vector_batches += 1
+            self.eq4_vector_rows += rows
+        else:
+            self.eq4_scalar_batches += 1
+            self.eq4_scalar_rows += rows
+        self._batch_rows_histogram.observe(rows)
 
     # ------------------------------------------------------------------
     # Eq. 4 and derived queries
@@ -151,9 +182,9 @@ class MobilityEstimator:
         :meth:`handoff_probability` call exactly.
         """
         snapshot = self.function_for(now, prev)
-        return snapshot.batch_probabilities(
-            next_cell, list(extant_sojourns), t_est
-        )
+        queries = list(extant_sojourns)
+        self._count_dispatch(numpy_or_none() is not None, len(queries))
+        return snapshot.batch_probabilities(next_cell, queries, t_est)
 
     def handoff_probabilities(
         self,
@@ -236,6 +267,7 @@ class MobilityEstimator:
                 continue
             keys = group.keys
             if np is not None and len(keys) >= _VECTOR_MIN_ROWS:
+                self._count_dispatch(True, len(keys))
                 entries, bases = group.arrays(np)
                 snapshot.batch_contributions_arrays(
                     np,
@@ -250,6 +282,7 @@ class MobilityEstimator:
                 # Entry times ascend, so walking them in reverse yields
                 # the non-decreasing extant sojourns the resumable
                 # binary searches need — no per-call sort.
+                self._count_dispatch(False, len(keys))
                 entries = group.entries
                 bases = group.bases
                 rows = (

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
+
+from repro.obs.logs import get_logger
 
 from repro.experiments.ablations import (
     run_ablation_cdma,
@@ -87,4 +90,16 @@ def run_experiment(name: str, **kwargs: object) -> list[ExperimentOutput]:
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ValueError(f"unknown experiment {name!r}; known: {known}")
-    return runner(**kwargs)
+    log = get_logger("experiments")
+    log.info("experiment started", extra={"experiment": name})
+    started = perf_counter()
+    outputs = runner(**kwargs)
+    log.info(
+        "experiment finished",
+        extra={
+            "experiment": name,
+            "outputs": len(outputs),
+            "wall_seconds": round(perf_counter() - started, 3),
+        },
+    )
+    return outputs

@@ -1,0 +1,61 @@
+"""Run-wide observability: telemetry, structured logging, progress.
+
+* :mod:`repro.obs.telemetry` — counters/gauges/histograms/timers in a
+  per-run registry, with a no-op twin selected when telemetry is off.
+* :mod:`repro.obs.logs` — JSONL structured logging with per-subsystem
+  levels and ``REPRO_LOG``/``REPRO_LOG_JSON`` plumbing.
+* :mod:`repro.obs.progress` — heartbeat progress lines driven by the
+  DES engine, safe under process-pool sweeps.
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON forms
+  of a snapshot, plus a parser for round-trips and CI assertions.
+
+None of it perturbs the simulation: instruments only count, heartbeats
+piggyback on events the run was firing anyway, and ``metrics_key()``
+equality between telemetry-on and -off runs is enforced by tests.
+"""
+
+from repro.obs.export import parse_prometheus, snapshot_to_json, to_prometheus
+from repro.obs.logs import (
+    configure_logging,
+    ensure_configured,
+    get_logger,
+    set_run_id,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    SectionTimer,
+    Telemetry,
+    begin_run,
+    get_telemetry,
+    merge_snapshots,
+    new_run_id,
+    set_telemetry_enabled,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullTelemetry",
+    "ProgressReporter",
+    "SectionTimer",
+    "Telemetry",
+    "begin_run",
+    "configure_logging",
+    "ensure_configured",
+    "get_logger",
+    "get_telemetry",
+    "merge_snapshots",
+    "new_run_id",
+    "parse_prometheus",
+    "set_run_id",
+    "set_telemetry_enabled",
+    "snapshot_to_json",
+    "telemetry_enabled",
+    "to_prometheus",
+]

@@ -1,0 +1,119 @@
+"""Export telemetry snapshots: Prometheus text format and JSON.
+
+:func:`to_prometheus` renders a :meth:`Telemetry.snapshot` dict in the
+Prometheus text exposition format (version 0.0.4), so a run's counters
+can be scraped, diffed, or pushed to a gateway.  :func:`parse_prometheus`
+reads that text back into ``series -> value`` pairs — used by the
+round-trip tests and the CI telemetry smoke stage, and handy for
+asserting on exported runs without a Prometheus server.
+
+Series naming: dots in instrument names become underscores and
+everything gets a ``repro_`` prefix (``des.events_fired`` exports as
+``repro_des_events_fired``).  Histograms render the cumulative
+``_bucket{le=...}`` form plus ``_sum`` and ``_count``; section timers
+render ``_seconds_total`` and ``_calls_total`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Mapping
+
+__all__ = [
+    "parse_prometheus",
+    "snapshot_to_json",
+    "to_prometheus",
+]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+)
+
+
+def _metric_name(key: str, prefix: str) -> tuple[str, str]:
+    """Split a snapshot series key into (exported name, label block)."""
+    brace = key.find("{")
+    if brace < 0:
+        name, labels = key, ""
+    else:
+        name, labels = key[:brace], key[brace:]
+    return prefix + _NAME_SANITIZER.sub("_", name), labels
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    """Append one ``k="v"`` pair to a (possibly empty) label block."""
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: Mapping, prefix: str = "repro_") -> str:
+    """Render a telemetry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    run_id = snapshot.get("run_id")
+    if run_id:
+        lines.append(f"# repro telemetry snapshot, run_id={run_id}")
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _metric_name(key, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _metric_name(key, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    for key, data in snapshot.get("histograms", {}).items():
+        name, labels = _metric_name(key, prefix)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for edge, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            edge_labels = _merge_labels(labels, f'le="{_format_value(edge)}"')
+            lines.append(f"{name}_bucket{edge_labels} {cumulative}")
+        cumulative += data["counts"][len(data["buckets"])]
+        inf_labels = _merge_labels(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{inf_labels} {cumulative}")
+        lines.append(f"{name}_sum{labels} {_format_value(data['sum'])}")
+        lines.append(f"{name}_count{labels} {data['count']}")
+    for key, data in snapshot.get("timers", {}).items():
+        name, labels = _metric_name(key, prefix)
+        lines.append(f"# TYPE {name}_seconds_total counter")
+        lines.append(
+            f"{name}_seconds_total{labels} {_format_value(data['seconds'])}"
+        )
+        lines.append(f"# TYPE {name}_calls_total counter")
+        lines.append(f"{name}_calls_total{labels} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``name{labels} -> value`` pairs.
+
+    Label blocks are kept verbatim (Prometheus emits them sorted, and
+    :func:`to_prometheus` sorts too, so round-trips compare directly).
+    ``+Inf``/``NaN`` values parse to their float equivalents.
+    """
+    series: dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        series[key] = float(match.group("value"))
+    return series
+
+
+def snapshot_to_json(snapshot: Mapping, indent: int = 2) -> str:
+    """The JSON form of a snapshot (stable key order for diffs)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"

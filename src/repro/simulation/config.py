@@ -101,6 +101,18 @@ class SimulationConfig:
     #: Aggregate hourly buckets (Figure 14b).
     hourly_stats: bool = False
 
+    # --- observability ---------------------------------------------------
+    #: Collect run telemetry (counters/gauges/histograms) into a snapshot
+    #: attached to the result.  Also enabled by ``REPRO_TELEMETRY=1``.
+    telemetry: bool = False
+    #: Heartbeat progress lines at most this often (wall seconds);
+    #: 0 disables.  Heartbeats never schedule events, so enabling them
+    #: cannot perturb the run.
+    progress_interval: float = 0.0
+    #: Run identifier stamped into logs and telemetry; auto-generated
+    #: when empty.
+    run_id: str = ""
+
     # --- free-form label for reports ------------------------------------
     label: str = ""
 
@@ -131,6 +143,8 @@ class SimulationConfig:
             raise ValueError(
                 f"kernel must be auto, numpy or python, got {self.kernel!r}"
             )
+        if self.progress_interval < 0:
+            raise ValueError("progress interval cannot be negative")
 
     @property
     def is_time_varying(self) -> bool:

@@ -108,16 +108,25 @@ class SimulationResult:
     phd_traces: dict[int, list[TracePoint]] = field(default_factory=dict)
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: Identifier stamped into logs/telemetry for this run.
+    run_id: str = ""
+    #: Telemetry snapshot (:meth:`repro.obs.Telemetry.snapshot`), or
+    #: ``None`` when telemetry was disabled.
+    telemetry: dict | None = None
 
     def metrics_key(self) -> dict:
         """Every simulation-determined field, as plain data.
 
-        Excludes ``wall_seconds`` (host speed, not simulation output),
+        Excludes ``wall_seconds`` (host speed, not simulation output)
+        plus ``run_id`` and ``telemetry`` (random id, wall-clock timers),
         so two runs of the same scenario — cached vs uncached, parallel
-        vs sequential — compare equal iff their metrics are identical.
+        vs sequential, observed vs unobserved — compare equal iff their
+        metrics are identical.
         """
         data = asdict(self)
         data.pop("wall_seconds", None)
+        data.pop("run_id", None)
+        data.pop("telemetry", None)
         return data
 
     # ------------------------------------------------------------------

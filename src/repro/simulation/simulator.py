@@ -39,6 +39,9 @@ from repro.mobility.models import (
     TravelDirections,
 )
 from repro.mobility.speed import ProfileSpeedSampler, UniformSpeedSampler
+from repro.obs.logs import ensure_configured, set_run_id
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import begin_run, new_run_id
 from repro.simulation.config import SimulationConfig
 from repro.simulation.extensions import ExtensionChain
 from repro.simulation.metrics import (
@@ -86,6 +89,20 @@ class CellularSimulator:
             kernel_name()
         else:
             set_kernel(config.kernel)
+        # Activate this run's telemetry registry and log context before
+        # any subsystem grabs instrument handles (the estimators do, at
+        # construction).  ``config.telemetry`` forces it on; otherwise
+        # the module default (REPRO_TELEMETRY / set_telemetry_enabled)
+        # decides.
+        ensure_configured()
+        self.telemetry = begin_run(
+            run_id=config.run_id or None,
+            enabled=True if config.telemetry else None,
+        )
+        self.run_id = (
+            self.telemetry.run_id or config.run_id or new_run_id()
+        )
+        set_run_id(self.run_id)
         self.engine = Engine()
         self.streams = RandomStreams(config.seed)
         if config.adaptive_qos:
@@ -205,7 +222,20 @@ class CellularSimulator:
                 self._on_sample,
                 priority=EventPriority.MONITOR,
             )
-        self.engine.run(until=self.config.duration)
+        reporter = None
+        if self.config.progress_interval > 0:
+            reporter = ProgressReporter(
+                self.engine,
+                duration=self.config.duration,
+                interval=self.config.progress_interval,
+                label=self.config.label or self.config.scheme,
+            )
+        self.engine.run(
+            until=self.config.duration,
+            heartbeat=reporter.beat if reporter is not None else None,
+        )
+        if reporter is not None:
+            reporter.final()
         self._finished = True
         return self._build_result(wall_clock.perf_counter() - started)
 
@@ -439,6 +469,112 @@ class CellularSimulator:
     # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
+    def _harvest_telemetry(self, wall_seconds: float) -> dict | None:
+        """Fold the run's plain-int hot-path counters into the registry.
+
+        Instrumented objects (engine, estimators, cells, stations,
+        window controllers) count on cheap attributes during the run;
+        one pass here turns them into named telemetry series.  Returns
+        the finished snapshot, or ``None`` when telemetry is off.
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return None
+        engine = self.engine
+        tel.counter("des.events_fired").inc(engine.events_processed)
+        tel.counter("des.events_cancelled").inc(engine.events_cancelled)
+        tel.counter("des.heap_compactions").inc(engine.heap_compactions)
+        tel.counter("des.event_pool", outcome="hit").inc(engine.pool_hits)
+        tel.counter("des.event_pool", outcome="miss").inc(engine.pool_misses)
+        tel.gauge("des.heap_len").set(engine.queue_len)
+        if wall_seconds > 0:
+            tel.gauge("des.events_per_sec").set(
+                engine.events_processed / wall_seconds
+            )
+        run_timer = tel.timer("simulation.run")
+        run_timer.seconds += wall_seconds
+        run_timer.count += 1
+        tel.counter("simulation.runs", kernel=kernel_name()).inc()
+
+        metrics = self.metrics
+        requests = sum(cell.new_requests for cell in metrics.cells)
+        blocked = sum(cell.blocked for cell in metrics.cells)
+        attempts = sum(cell.handoff_attempts for cell in metrics.cells)
+        drops = sum(cell.handoff_drops for cell in metrics.cells)
+        admissions = tel.counter
+        admissions("cellular.admissions", kind="new", outcome="accepted").inc(
+            requests - blocked
+        )
+        admissions("cellular.admissions", kind="new", outcome="blocked").inc(
+            blocked
+        )
+        admissions(
+            "cellular.admissions", kind="handoff", outcome="accepted"
+        ).inc(attempts - drops)
+        admissions(
+            "cellular.admissions", kind="handoff", outcome="dropped"
+        ).inc(drops)
+        tel.counter("cellular.admission_tests").inc(
+            metrics.total_admission_tests
+        )
+
+        eq5_hits = eq5_misses = messages = updates = rebuilds = 0
+        steps_up = steps_down = window_handoffs = window_drops = 0
+        snap_hits = snap_builds = snap_invalidations = 0
+        vector_batches = scalar_batches = vector_rows = scalar_rows = 0
+        for station in self.network.stations:
+            eq5_hits += station.contribution_cache_hits
+            eq5_misses += station.contribution_cache_misses
+            messages += station.messages_sent
+            updates += station.reservation_calculations
+            rebuilds += station.cell.group_rebuilds
+            controller = station.window
+            window_handoffs += controller.total_handoffs
+            window_drops += controller.total_drops
+            for adjustment in controller.adjustments:
+                if adjustment.increased:
+                    steps_up += 1
+                else:
+                    steps_down += 1
+            tel.gauge("window.t_est", cell=str(station.cell_id)).set(
+                controller.t_est
+            )
+            # Custom estimators (estimator_factory overrides) may not
+            # carry the standard counters; treat absences as zero.
+            estimator = station.estimator
+            snap_hits += getattr(estimator, "snapshot_hits", 0)
+            snap_builds += getattr(estimator, "snapshot_builds", 0)
+            snap_invalidations += getattr(
+                estimator, "snapshot_invalidations", 0
+            )
+            vector_batches += getattr(estimator, "eq4_vector_batches", 0)
+            scalar_batches += getattr(estimator, "eq4_scalar_batches", 0)
+            vector_rows += getattr(estimator, "eq4_vector_rows", 0)
+            scalar_rows += getattr(estimator, "eq4_scalar_rows", 0)
+        tel.counter("cellular.eq5_memo", outcome="hit").inc(eq5_hits)
+        tel.counter("cellular.eq5_memo", outcome="miss").inc(eq5_misses)
+        tel.counter("cellular.messages_sent").inc(messages)
+        tel.counter("cellular.reservation_updates").inc(updates)
+        tel.counter("cellular.group_rebuilds").inc(rebuilds)
+        tel.counter("window.t_est_steps", direction="up").inc(steps_up)
+        tel.counter("window.t_est_steps", direction="down").inc(steps_down)
+        tel.counter("window.handoffs").inc(window_handoffs)
+        tel.counter("window.drops").inc(window_drops)
+        tel.counter("estimation.snapshot", outcome="hit").inc(snap_hits)
+        tel.counter("estimation.snapshot", outcome="build").inc(snap_builds)
+        tel.counter("estimation.snapshot_invalidations").inc(
+            snap_invalidations
+        )
+        tel.counter("estimation.eq4_batches", kernel="numpy").inc(
+            vector_batches
+        )
+        tel.counter("estimation.eq4_batches", kernel="python").inc(
+            scalar_batches
+        )
+        tel.counter("estimation.eq4_rows", kernel="numpy").inc(vector_rows)
+        tel.counter("estimation.eq4_rows", kernel="python").inc(scalar_rows)
+        return tel.snapshot()
+
     def _build_result(self, wall_seconds: float) -> SimulationResult:
         config = self.config
         statuses = [
@@ -476,6 +612,8 @@ class CellularSimulator:
             phd_traces=self.metrics.phd_traces,
             events_processed=self.engine.events_processed,
             wall_seconds=wall_seconds,
+            run_id=self.run_id,
+            telemetry=self._harvest_telemetry(wall_seconds),
         )
 
 

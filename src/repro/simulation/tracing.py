@@ -47,6 +47,10 @@ class ConnectionTracer:
         self.capacity = capacity
         self.events: list[TraceEvent] = []
         self.evicted = 0
+        #: Per-connection event lists (same TraceEvent instances as
+        #: ``events``), so ``history()`` is a dict lookup instead of a
+        #: full-journal scan.
+        self._index: dict[int, list[TraceEvent]] = {}
 
     # ------------------------------------------------------------------
     # SimulatorExtension hooks
@@ -73,36 +77,42 @@ class ConnectionTracer:
             self._record(kind, connection, now)
 
     def _record(self, kind: str, connection: Connection, now: float) -> None:
-        self.events.append(
-            TraceEvent(
-                time=now,
-                kind=kind,
-                connection_id=connection.connection_id,
-                cell_id=connection.cell_id,
-                prev_cell=connection.prev_cell,
-                bandwidth=connection.bandwidth,
-            )
+        event = TraceEvent(
+            time=now,
+            kind=kind,
+            connection_id=connection.connection_id,
+            cell_id=connection.cell_id,
+            prev_cell=connection.prev_cell,
+            bandwidth=connection.bandwidth,
         )
+        self.events.append(event)
+        self._index.setdefault(event.connection_id, []).append(event)
         if self.capacity is not None and len(self.events) > self.capacity:
             overflow = len(self.events) - self.capacity
+            removed = self.events[:overflow]
             del self.events[:overflow]
             self.evicted += overflow
+            # Evicted events are the journal's globally oldest, which is
+            # also each connection's oldest: drop them from the front of
+            # the per-connection lists.
+            for old in removed:
+                entries = self._index[old.connection_id]
+                entries.pop(0)
+                if not entries:
+                    del self._index[old.connection_id]
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def history(self, connection_id: int) -> list[TraceEvent]:
-        """All events of one connection, in order."""
-        return [
-            event for event in self.events
-            if event.connection_id == connection_id
-        ]
+        """All events of one connection, in order (indexed lookup)."""
+        return list(self._index.get(connection_id, ()))
 
     def count(self, kind: str) -> int:
         return sum(1 for event in self.events if event.kind == kind)
 
     def connections_seen(self) -> set[int]:
-        return {event.connection_id for event in self.events}
+        return set(self._index)
 
     # ------------------------------------------------------------------
     # export / verification
@@ -112,7 +122,7 @@ class ConnectionTracer:
         return "\n".join(event.to_json() for event in self.events)
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w") as handle:
+        with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
             handle.write("\n")
 
@@ -131,10 +141,7 @@ class ConnectionTracer:
             return ["journal truncated: verification unavailable"]
         problems: list[str] = []
         terminal = {"completed", "dropped", "exited"}
-        by_connection: dict[int, list[TraceEvent]] = {}
-        for event in self.events:
-            by_connection.setdefault(event.connection_id, []).append(event)
-        for connection_id, events in by_connection.items():
+        for connection_id, events in self._index.items():
             times = [event.time for event in events]
             if times != sorted(times):
                 problems.append(f"{connection_id}: events out of order")

@@ -1,0 +1,79 @@
+"""Tests for the Prometheus/JSON exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import parse_prometheus, snapshot_to_json, to_prometheus
+from repro.obs.telemetry import Telemetry
+
+
+def _sample_snapshot():
+    telemetry = Telemetry(run_id="deadbeef0000")
+    telemetry.counter("des.events_fired").inc(1234)
+    telemetry.counter("memo", outcome="hit").inc(10)
+    telemetry.counter("memo", outcome="miss").inc(4)
+    telemetry.gauge("des.heap_len").set(99.5)
+    histogram = telemetry.histogram("batch.rows", buckets=(2.0, 8.0))
+    for value in (1, 3, 100):
+        histogram.observe(value)
+    timer = telemetry.timer("simulation.run")
+    timer.seconds += 2.25
+    timer.count += 1
+    return telemetry.snapshot()
+
+
+class TestToPrometheus:
+    def test_counters_and_gauges(self):
+        text = to_prometheus(_sample_snapshot())
+        assert "# TYPE repro_des_events_fired counter" in text
+        assert "repro_des_events_fired 1234" in text
+        assert 'repro_memo{outcome="hit"} 10' in text
+        assert "# TYPE repro_des_heap_len gauge" in text
+        assert "repro_des_heap_len 99.5" in text
+        assert "run_id=deadbeef0000" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        text = to_prometheus(_sample_snapshot())
+        assert 'repro_batch_rows_bucket{le="2"} 1' in text
+        assert 'repro_batch_rows_bucket{le="8"} 2' in text
+        assert 'repro_batch_rows_bucket{le="+Inf"} 3' in text
+        assert "repro_batch_rows_sum 104" in text
+        assert "repro_batch_rows_count 3" in text
+
+    def test_timer_renders_totals(self):
+        text = to_prometheus(_sample_snapshot())
+        assert "repro_simulation_run_seconds_total 2.25" in text
+        assert "repro_simulation_run_calls_total 1" in text
+
+    def test_custom_prefix(self):
+        text = to_prometheus(_sample_snapshot(), prefix="x_")
+        assert "x_des_events_fired 1234" in text
+        assert "repro_" not in text.replace("# repro telemetry", "")
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        snapshot = _sample_snapshot()
+        series = parse_prometheus(to_prometheus(snapshot))
+        assert series["repro_des_events_fired"] == 1234
+        assert series['repro_memo{outcome="hit"}'] == 10
+        assert series["repro_des_heap_len"] == 99.5
+        assert series['repro_batch_rows_bucket{le="+Inf"}'] == 3
+        assert series["repro_simulation_run_seconds_total"] == 2.25
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not exposition format")
+
+    def test_skips_comments_and_blanks(self):
+        assert parse_prometheus("# a comment\n\nmetric 1\n") == {
+            "metric": 1.0
+        }
+
+
+class TestSnapshotJson:
+    def test_json_round_trip(self):
+        snapshot = _sample_snapshot()
+        data = json.loads(snapshot_to_json(snapshot))
+        assert data == snapshot

@@ -1,0 +1,89 @@
+"""Tests for the structured logging layer."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    configure_logging,
+    get_logger,
+    parse_level_spec,
+    set_run_id,
+)
+
+
+class TestLevelSpec:
+    def test_root_only(self):
+        assert parse_level_spec("debug") == (logging.DEBUG, {})
+
+    def test_root_and_overrides(self):
+        root, overrides = parse_level_spec("info,des=debug,window=warning")
+        assert root == logging.INFO
+        assert overrides == {
+            "repro.des": logging.DEBUG,
+            "repro.window": logging.WARNING,
+        }
+
+    def test_qualified_names_kept(self):
+        _root, overrides = parse_level_spec("info,repro.trace=error")
+        assert overrides == {"repro.trace": logging.ERROR}
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            parse_level_spec("loud")
+
+
+class TestJsonLines:
+    def test_structured_record(self):
+        stream = io.StringIO()
+        configure_logging(spec="info", json_lines=True, stream=stream)
+        set_run_id("run123")
+        get_logger("des").info("heartbeat", extra={"events": 42})
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "heartbeat"
+        assert record["logger"] == "repro.des"
+        assert record["level"] == "info"
+        assert record["events"] == 42
+        assert record["run_id"] == "run123"
+        assert isinstance(record["ts"], float)
+
+    def test_human_format_renders_extras(self):
+        stream = io.StringIO()
+        configure_logging(spec="info", json_lines=False, stream=stream)
+        get_logger("window").info("T_est adjusted", extra={"t_est": 3.0})
+        line = stream.getvalue()
+        assert "repro.window" in line
+        assert "T_est adjusted" in line
+        assert "t_est=3.0" in line
+
+    def test_subsystem_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(
+            spec="warning,des=debug", json_lines=True, stream=stream
+        )
+        get_logger("des").debug("visible")
+        get_logger("window").info("hidden")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "visible"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(spec="info", json_lines=True, stream=first)
+        configure_logging(spec="info", json_lines=True, stream=second)
+        get_logger("des").info("once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().strip().splitlines()) == 1
+
+    def test_env_spec_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "error")
+        stream = io.StringIO()
+        configure_logging(json_lines=True, stream=stream)
+        get_logger("des").warning("suppressed")
+        get_logger("des").error("kept")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["level"] == "error"

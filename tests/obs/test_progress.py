@@ -1,0 +1,77 @@
+"""Tests for the heartbeat progress reporter."""
+
+import io
+
+import pytest
+
+from repro.des import Engine
+from repro.obs.progress import ProgressReporter
+
+
+def _run_engine(engine, events=500):
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < events:
+            engine.call_in(1.0, tick)
+
+    engine.call_in(1.0, tick)
+    return tick
+
+
+class TestProgressReporter:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(Engine(), duration=100.0, interval=0.0)
+
+    def test_emits_via_engine_heartbeat(self):
+        engine = Engine()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            engine, duration=500.0, interval=1e-9,
+            label="test", stream=stream,
+        )
+        _run_engine(engine)
+        engine.run(heartbeat=reporter.beat, heartbeat_events=100)
+        reporter.final()
+        output = stream.getvalue()
+        assert reporter.beats >= 2  # several heartbeats plus the final
+        assert "[test]" in output
+        assert "events/s" in output
+        assert "done:" in output
+
+    def test_wall_throttling(self):
+        engine = Engine()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            engine, duration=500.0, interval=3600.0, stream=stream,
+        )
+        _run_engine(engine)
+        engine.run(heartbeat=reporter.beat, heartbeat_events=10)
+        # Interval far above the run's wall time: every beat throttled.
+        assert reporter.beats == 0
+        assert stream.getvalue() == ""
+        reporter.final()
+        assert reporter.beats == 1
+        assert "done:" in stream.getvalue()
+
+    def test_heartbeat_does_not_change_event_count(self):
+        plain = Engine()
+        _run_engine(plain)
+        plain.run()
+        observed = Engine()
+        reporter = ProgressReporter(
+            observed, duration=500.0, interval=1e-9, stream=io.StringIO(),
+        )
+        _run_engine(observed)
+        observed.run(heartbeat=reporter.beat, heartbeat_events=7)
+        assert observed.events_processed == plain.events_processed
+        assert observed.now == plain.now
+
+    def test_heartbeat_cadence_validation(self):
+        engine = Engine()
+        from repro.des.engine import SimulationError
+
+        with pytest.raises(SimulationError):
+            engine.run(heartbeat=lambda: None, heartbeat_events=0)

@@ -62,6 +62,62 @@ class TestUnit:
             "journal truncated: verification unavailable"
         ]
 
+    def test_verify_event_after_terminal(self):
+        tracer = ConnectionTracer()
+        connection = Connection(VOICE, 0.0, 0)
+        tracer.on_admitted(connection, 0.0)
+        connection.finish(ConnectionState.COMPLETED, 10.0)
+        tracer.on_connection_end(connection, 10.0)
+        tracer.on_handoff(connection, 0, 1, 20.0)
+        problems = tracer.verify()
+        assert problems == [
+            f"{connection.connection_id}: event after terminal state"
+        ]
+
+    def test_verify_out_of_order_timestamps(self):
+        tracer = ConnectionTracer()
+        connection = Connection(VOICE, 0.0, 0)
+        tracer.on_admitted(connection, 5.0)
+        tracer.on_handoff(connection, 0, 1, 2.0)
+        problems = tracer.verify()
+        assert problems == [
+            f"{connection.connection_id}: events out of order"
+        ]
+
+    def test_history_index_tracks_eviction(self):
+        tracer = ConnectionTracer(capacity=3)
+        first = Connection(VOICE, 0.0, 0)
+        second = Connection(VOICE, 0.0, 0)
+        tracer.on_admitted(first, 0.0)
+        tracer.on_admitted(second, 1.0)
+        tracer.on_handoff(second, 0, 1, 2.0)
+        tracer.on_handoff(second, 1, 2, 3.0)  # evicts first's only event
+        assert tracer.history(first.connection_id) == []
+        assert first.connection_id not in tracer.connections_seen()
+        assert [
+            event.time for event in tracer.history(second.connection_id)
+        ] == [1.0, 2.0, 3.0]
+
+    def test_history_matches_scan(self):
+        tracer = ConnectionTracer()
+        connections = [Connection(VOICE, 0.0, 0) for _ in range(3)]
+        for step, connection in enumerate(connections * 2):
+            tracer.on_admitted(connection, float(step))
+        for connection in connections:
+            scanned = [
+                event for event in tracer.events
+                if event.connection_id == connection.connection_id
+            ]
+            assert tracer.history(connection.connection_id) == scanned
+
+    def test_write_jsonl_utf8(self, tmp_path):
+        tracer = ConnectionTracer()
+        tracer.on_admitted(Connection(VOICE, 0.0, 3), 1.5)
+        path = tmp_path / "journal.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[0])["cell_id"] == 3
+
     def test_replay_counts(self):
         tracer = ConnectionTracer()
         connection = Connection(VOICE, 0.0, 0)

@@ -78,3 +78,79 @@ def test_invalid_rvo_fails_cleanly(capsys):
     )
     assert code == 2
     assert "error" in err
+
+
+def test_run_telemetry_summary_and_exports(capsys, tmp_path):
+    prom = tmp_path / "run.prom"
+    snapshot = tmp_path / "run.json"
+    code, out, _err = run_cli(
+        capsys,
+        "run", "--scheme", "AC3", "--load", "150", "--duration", "80",
+        "--telemetry",
+        "--prom-out", str(prom), "--telemetry-json", str(snapshot),
+    )
+    assert code == 0
+    assert "telemetry: run_id=" in out
+    assert "events fired:" in out
+    text = prom.read_text(encoding="utf-8")
+    assert "repro_des_events_fired" in text
+    import json
+
+    data = json.loads(snapshot.read_text(encoding="utf-8"))
+    assert data["counters"]["des.events_fired"] > 0
+
+
+def test_run_without_telemetry_prints_no_summary(capsys):
+    code, out, _err = run_cli(
+        capsys, "run", "--load", "120", "--duration", "60"
+    )
+    assert code == 0
+    assert "telemetry:" not in out
+
+
+def test_run_trace_jsonl(capsys, tmp_path):
+    journal = tmp_path / "trace.jsonl"
+    code, _out, _err = run_cli(
+        capsys,
+        "run", "--load", "120", "--duration", "60",
+        "--trace-jsonl", str(journal),
+    )
+    assert code == 0
+    import json
+
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    assert lines
+    assert json.loads(lines[0])["kind"] == "admitted"
+
+
+def test_sweep_merges_worker_telemetry(capsys, tmp_path):
+    prom = tmp_path / "sweep.prom"
+    code, out, _err = run_cli(
+        capsys,
+        "sweep", "--loads", "60,120", "--duration", "60",
+        "--workers", "2", "--telemetry", "--prom-out", str(prom),
+    )
+    assert code == 0
+    # Two worker runs merged: both run ids in the provenance line.
+    summary = [
+        line for line in out.splitlines()
+        if line.startswith("telemetry: run_id=")
+    ]
+    assert summary and summary[0].count("+") == 1
+    assert "repro_des_events_fired" in prom.read_text(encoding="utf-8")
+
+
+def test_progress_flag_emits_heartbeat_and_keeps_metrics(capsys):
+    code_quiet, out_quiet, _ = run_cli(
+        capsys, "run", "--load", "120", "--duration", "80", "--seed", "2"
+    )
+    code_progress, out_progress, err = run_cli(
+        capsys,
+        "run", "--load", "120", "--duration", "80", "--seed", "2",
+        "--progress", "0.0001",
+    )
+    assert code_quiet == code_progress == 0
+    # The report (a pure function of the metrics) is unchanged by
+    # progress reporting; heartbeats go to stderr.
+    assert out_quiet == out_progress
+    assert "events/s" in err
