@@ -37,6 +37,7 @@ import os
 import platform
 import random
 import time
+from dataclasses import replace
 from datetime import date
 from pathlib import Path
 from typing import Callable, Sequence
@@ -230,6 +231,104 @@ def bench_ac3_run(smoke: bool) -> dict:
     }
 
 
+def bench_ac3_replicated(
+    smoke: bool,
+    workers: int | None = None,
+    replications: int | None = None,
+    ci_level: float = 0.95,
+) -> dict:
+    """Sharded replication runner vs one sequential long run (AC3).
+
+    Runs the same scenario twice: once as a single long run whose
+    hourly buckets feed a sequential batch-means interval, once through
+    :func:`repro.simulation.replication.run_replicated` on the
+    persistent warm pool.  Reports both wall clocks, the speedup, and
+    whether the merged shard estimate lands inside the sequential CI.
+    The speedup is bounded by physical cores — ``cpu_count`` is recorded
+    so a 1-CPU CI box reading ~1x is interpretable.
+    """
+    from repro.analysis.stats import batch_means_from_hourly
+    from repro.simulation.replication import run_replicated
+    from repro.simulation.runner import shared_pool
+
+    if workers is None:
+        workers = 2 if smoke else 8
+    if replications is None:
+        replications = 4 if smoke else 8
+    batch = 100.0 if smoke else 200.0
+    config = stationary(
+        "AC3",
+        offered_load=200.0,
+        voice_ratio=0.8,
+        high_mobility=True,
+        duration=batch + batch * replications,
+        warmup=batch,
+        seed=3,
+    )
+    # Sequential reference: same measured interval in one process, with
+    # hourly buckets sized to one batch each (bucket 0 = the warm-up).
+    sequential = CellularSimulator(
+        replace(config, hourly_stats=True, day_seconds=24.0 * batch)
+    ).run()
+    seq_blocking, seq_dropping = batch_means_from_hourly(
+        sequential, ci_level, skip_buckets=1
+    )
+    # Warm the persistent pool before timing: in steady state (sweeps,
+    # repeated replication calls) the workers already exist, and fork
+    # cost is a constant, not part of the sharding speedup.
+    pool = shared_pool(min(workers, replications))
+    pool.warm()
+    replicated = run_replicated(
+        config,
+        replications=replications,
+        ci_level=ci_level,
+        pool=pool,
+    )
+    deterministic = None
+    if smoke:
+        # Cheap enough in smoke mode: the merged metrics must not
+        # depend on how the shards were scheduled.
+        recheck = run_replicated(
+            config, replications=replications, ci_level=ci_level
+        )
+        deterministic = (
+            recheck.metrics_key() == replicated.metrics_key()
+        )
+    return {
+        "workers": workers,
+        "replications": replications,
+        "cpu_count": os.cpu_count(),
+        "measured_seconds": config.duration - config.warmup,
+        "sequential": {
+            "wall_seconds": sequential.wall_seconds,
+            "p_cb": sequential.blocking_probability,
+            "p_hd": sequential.dropping_probability,
+            "p_cb_half_width": seq_blocking.half_width,
+            "p_hd_half_width": seq_dropping.half_width,
+        },
+        "replicated": {
+            "wall_seconds": replicated.wall_seconds,
+            "warm_seconds": replicated.warm_seconds,
+            "shared_bytes": replicated.shared_bytes,
+            "events_processed": replicated.events_processed,
+            "p_cb": replicated.blocking_probability,
+            "p_hd": replicated.dropping_probability,
+            "p_cb_half_width": replicated.blocking_ci.half_width,
+            "p_hd_half_width": replicated.dropping_ci.half_width,
+        },
+        "speedup": (
+            sequential.wall_seconds / replicated.wall_seconds
+            if replicated.wall_seconds > 0
+            else float("inf")
+        ),
+        "merged_within_sequential_ci": bool(
+            seq_blocking.covers(replicated.blocking_probability)
+            and seq_dropping.covers(replicated.dropping_probability)
+        ),
+        "merge_deterministic": deterministic,
+    }
+
+
 def _rate(hits: float, misses: float) -> float:
     total = hits + misses
     return hits / total if total else 0.0
@@ -275,7 +374,12 @@ def bench_ac3_telemetry(smoke: bool) -> dict:
     }
 
 
-def run_benchmarks(smoke: bool = False) -> dict:
+def run_benchmarks(
+    smoke: bool = False,
+    workers: int | None = None,
+    replications: int | None = None,
+    ci_level: float = 0.95,
+) -> dict:
     duration = float(os.environ.get("REPRO_BENCH_DURATION", "0.5"))
     if smoke:
         duration = min(duration, 0.1)
@@ -284,6 +388,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
         "smoke": smoke,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "kernel": kernel_name(),
         "micro_seconds_per_bench": duration,
         "micro": {
@@ -296,7 +401,11 @@ def run_benchmarks(smoke: bool = False) -> dict:
         },
         "simulation": {"ac3_load200": bench_ac3_run(smoke)},
     }
-    # After the timed runs, so the instrumented run cannot perturb them.
+    # After the single-process timings, so pool forks and the
+    # instrumented run cannot perturb them.
+    report["simulation"]["ac3_replicated"] = bench_ac3_replicated(
+        smoke, workers=workers, replications=replications, ci_level=ci_level
+    )
     report["telemetry"] = bench_ac3_telemetry(smoke)
     return report
 
@@ -358,6 +467,23 @@ def _print_report(report: dict, output: Path) -> None:
     print(f"{'ac3_load200':<28} {sim['wall_seconds']:>10.2f} s    "
           f"{sim['events_per_sec']:>14,.0f} events/s  "
           f"N_calc={sim['n_calc']:.2f}  msgs={sim['avg_messages']:.2f}")
+    replicated = report["simulation"].get("ac3_replicated")
+    if replicated:
+        rep = replicated["replicated"]
+        print(
+            f"{'ac3_replicated':<28} {rep['wall_seconds']:>10.2f} s    "
+            f"speedup={replicated['speedup']:.2f}x"
+            f" (workers={replicated['workers']},"
+            f" K={replicated['replications']},"
+            f" cpus={replicated['cpu_count']})"
+        )
+        print(
+            f"{'':<28} P_CB={rep['p_cb']:.4f}"
+            f"±{rep['p_cb_half_width']:.4f}"
+            f"  P_HD={rep['p_hd']:.4f}±{rep['p_hd_half_width']:.4f}"
+            f"  within_seq_ci="
+            f"{replicated['merged_within_sequential_ci']}"
+        )
     telemetry = report.get("telemetry")
     if telemetry:
         print(
@@ -393,7 +519,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--compare", type=Path, default=None, metavar="BASELINE",
         help="print per-bench speedups against a previous report and"
-        " exit non-zero on regression",
+        " exit non-zero on regression; a missing baseline file is"
+        " skipped with a warning",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width of the replication benchmark"
+        " (default: 8, or 2 with --smoke)",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=None, metavar="K",
+        help="shard count of the replication benchmark"
+        " (default: 8, or 4 with --smoke)",
+    )
+    parser.add_argument(
+        "--ci-level", type=float, default=0.95, metavar="P",
+        help="confidence level of the replication benchmark's intervals"
+        " (default 0.95)",
     )
     parser.add_argument(
         "--regression-threshold", type=float, default=0.20,
@@ -423,10 +565,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-        report = run_benchmarks(smoke=args.smoke)
+        report = run_benchmarks(
+            smoke=args.smoke,
+            workers=args.workers,
+            replications=args.replications,
+            ci_level=args.ci_level,
+        )
         profiler.disable()
     else:
-        report = run_benchmarks(smoke=args.smoke)
+        report = run_benchmarks(
+            smoke=args.smoke,
+            workers=args.workers,
+            replications=args.replications,
+            ci_level=args.ci_level,
+        )
     output = args.output
     if output is None:
         output = Path(f"BENCH_{report['date']}.json")
@@ -440,6 +592,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.profile
         )
     if args.compare is not None:
+        if not args.compare.exists():
+            # A fresh clone (or a branch predating committed baselines)
+            # has nothing to gate against; that is not a CI failure.
+            print(
+                f"WARNING: baseline {args.compare} not found;"
+                " skipping comparison"
+            )
+            return 0
         baseline = json.loads(args.compare.read_text())
         print(f"\n== comparison vs {args.compare} ==")
         regressions = compare_reports(

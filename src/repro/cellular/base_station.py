@@ -144,6 +144,62 @@ class BaseStation:
         self.contribution_cache_misses += 1
         return value
 
+    def outgoing_reservation_multi(
+        self, now: float, requests: list[tuple[int, float]]
+    ) -> list[float]:
+        """Batched :meth:`outgoing_reservation` over several targets.
+
+        The coalesced estimation tick asks each supplier for all of its
+        pending ``(target_cell, t_est)`` contributions at once, so the
+        estimator can walk every ``prev``-bucket a single time and feed
+        the Eq. 4 kernel one large batch instead of one batch per
+        target.  Memo semantics, counters, and — crucially — the
+        returned values are identical to issuing the per-target calls in
+        order at the same ``now``.
+        """
+        estimator = self.estimator
+        estimator_version = getattr(estimator, "version", None)
+        multi = getattr(estimator, "expected_bandwidth_multi", None)
+        if (
+            not self.reservation_cache_enabled
+            or estimator_version is None
+            or multi is None
+        ):
+            # Cache disabled or a duck-typed / calendar estimator
+            # without a batched entry point: per-target calls are the
+            # batched path, by definition of equivalence.
+            return [
+                self.outgoing_reservation(now, target, t_est)
+                for target, t_est in requests
+            ]
+        results: list[float | None] = [None] * len(requests)
+        pending: list[tuple[int, float]] = []
+        pending_indices: list[int] = []
+        for index, (target, t_est) in enumerate(requests):
+            stamp = (now, t_est, self.cell.version, estimator_version)
+            cached = self._contribution_cache.get(target)
+            if cached is not None and cached[0] == stamp:
+                self.contribution_cache_hits += 1
+                results[index] = cached[1]
+            else:
+                pending.append((target, t_est))
+                pending_indices.append(index)
+        if pending:
+            values = multi(
+                now,
+                self.cell.connections(),
+                pending,
+                groups=self.cell.reservation_groups(),
+            )
+            for (target, t_est), index, value in zip(
+                pending, pending_indices, values
+            ):
+                stamp = (now, t_est, self.cell.version, estimator_version)
+                self._contribution_cache[target] = (stamp, value)
+                self.contribution_cache_misses += 1
+                results[index] = value
+        return results  # type: ignore[return-value]
+
     def update_target_reservation(self, now: float) -> float:
         """Eq. 6: recompute and install this cell's ``B_r``.
 

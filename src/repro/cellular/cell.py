@@ -225,6 +225,16 @@ class Cell:
             self.used_bandwidth + self.reserved_target <= self.capacity + 1e-9
         )
 
+    @property
+    def is_suspect(self) -> bool:
+        """AC3's *suspect* predicate: the ``B_r`` target is not met.
+
+        A suspect cell's existing connections already overlap its
+        reserved band (``sum b_j + B_r^{prev} > C``); AC3 re-estimates
+        only these cells before admitting (§4.3).
+        """
+        return not self.can_reserve_target()
+
     # ------------------------------------------------------------------
     # bandwidth accounting
     # ------------------------------------------------------------------

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Iterator
 
 from repro.cellular.base_station import BaseStation
+from repro.core.reservation import aggregate_reservation
 from repro.cellular.cell import Cell
 from repro.cellular.topology import Topology
 from repro.core.window import EstimationWindowController, WindowControllerConfig
@@ -31,6 +32,12 @@ class CellularNetwork:
     reservation_cache:
         Whether base stations memoize their Eq. 5 contributions (see
         :meth:`repro.cellular.base_station.BaseStation.outgoing_reservation`).
+    coalesced_tick:
+        Whether admission policies may coalesce the reservation updates
+        of one admission test into a single batched estimation tick
+        (see :meth:`flush_reservation_tick`).  Off by default so direct
+        constructions behave exactly as before; the simulator turns it
+        on via :attr:`repro.simulation.config.SimulationConfig.coalesced_tick`.
     """
 
     def __init__(
@@ -42,8 +49,16 @@ class CellularNetwork:
         estimator_factory: Callable[[int], MobilityEstimator] | None = None,
         handoff_overload: float = 1.0,
         reservation_cache: bool = True,
+        coalesced_tick: bool = False,
     ) -> None:
         self.topology = topology
+        self.coalesced_tick = coalesced_tick
+        #: Cells whose ``B_r`` must be refreshed at the next tick flush.
+        self._reservation_dirty: list[int] = []
+        #: Tick flushes performed / targets refreshed across them
+        #: (telemetry: targets-per-flush is the coalescing win).
+        self.tick_flushes = 0
+        self.tick_targets = 0
         self.cells: list[Cell] = []
         self.stations: list[BaseStation] = []
         for cell_id in range(topology.num_cells):
@@ -90,6 +105,69 @@ class CellularNetwork:
 
     def __iter__(self) -> Iterator[Cell]:
         return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    # coalesced estimation tick
+    # ------------------------------------------------------------------
+    def mark_reservation_dirty(self, cell_id: int) -> None:
+        """Queue a cell's ``B_r`` refresh for the next tick flush."""
+        self._reservation_dirty.append(cell_id)
+
+    def flush_reservation_tick(self, now: float) -> None:
+        """Refresh every dirty cell's ``B_r`` in one batched pass.
+
+        Equivalent (bit-for-bit, message-for-message) to calling
+        ``update_target_reservation(now)`` on each dirty station in
+        queue order: within a single admission test at a fixed ``now``
+        the Eq. 5 inputs (connection sets, ``T_est``, estimator state)
+        are frozen — installing one target's ``reserved_target`` cannot
+        change another's contributions.  The batching win is on the
+        supplier side: each supplier evaluates all of its pending
+        targets through one
+        :meth:`~repro.cellular.base_station.BaseStation.outgoing_reservation_multi`
+        call, so its ``prev``-buckets are walked once and the Eq. 4
+        kernel sees one large batch instead of one batch per target.
+        """
+        dirty = self._reservation_dirty
+        if not dirty:
+            return
+        self._reservation_dirty = []
+        # Plan phase: count the protocol messages in the exact sequential
+        # order (announce then reply, per target then per neighbour) and
+        # bucket the Eq. 5 requests by supplier.
+        plan: list[tuple[BaseStation, list[BaseStation]]] = []
+        requests: dict[int, list[tuple[int, float]]] = {}
+        for cell_id in dirty:
+            station = self.stations[cell_id]
+            neighbors = station.neighbor_stations()
+            plan.append((station, neighbors))
+            for neighbor in neighbors:
+                station.messages_sent += 1  # announce T_est
+                requests.setdefault(neighbor.cell_id, []).append(
+                    (cell_id, station.t_est)
+                )
+                neighbor.messages_sent += 1  # neighbour returns B_{i,0}
+        # Supply phase: one batched call per supplier.
+        supplies: dict[int, Iterator[float]] = {
+            supplier_id: iter(
+                self.stations[supplier_id].outgoing_reservation_multi(
+                    now, pending
+                )
+            )
+            for supplier_id, pending in requests.items()
+        }
+        # Install phase: re-assemble each target's contributions in the
+        # neighbour order the sequential path would have used.
+        for station, neighbors in plan:
+            contributions = [
+                next(supplies[neighbor.cell_id]) for neighbor in neighbors
+            ]
+            station.cell.reserved_target = aggregate_reservation(
+                contributions
+            )
+            station.reservation_calculations += 1
+        self.tick_flushes += 1
+        self.tick_targets += len(plan)
 
     def total_used_bandwidth(self) -> float:
         """Bandwidth in use across the whole network (BUs)."""

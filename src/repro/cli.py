@@ -54,6 +54,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the connection-lifecycle journal and write it as"
         " JSON lines (verify() violations are logged)",
     )
+    run_parser.add_argument(
+        "--replications", type=int, default=1, metavar="K",
+        help="shard the run into K independent replications and merge"
+        " the metrics with confidence intervals (default 1: one run)",
+    )
+    run_parser.add_argument(
+        "--ci-level", type=float, default=0.95, metavar="P",
+        help="confidence level of the replicated intervals"
+        " (default 0.95)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for --replications (the merged result"
+        " is identical at any worker count)",
+    )
 
     sweep_parser = commands.add_parser(
         "sweep", help="sweep the offered load and print P_CB / P_HD"
@@ -208,6 +223,8 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
 
 def _command_run(args: argparse.Namespace) -> int:
     _configure_observability(args)
+    if args.replications > 1:
+        return _command_run_replicated(args)
     extensions = []
     tracer = None
     if args.trace_jsonl:
@@ -253,6 +270,59 @@ def _command_run(args: argparse.Namespace) -> int:
     print()
     print(Table(["Cell", "PCB", "PHD", "Test", "Br", "Bu"], rows).render())
     _export_telemetry(result.telemetry, args)
+    return 0
+
+
+def _command_run_replicated(args: argparse.Namespace) -> int:
+    if args.trace_jsonl:
+        raise ValueError(
+            "--trace-jsonl records a single run's journal; it cannot be"
+            " combined with --replications"
+        )
+    from repro.simulation.replication import run_replicated
+
+    config = _build_config(args)
+    if config.warmup <= 0.0:
+        # Each shard restarts from an empty network, so without a
+        # warm-up cut every shard measures the initial transient.
+        print(
+            "warning: --replications without --warmup measures the"
+            " cold-start transient K times; pass --warmup to let each"
+            " shard reach steady state",
+            file=sys.stderr,
+        )
+    replicated = run_replicated(
+        config,
+        replications=args.replications,
+        workers=args.workers,
+        ci_level=args.ci_level,
+    )
+    config = replicated.config
+    level = args.ci_level
+    print(
+        f"scheme={config.scheme}  L={config.offered_load:g}"
+        f"  duration={config.duration:g}s"
+        f"  K={replicated.replications}"
+    )
+    print(
+        f"P_CB = {replicated.blocking_probability:.4f}"
+        f" ± {replicated.blocking_ci.half_width:.4f}"
+        f"  (Wilson {replicated.blocking.low:.4f}.."
+        f"{replicated.blocking.high:.4f})"
+    )
+    print(
+        f"P_HD = {replicated.dropping_probability:.4f}"
+        f" ± {replicated.dropping_ci.half_width:.4f}"
+        f"  (Wilson {replicated.dropping.low:.4f}.."
+        f"{replicated.dropping.high:.4f})"
+    )
+    print(
+        f"{level:.0%} batch-means intervals over"
+        f" {replicated.replications} shards;"
+        f" {replicated.events_processed:,} events in"
+        f" {replicated.wall_seconds:.2f}s wall"
+    )
+    _export_telemetry(replicated.telemetry, args)
     return 0
 
 

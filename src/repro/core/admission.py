@@ -84,6 +84,21 @@ class AdmissionPolicy(abc.ABC):
         """Hook: one-time setup when attached to a network."""
 
 
+def _use_coalesced_tick(network: CellularNetwork, stations) -> bool:
+    """Whether an admission test may batch its ``B_r`` updates.
+
+    Requires the network to opt in *and* the participating target set to
+    be duplicate-free: with duplicated targets (only possible with
+    hand-rolled topologies whose ``neighbors`` repeats a cell) the
+    sequential path re-checks state between the two updates of the same
+    cell, which a single batched flush cannot reproduce.
+    """
+    if not getattr(network, "coalesced_tick", False):
+        return False
+    cell_ids = [station.cell_id for station in stations]
+    return len(set(cell_ids)) == len(cell_ids)
+
+
 class StaticReservationPolicy(AdmissionPolicy):
     """Permanently reserve ``G`` BUs per cell for hand-offs (mid-80s way).
 
@@ -135,7 +150,11 @@ class AC1(AdmissionPolicy):
     ) -> AdmissionDecision:
         station = network.station(cell_id)
         messages_before = network.total_messages()
-        station.update_target_reservation(now)
+        if _use_coalesced_tick(network, (station,)):
+            network.mark_reservation_dirty(cell_id)
+            network.flush_reservation_tick(now)
+        else:
+            station.update_target_reservation(now)
         admitted = station.cell.fits_new_connection(bandwidth)
         return AdmissionDecision(
             admitted=admitted,
@@ -160,13 +179,28 @@ class AC2(AdmissionPolicy):
         messages_before = network.total_messages()
         calculations = 0
         admitted = True
-        for neighbor in station.neighbor_stations():
-            neighbor.update_target_reservation(now)
+        neighbors = station.neighbor_stations()
+        if _use_coalesced_tick(network, (station, *neighbors)):
+            # One batched estimation tick.  Bit-identical to the
+            # sequential loop below: within a single test at fixed
+            # ``now`` the Eq. 5 inputs are frozen, and installing one
+            # cell's ``reserved_target`` never feeds another's ``B_r``.
+            for neighbor in neighbors:
+                network.mark_reservation_dirty(neighbor.cell_id)
+            network.mark_reservation_dirty(cell_id)
+            network.flush_reservation_tick(now)
+            calculations = len(neighbors) + 1
+            for neighbor in neighbors:
+                if not neighbor.cell.can_reserve_target():
+                    admitted = False
+        else:
+            for neighbor in neighbors:
+                neighbor.update_target_reservation(now)
+                calculations += 1
+                if not neighbor.cell.can_reserve_target():
+                    admitted = False
+            station.update_target_reservation(now)
             calculations += 1
-            if not neighbor.cell.can_reserve_target():
-                admitted = False
-        station.update_target_reservation(now)
-        calculations += 1
         if not station.cell.fits_new_connection(bandwidth):
             admitted = False
         return AdmissionDecision(
@@ -196,15 +230,35 @@ class AC3(AdmissionPolicy):
         messages_before = network.total_messages()
         calculations = 0
         admitted = True
-        for neighbor in station.neighbor_stations():
-            if neighbor.cell.can_reserve_target():
-                continue  # target fits; the neighbour stays out of the test
-            neighbor.update_target_reservation(now)
+        neighbors = station.neighbor_stations()
+        if _use_coalesced_tick(network, (station, *neighbors)):
+            # Suspectness can be read up front: a neighbour's suspect
+            # bit depends only on its own state, which the other
+            # updates of this test never touch.  The batched flush then
+            # refreshes suspects + self in one estimation tick.
+            suspects = [
+                neighbor
+                for neighbor in neighbors
+                if neighbor.cell.is_suspect
+            ]
+            for suspect in suspects:
+                network.mark_reservation_dirty(suspect.cell_id)
+            network.mark_reservation_dirty(cell_id)
+            network.flush_reservation_tick(now)
+            calculations = len(suspects) + 1
+            for suspect in suspects:
+                if suspect.cell.is_suspect:
+                    admitted = False
+        else:
+            for neighbor in neighbors:
+                if neighbor.cell.can_reserve_target():
+                    continue  # target fits; stays out of the test
+                neighbor.update_target_reservation(now)
+                calculations += 1
+                if not neighbor.cell.can_reserve_target():
+                    admitted = False
+            station.update_target_reservation(now)
             calculations += 1
-            if not neighbor.cell.can_reserve_target():
-                admitted = False
-        station.update_target_reservation(now)
-        calculations += 1
         if not station.cell.fits_new_connection(bandwidth):
             admitted = False
         return AdmissionDecision(

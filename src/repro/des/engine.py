@@ -244,15 +244,32 @@ class Engine:
         fired = 0
         next_beat = heartbeat_events if heartbeat is not None else None
         try:
+            # Inlined peek()+step(): one heap access per event instead of
+            # a peek/pop pair.  ``self._queue`` must be re-read every
+            # iteration — firing an event can cancel others and trigger a
+            # compaction, which REBINDS the queue to a new list.
             while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
+                queue = self._queue
+                while queue and queue[0].cancelled:
+                    heapq.heappop(queue)
+                    self._cancelled_pending -= 1
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                head = queue[0]
+                if until is not None and head.time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                if head.time < self._now:
+                    raise SimulationError(
+                        "event queue corrupted: time went backwards"
+                    )
+                heapq.heappop(queue)
+                head._cancel_hook = None
+                self._now = head.time
+                self.events_processed += 1
+                head.fire()
+                self._recycle(head)
                 fired += 1
                 if next_beat is not None and fired >= next_beat:
                     heartbeat()

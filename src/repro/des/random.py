@@ -47,8 +47,20 @@ class RandomStreams:
         return stream
 
     def spawn(self, index: int) -> "RandomStreams":
-        """Derive an independent child factory (e.g. per replication)."""
-        return RandomStreams(seed=(self.seed * 1_000_003 + index) & 0x7FFFFFFF)
+        """Derive an independent child factory (e.g. per replication).
+
+        The child's master seed comes from the same stable-hash
+        construction as :meth:`get` — sha256 over the parent seed and a
+        spawn tag — so children are deterministic across processes,
+        independent of the parent's named streams (the tag namespace
+        cannot collide with a stream name), and free of the collision
+        structure of an affine seed map, where ``spawn(seed, i)`` and
+        ``spawn(seed + 1, i - K)`` would coincide.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}/spawn:{index}".encode()
+        ).digest()
+        return RandomStreams(seed=int.from_bytes(digest[:8], "big"))
 
     def names(self) -> Iterator[str]:
         """Names of streams created so far."""

@@ -233,6 +233,68 @@ class QuadrupletCache:
             del union[bisect_left(union, sojourn)]
         store.drop_left(count)
 
+    def export_columns(
+        self, origin: float = 0.0
+    ) -> dict[tuple[int | None, int], tuple[list[float], list[float]]]:
+        """Live per-pair history as plain picklable record-order columns.
+
+        Returns ``{(prev, next): (times, sojourns)}`` with event times
+        shifted by ``-origin``.  A consumer that replays this history
+        before its own clock starts (replication shards warm-started
+        from a parent run) passes the export's end time as ``origin``,
+        so the shifted times are all ``<= 0`` and the cache's
+        record-in-time-order invariant holds for every later
+        :meth:`record` at ``t >= 0``.
+        """
+        exported: dict[
+            tuple[int | None, int], tuple[list[float], list[float]]
+        ] = {}
+        for key, store in self._pairs.items():
+            quads = store.quads[store.start:]
+            if not quads:
+                continue
+            exported[key] = (
+                [quad.event_time - origin for quad in quads],
+                [quad.sojourn for quad in quads],
+            )
+        return exported
+
+    def preload(self, pairs) -> None:
+        """Bulk-load exported history columns into an empty cache.
+
+        ``pairs`` maps ``(prev, next)`` to parallel ``(times, sojourns)``
+        sequences in record order (see :meth:`export_columns`).
+        Equivalent to recording each quadruplet in turn, but builds the
+        sorted columns with one sort per column instead of per-entry
+        ``insort``.  Only valid before any :meth:`record`.
+        """
+        if self._pairs:
+            raise ValueError("preload requires an empty cache")
+        infinite = self.config.interval is None
+        for (prev, next_cell), (times, sojourns) in pairs.items():
+            if infinite and len(times) > self.config.max_per_pair:
+                # Respect N_quad even if the exporter was configured
+                # looser; newest entries win, as record() would keep.
+                times = times[-self.config.max_per_pair:]
+                sojourns = sojourns[-self.config.max_per_pair:]
+            store = _PairStore()
+            store.quads = [
+                HandoffQuadruplet(time, prev, next_cell, sojourn)
+                for time, sojourn in zip(times, sojourns)
+            ]
+            store.times = list(times)
+            if infinite:
+                store.sorted_sojourns = sorted(sojourns)
+                union = self._union_sojourns.get(prev)
+                if union is None:
+                    union = self._union_sojourns[prev] = []
+                union.extend(sojourns)
+            self._pairs[(prev, next_cell)] = store
+            self._prev_keys.add(prev)
+            self.total_recorded += len(store.quads)
+        for union in self._union_sojourns.values():
+            union.sort()
+
     def _evict_windowed(self, store: _PairStore, now: float) -> None:
         """Drop entries that can never participate again (paper §3.1).
 

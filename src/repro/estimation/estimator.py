@@ -105,6 +105,21 @@ class MobilityEstimator:
         self._dirty.add(prev)
         self.version += 1
 
+    def preload(self, pairs) -> None:
+        """Warm-start from exported history columns (bulk, pre-run).
+
+        ``pairs`` maps ``(prev, next)`` to parallel ``(times, sojourns)``
+        sequences, as produced by
+        :meth:`repro.estimation.cache.QuadrupletCache.export_columns`.
+        Equivalent to replaying :meth:`record_departure` per entry, but
+        loads whole columns at once; snapshots are dropped and the
+        version bumped so every consumer rebuilds from the new history.
+        """
+        self.cache.preload(pairs)
+        self._snapshots.clear()
+        self._dirty.clear()
+        self.version += 1
+
     # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
@@ -301,6 +316,88 @@ class MobilityEstimator:
                 total += value
         return total
 
+    def expected_bandwidth_multi(
+        self,
+        now: float,
+        connections,
+        requests: Sequence[tuple[int, float]],
+        groups: dict | None = None,
+    ) -> list[float]:
+        """Eq. 5 toward several ``(target_cell, t_est)`` requests at once.
+
+        The coalesced reservation tick asks one supplying station for
+        contributions toward every dirty neighbour in a single call.
+        With ``groups``, each ``prev`` snapshot is fetched once and the
+        Eq. 4 denominator gather is shared across all requests
+        (:meth:`HandoffEstimationFunction.batch_contributions_multi_arrays`),
+        so the vectorized kernel sees one batch of ``rows x targets``
+        instead of ``targets`` separate batches.  Element ``i`` equals
+        ``expected_bandwidth(now, connections, *requests[i], groups)``
+        bit for bit.
+        """
+        if not requests:
+            return []
+        connections = list(connections)
+        if groups is None or not groups:
+            return [
+                self.expected_bandwidth(
+                    now, connections, target_cell, t_est, groups=groups
+                )
+                for target_cell, t_est in requests
+            ]
+        np = numpy_or_none()
+        per_request: list[dict[int, float]] = [{} for _ in requests]
+        for prev, group in groups.items():
+            snapshot = self.function_for(now, prev)
+            if snapshot.is_empty:
+                continue
+            keys = group.keys
+            if np is not None and len(keys) >= _VECTOR_MIN_ROWS:
+                # One logical dispatch covering every request — this is
+                # the batch-size win the coalesced tick exists for.
+                self._count_dispatch(True, len(keys) * len(requests))
+                entries, bases = group.arrays(np)
+                snapshot.batch_contributions_multi_arrays(
+                    np,
+                    requests,
+                    keys,
+                    now - entries,
+                    bases,
+                    per_request,
+                )
+            else:
+                self._count_dispatch(False, len(keys) * len(requests))
+                entries = group.entries
+                bases = group.bases
+                for (target_cell, t_est), out in zip(
+                    requests, per_request
+                ):
+                    if t_est <= 0:
+                        continue
+                    rows = (
+                        (keys[index], now - entries[index], bases[index])
+                        for index in range(len(keys) - 1, -1, -1)
+                    )
+                    out.update(
+                        snapshot.batch_contributions(
+                            target_cell, rows, t_est
+                        )
+                    )
+        totals: list[float] = []
+        for (_target_cell, t_est), contributions in zip(
+            requests, per_request
+        ):
+            if t_est <= 0 or not contributions:
+                totals.append(0.0)
+                continue
+            total = 0.0
+            for connection in connections:
+                value = contributions.get(connection.connection_id)
+                if value is not None:
+                    total += value
+            totals.append(total)
+        return totals
+
     def is_stationary(
         self, now: float, prev: int | None, extant_sojourn: float
     ) -> bool:
@@ -403,6 +500,25 @@ class KnownPathEstimator(MobilityEstimator):
                 )
                 total += basis * probability
         return total
+
+    def expected_bandwidth_multi(
+        self,
+        now: float,
+        connections,
+        requests: Sequence[tuple[int, float]],
+        groups: dict | None = None,
+    ) -> list[float]:
+        """Route-aware Eq. 5 per request (the oracle is per connection,
+        so the shared-denominator fast path does not apply here)."""
+        if self.route_oracle is None:
+            return super().expected_bandwidth_multi(
+                now, connections, requests, groups=groups
+            )
+        connections = list(connections)
+        return [
+            self.expected_bandwidth(now, connections, target_cell, t_est)
+            for target_cell, t_est in requests
+        ]
 
     def handoff_probability_known_next(
         self,

@@ -337,6 +337,58 @@ class HandoffEstimationFunction:
         ):
             out[key] = value
 
+    def batch_contributions_multi_arrays(
+        self,
+        np,
+        requests: Sequence[tuple[int, float]],
+        keys: Sequence[int],
+        extants,
+        bases,
+        outs: Sequence[dict[int, float]],
+    ) -> None:
+        """Numpy-kernel Eq. 5 toward *several* targets in one pass.
+
+        ``requests`` is ``(target_cell, t_est)`` pairs; ``outs`` the
+        parallel per-request output dicts.  The Eq. 4 denominator
+        depends only on the extant sojourns, so the coalesced
+        reservation tick computes its ``searchsorted`` gather once here
+        and shares it across every requested target, instead of
+        re-gathering per target as :meth:`batch_contributions_arrays`
+        does.  Per-request arithmetic is that method's op for op
+        (gather, subtract, divide, ``min``), so each contribution stays
+        bit-identical to the per-target path.
+        """
+        union_s, union_c0 = self._union.arrays(np)
+        denominator = self._union.total - union_c0[
+            np.searchsorted(union_s, extants, side="right")
+        ]
+        den_positive = denominator > 0.0
+        if not den_positive.any():
+            return
+        for (target_cell, t_est), out in zip(requests, outs):
+            per_next = self._per_next.get(target_cell)
+            if per_next is None or t_est <= 0:
+                continue
+            target_s, target_c0 = per_next.arrays(np)
+            low = target_c0[
+                np.searchsorted(target_s, extants, side="right")
+            ]
+            high = target_c0[
+                np.searchsorted(target_s, extants + t_est, side="right")
+            ]
+            numerator = high - low
+            valid = den_positive & (numerator > 0.0)
+            if not valid.any():
+                continue
+            ratio = numerator[valid] / denominator[valid]
+            np.minimum(ratio, 1.0, out=ratio)
+            contributions = bases[valid] * ratio
+            for key, value in zip(
+                (keys[index] for index in np.flatnonzero(valid)),
+                contributions.tolist(),
+            ):
+                out[key] = value
+
     def footprint(self) -> dict[int, list[tuple[float, float]]]:
         """``next -> [(sojourn, cumulative weight), ...]`` (Figure 4 aid)."""
         return {

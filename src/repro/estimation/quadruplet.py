@@ -22,6 +22,9 @@ class HandoffQuadruplet:
     ----------
     event_time:
         ``T_event`` — virtual time (seconds) when the mobile left.
+        Negative for history imported from a prior warm-up run (the
+        replication runner rebases that history before the shard's
+        t=0, keeping the cache's record-in-time-order invariant).
     prev:
         Global id of the previously-resided cell, or ``None`` when the
         connection started in the observing cell.
@@ -43,8 +46,6 @@ class HandoffQuadruplet:
     ) -> None:
         if sojourn < 0:
             raise ValueError(f"negative sojourn time {sojourn}")
-        if event_time < 0:
-            raise ValueError(f"negative event time {event_time}")
         self.event_time = event_time
         self.prev = prev
         self.next = next

@@ -282,16 +282,20 @@ class Telemetry:
         """Fold a snapshot (e.g. from a sweep worker) into this registry.
 
         Counters, histograms and timers add; gauges keep the maximum
-        (heap sizes and final ``T_est`` values are peak-style reads,
-        for which a sum across workers would be meaningless).
+        over the *contributed* values (heap sizes and final ``T_est``
+        values are peak-style reads, for which a sum across workers
+        would be meaningless).  The first contribution to a gauge seeds
+        it outright — comparing against a freshly created gauge's 0.0
+        default would silently drop all-negative series.
         """
         for key, value in snapshot.get("counters", {}).items():
             name, labels = _split_key(key)
             self.counter(name, **labels).inc(value)
         for key, value in snapshot.get("gauges", {}).items():
             name, labels = _split_key(key)
+            seen = key in self._gauges
             gauge = self.gauge(name, **labels)
-            if value > gauge.value:
+            if not seen or value > gauge.value:
                 gauge.set(value)
         for key, data in snapshot.get("histograms", {}).items():
             name, labels = _split_key(key)
@@ -303,7 +307,13 @@ class Telemetry:
                     f"histogram {key!r}: bucket edges differ across"
                     " snapshots"
                 )
-            for index, count in enumerate(data["counts"]):
+            counts = data["counts"]
+            if len(counts) != len(histogram.counts):
+                raise ValueError(
+                    f"histogram {key!r}: bucket count differs across"
+                    " snapshots"
+                )
+            for index, count in enumerate(counts):
                 histogram.counts[index] += count
             histogram.sum += data["sum"]
             histogram.count += data["count"]

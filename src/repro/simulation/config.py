@@ -82,6 +82,10 @@ class SimulationConfig:
     #: metrics are bit-identical either way; keep the switch so the
     #: equivalence is testable).
     reservation_cache: bool = True
+    #: Coalesce each admission test's ``B_r`` updates into one batched
+    #: estimation tick (pure optimisation — bit-identical metrics; the
+    #: switch keeps the equivalence testable).
+    coalesced_tick: bool = True
 
     #: Estimation kernel: ``auto`` (numpy when installed), ``numpy``
     #: (require the ``[fast]`` extra) or ``python`` (force the pure
@@ -112,6 +116,13 @@ class SimulationConfig:
     #: Run identifier stamped into logs and telemetry; auto-generated
     #: when empty.
     run_id: str = ""
+
+    #: Pre-warmed estimator state to hydrate the network with before the
+    #: run starts (an object with ``hydrate(network)``, e.g. a
+    #: :class:`repro.simulation.shared_state.SharedColumnsHandle`).  Used
+    #: by the sharded replication runner to ship one warm-up's history to
+    #: every shard; ``None`` for a cold start.
+    warm_state: object | None = None
 
     # --- free-form label for reports ------------------------------------
     label: str = ""

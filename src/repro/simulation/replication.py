@@ -1,0 +1,242 @@
+"""Sharded replication runner: one long run as K independent shards.
+
+A single long simulation of the paper's scenarios is embarrassingly
+serial — the DES hot loop is one thread.  But the *statistic* a long
+run produces (post-warm-up P_CB / P_HD) can equally be estimated from
+``K`` shorter independent replications, which parallelise perfectly:
+
+* each shard gets its own child RNG via
+  :meth:`repro.des.random.RandomStreams.spawn` — deterministic in the
+  parent seed and the shard index, so the merged result is bit-identical
+  regardless of worker count or scheduling;
+* each shard runs its own warm-up cut (shards are statistically
+  independent runs, not slices of one sample path);
+* optionally every shard starts from a *shared* warmed estimator state:
+  the parent runs one warm-up, exports the quadruplet history into a
+  :class:`repro.simulation.shared_state.SharedColumnStore`, and each
+  worker hydrates from shared memory instead of re-learning from cold;
+* the merged P_CB / P_HD pool the raw counts (Wilson intervals) and the
+  per-replication proportions feed a batch-means Student-t interval, so
+  the headline numbers come with CI half-widths instead of bare points.
+"""
+
+from __future__ import annotations
+
+import time as wall_clock
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.stats import (
+    BatchMeansEstimate,
+    ProportionEstimate,
+    batch_means,
+    wilson_interval,
+)
+from repro.des.random import RandomStreams
+from repro.obs.telemetry import merge_snapshots
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.runner import SimulationPool, run_sweep
+from repro.simulation.shared_state import SharedColumnStore
+from repro.simulation.simulator import CellularSimulator
+
+
+def replication_seeds(config: SimulationConfig, replications: int) -> list[int]:
+    """The shard seeds: children of the config's seed, by shard index."""
+    parent = RandomStreams(config.seed)
+    return [parent.spawn(index).seed for index in range(replications)]
+
+
+def replication_configs(
+    config: SimulationConfig, replications: int
+) -> list[SimulationConfig]:
+    """Split one long config into ``K`` independent shard configs.
+
+    The measured interval ``duration - warmup`` is divided evenly; each
+    shard keeps the full warm-up cut (independence requires every shard
+    to warm up — the cut is not free, which is why sharding buys wall
+    clock, not CPU seconds).
+    """
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    measured = config.duration - config.warmup
+    shard_measured = measured / replications
+    seeds = replication_seeds(config, replications)
+    base_label = config.label or config.scheme
+    return [
+        replace(
+            config,
+            seed=seed,
+            duration=config.warmup + shard_measured,
+            run_id="",
+            label=f"{base_label}[rep{index}]",
+        )
+        for index, seed in enumerate(seeds)
+    ]
+
+
+@dataclass
+class ReplicatedResult:
+    """Merged outcome of a sharded replicated run."""
+
+    config: SimulationConfig
+    results: list[SimulationResult]
+    #: Pooled-count estimates (every hand-off weighted equally).
+    blocking: ProportionEstimate
+    dropping: ProportionEstimate
+    #: Batch-means Student-t intervals over the per-shard proportions.
+    blocking_ci: BatchMeansEstimate
+    dropping_ci: BatchMeansEstimate
+    telemetry: dict | None = None
+    wall_seconds: float = 0.0
+    #: Shared warm-up bookkeeping (0 when sharing was off).
+    warm_seconds: float = 0.0
+    shared_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def replications(self) -> int:
+        return len(self.results)
+
+    @property
+    def blocking_probability(self) -> float:
+        return self.blocking.point
+
+    @property
+    def dropping_probability(self) -> float:
+        return self.dropping.point
+
+    @property
+    def events_processed(self) -> int:
+        return sum(result.events_processed for result in self.results)
+
+    def metrics_key(self) -> dict:
+        """Deterministic digest of everything statistical.
+
+        Covers the pooled counts and each shard's full metrics key, in
+        shard order — worker count and scheduling can never appear, so
+        equality across runner setups is the determinism invariant the
+        tests pin down.
+        """
+        return {
+            "replications": self.replications,
+            "blocking": (self.blocking.successes, self.blocking.trials),
+            "dropping": (self.dropping.successes, self.dropping.trials),
+            "runs": [result.metrics_key() for result in self.results],
+        }
+
+
+def run_replicated(
+    config: SimulationConfig,
+    replications: int = 8,
+    workers: int | None = None,
+    ci_level: float = 0.95,
+    pool: SimulationPool | None = None,
+    share_columns: bool = True,
+    warm_duration: float | None = None,
+) -> ReplicatedResult:
+    """Run ``config`` as ``K`` independent shards and merge the metrics.
+
+    Parameters
+    ----------
+    config:
+        The long run to shard.  ``duration - warmup`` is the measured
+        interval being split.
+    replications:
+        ``K`` — number of independent shards.
+    workers:
+        Process-pool width (``None``/``<=1`` runs the shards
+        sequentially in-process — same merged result, by construction).
+    ci_level:
+        Confidence level of the batch-means intervals.
+    pool:
+        Explicit :class:`~repro.simulation.runner.SimulationPool` to run
+        on; by default the process-wide shared pool.
+    share_columns:
+        Run one warm-up in the parent and ship its estimator history to
+        every shard via shared memory.  The shards then *also* run their
+        own warm-up cut on top of the shared prior — their measured
+        windows stay independent, they just start from a learned F_HOE
+        instead of an empty one.  Adds a deterministic extra input to
+        every shard, so it flips the merged metrics relative to
+        ``share_columns=False`` — but stays bit-identical across worker
+        counts, which is the invariant that matters.
+    warm_duration:
+        Virtual seconds of the shared warm-up (defaults to
+        ``config.warmup``; 0 disables sharing).
+    """
+    started = wall_clock.perf_counter()
+    shard_configs = replication_configs(config, replications)
+    if warm_duration is None:
+        warm_duration = config.warmup
+    store = None
+    warm_seconds = 0.0
+    shared_bytes = 0
+    if share_columns and warm_duration > 0:
+        warm_started = wall_clock.perf_counter()
+        # The warm run's seed is the K-th child: never collides with a
+        # shard seed, deterministic in the parent seed.
+        warm_config = replace(
+            config,
+            seed=RandomStreams(config.seed).spawn(replications).seed,
+            duration=warm_duration,
+            warmup=0.0,
+            telemetry=False,
+            run_id="",
+            tracked_cells=(),
+            hourly_stats=False,
+            label=f"{config.label or config.scheme}[warm]",
+        )
+        warm_sim = CellularSimulator(warm_config)
+        warm_sim.run()
+        store = SharedColumnStore.from_network(
+            warm_sim.network, origin=warm_duration
+        )
+        handle = store.handle()
+        shard_configs = [
+            replace(shard, warm_state=handle) for shard in shard_configs
+        ]
+        shared_bytes = store.nbytes
+        warm_seconds = wall_clock.perf_counter() - warm_started
+    try:
+        results = run_sweep(shard_configs, workers=workers, pool=pool)
+    finally:
+        if store is not None:
+            store.close()
+    requests = sum(
+        cell.new_requests for result in results for cell in result.cells
+    )
+    blocked = sum(
+        cell.blocked for result in results for cell in result.cells
+    )
+    attempts = sum(
+        cell.handoff_attempts for result in results for cell in result.cells
+    )
+    drops = sum(
+        cell.handoff_drops for result in results for cell in result.cells
+    )
+    return ReplicatedResult(
+        config=config,
+        results=results,
+        blocking=wilson_interval(blocked, requests),
+        dropping=wilson_interval(drops, attempts),
+        blocking_ci=batch_means(
+            [
+                sum(cell.blocked for cell in result.cells)
+                / max(1, sum(cell.new_requests for cell in result.cells))
+                for result in results
+            ],
+            ci_level,
+        ),
+        dropping_ci=batch_means(
+            [
+                sum(cell.handoff_drops for cell in result.cells)
+                / max(1, sum(cell.handoff_attempts for cell in result.cells))
+                for result in results
+            ],
+            ci_level,
+        ),
+        telemetry=merge_snapshots(result.telemetry for result in results),
+        wall_seconds=wall_clock.perf_counter() - started,
+        warm_seconds=warm_seconds,
+        shared_bytes=shared_bytes,
+    )

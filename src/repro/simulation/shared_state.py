@@ -1,0 +1,231 @@
+"""Shared-memory columnar snapshots of warmed estimator state.
+
+The sharded replication runner (:mod:`repro.simulation.replication`)
+runs one warm-up in the parent process, then fans the measured interval
+out to worker processes.  Each shard needs the warm-up's quadruplet
+history — potentially ``cells x pairs x N_quad`` sojourn columns — and
+pickling those per task would copy them once per shard.  Instead the
+parent flattens every per-``(prev, next)`` column into one float64
+:class:`multiprocessing.shared_memory.SharedMemory` segment and ships a
+tiny :class:`SharedColumnsHandle` (segment name + offsets); workers map
+the segment read-only, rebuild their caches via
+:meth:`repro.estimation.cache.QuadrupletCache.preload`, and detach.
+
+Ownership is strictly parent-side: :class:`SharedColumnStore` creates
+the segment and is the only party that unlinks it — via context
+manager, explicit :meth:`~SharedColumnStore.close`, or the ``atexit``
+guard if the owner crashes past creation.  Workers only ever attach and
+close, and they unregister the attachment from
+:mod:`multiprocessing.resource_tracker` so a worker's exit (or crash)
+cannot tear the segment down under its siblings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import glob
+import uuid
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+
+from repro._kernel import numpy_or_none
+
+#: Prefix of every segment this module creates; the leak-probe tests
+#: (and operators) can enumerate live segments by it.
+_SEGMENT_PREFIX = "repro-cols-"
+
+
+def active_segment_names() -> list[str]:
+    """Names of this module's shared-memory segments currently live.
+
+    Linux-specific (reads ``/dev/shm``), which is fine for the tests
+    that assert no segment outlives its owning store.
+    """
+    return sorted(
+        name[len("/dev/shm/"):]
+        for name in glob.glob(f"/dev/shm/{_SEGMENT_PREFIX}*")
+    )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Python 3.11's ``SharedMemory`` registers the segment with the
+    resource tracker even on plain attaches, which makes the tracker
+    treat every attaching worker as an owner — a worker exiting (or a
+    later ``unregister``) can then destroy or double-free the segment
+    under its siblings.  Ownership here is strictly the parent
+    :class:`SharedColumnStore`'s, so the attach suppresses the
+    registration.  (Python 3.13 grew ``track=False`` for exactly this;
+    the shim keeps 3.11 compatible.)
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedColumnsHandle:
+    """Picklable reference to a parent-owned shared column segment.
+
+    Carries the segment name, total float count, and an index of
+    ``(cell_id, prev, next, offset, count)`` rows: floats
+    ``[offset, offset + count)`` are the pair's event times and
+    ``[offset + count, offset + 2 * count)`` its sojourns, both in
+    record order with times already shifted so the youngest entry is at
+    or below 0 (see ``QuadrupletCache.export_columns``).
+    """
+
+    __slots__ = ("name", "total", "index")
+
+    def __init__(
+        self,
+        name: str,
+        total: int,
+        index: tuple[tuple[int, int | None, int, int, int], ...],
+    ) -> None:
+        self.name = name
+        self.total = total
+        self.index = index
+
+    def __reduce__(self):
+        return (SharedColumnsHandle, (self.name, self.total, self.index))
+
+    def hydrate(self, network) -> None:
+        """Preload a fresh network's estimators from the shared segment.
+
+        Attaches read-only, copies the columns out into each station's
+        cache, and detaches before returning — the worker holds no
+        shared-memory references afterwards, so the parent can unlink
+        the segment the moment every shard has started.
+        """
+        if not self.index:
+            return
+        shm = _attach_untracked(self.name)
+        try:
+            np = numpy_or_none()
+            if np is not None:
+                buffer = np.ndarray(
+                    (self.total,), dtype=np.float64, buffer=shm.buf
+                )
+            else:
+                buffer = memoryview(shm.buf).cast("d")
+            per_cell: dict[int, dict] = {}
+            for cell_id, prev, next_cell, offset, count in self.index:
+                times = buffer[offset:offset + count]
+                sojourns = buffer[offset + count:offset + 2 * count]
+                per_cell.setdefault(cell_id, {})[(prev, next_cell)] = (
+                    [float(value) for value in times],
+                    [float(value) for value in sojourns],
+                )
+            # Release every view into the mapping before closing it —
+            # a live exported buffer makes SharedMemory.close() raise.
+            del times, sojourns, buffer
+            for cell_id, pairs in per_cell.items():
+                estimator = network.station(cell_id).estimator
+                preload = getattr(estimator, "preload", None)
+                if preload is not None:
+                    preload(pairs)
+        finally:
+            shm.close()
+
+
+class SharedColumnStore:
+    """Parent-side owner of one shared columnar snapshot segment.
+
+    Use as a context manager (or call :meth:`close`); an ``atexit``
+    guard unlinks the segment even if the owning process dies without
+    unwinding, so crashed sweeps cannot leak ``/dev/shm`` entries.
+    """
+
+    def __init__(
+        self,
+        exports: dict[
+            int, dict[tuple[int | None, int], tuple[list[float], list[float]]]
+        ],
+    ) -> None:
+        index: list[tuple[int, int | None, int, int, int]] = []
+        flat: list[float] = []
+        for cell_id in sorted(exports):
+            for (prev, next_cell), (times, sojourns) in sorted(
+                exports[cell_id].items(),
+                key=lambda item: (item[0][0] is not None, item[0]),
+            ):
+                count = len(times)
+                if count == 0:
+                    continue
+                index.append(
+                    (cell_id, prev, next_cell, len(flat), count)
+                )
+                flat.extend(times)
+                flat.extend(sojourns)
+        self._index = tuple(index)
+        self._total = len(flat)
+        name = f"{_SEGMENT_PREFIX}{uuid.uuid4().hex[:12]}"
+        self._shm: shared_memory.SharedMemory | None = (
+            shared_memory.SharedMemory(
+                create=True, name=name, size=max(self._total * 8, 8)
+            )
+        )
+        if flat:
+            packed = array("d", flat).tobytes()
+            self._shm.buf[: len(packed)] = packed
+        atexit.register(self._cleanup)
+
+    @classmethod
+    def from_network(cls, network, origin: float) -> "SharedColumnStore":
+        """Snapshot every station's quadruplet history at time ``origin``.
+
+        ``origin`` (the warm-up's end time) becomes the shards' t=0:
+        exported event times are shifted so the cache's time-order
+        invariant holds when shards record fresh quadruplets.
+        """
+        exports = {}
+        for station in network.stations:
+            cache = getattr(station.estimator, "cache", None)
+            export = getattr(cache, "export_columns", None)
+            if export is None:
+                continue
+            columns = export(origin)
+            if columns:
+                exports[station.cell_id] = columns
+        return cls(exports)
+
+    def handle(self) -> SharedColumnsHandle:
+        """The picklable worker-side reference to this segment."""
+        if self._shm is None:
+            raise ValueError("store is closed")
+        return SharedColumnsHandle(self._shm.name, self._total, self._index)
+
+    @property
+    def name(self) -> str | None:
+        """Segment name while open, ``None`` after close."""
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (8 per stored float)."""
+        return self._total * 8
+
+    def close(self) -> None:
+        """Unlink the segment.  Idempotent."""
+        atexit.unregister(self._cleanup)
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedColumnStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

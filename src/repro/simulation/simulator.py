@@ -134,7 +134,12 @@ class CellularSimulator:
             ),
             handoff_overload=config.handoff_overload,
             reservation_cache=config.reservation_cache,
+            coalesced_tick=config.coalesced_tick,
         )
+        if config.warm_state is not None:
+            # Replication shards start from a shared warm-up's estimator
+            # history (see repro.simulation.shared_state).
+            config.warm_state.hydrate(self.network)
         if policy is not None:
             self.policy = policy
         elif config.scheme.lower() == "static":
@@ -555,6 +560,12 @@ class CellularSimulator:
         tel.counter("cellular.eq5_memo", outcome="miss").inc(eq5_misses)
         tel.counter("cellular.messages_sent").inc(messages)
         tel.counter("cellular.reservation_updates").inc(updates)
+        tel.counter("cellular.tick_flushes").inc(
+            getattr(self.network, "tick_flushes", 0)
+        )
+        tel.counter("cellular.tick_targets").inc(
+            getattr(self.network, "tick_targets", 0)
+        )
         tel.counter("cellular.group_rebuilds").inc(rebuilds)
         tel.counter("window.t_est_steps", direction="up").inc(steps_up)
         tel.counter("window.t_est_steps", direction="down").inc(steps_down)

@@ -1,11 +1,16 @@
 """Unit tests for interval estimates and replication pooling."""
 
+import math
+
 import pytest
 
 from repro.analysis.stats import (
+    batch_means,
+    batch_means_from_hourly,
     blocking_estimate,
     dropping_estimate,
     replicate,
+    t_quantile,
     wilson_interval,
 )
 from repro.simulation.scenarios import stationary
@@ -60,6 +65,88 @@ class TestResultEstimates:
         assert blocking.low <= result.blocking_probability <= blocking.high
         assert dropping.low <= result.dropping_probability <= dropping.high
         assert blocking.trials == result.total_new_requests
+
+
+class TestTQuantile:
+    #: Two-sided 95% critical values, Student-t tables.
+    REFERENCE_95 = {
+        1: 12.706,
+        2: 4.303,
+        3: 3.182,
+        5: 2.571,
+        10: 2.228,
+        30: 2.042,
+        100: 1.984,
+    }
+
+    @pytest.mark.parametrize("dof,expected", sorted(REFERENCE_95.items()))
+    def test_matches_tables_at_95(self, dof, expected):
+        assert t_quantile(0.95, dof) == pytest.approx(expected, rel=2e-3)
+
+    def test_99_level_dof_5(self):
+        assert t_quantile(0.99, 5) == pytest.approx(4.032, rel=5e-3)
+
+    def test_approaches_normal_quantile(self):
+        assert t_quantile(0.95, 10_000) == pytest.approx(1.96, abs=1e-2)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            t_quantile(1.0, 5)
+        with pytest.raises(ValueError):
+            t_quantile(0.0, 5)
+        with pytest.raises(ValueError):
+            t_quantile(0.95, 0)
+
+
+class TestBatchMeans:
+    def test_known_small_sample(self):
+        estimate = batch_means([1.0, 2.0, 3.0, 4.0])
+        assert estimate.mean == pytest.approx(2.5)
+        # s = sqrt(5/3), half-width = t_{.975,3} * s / 2
+        expected = t_quantile(0.95, 3) * math.sqrt(5.0 / 3.0) / 2.0
+        assert estimate.half_width == pytest.approx(expected)
+        assert estimate.covers(2.5)
+        assert not estimate.covers(100.0)
+
+    def test_single_batch_is_infinite(self):
+        estimate = batch_means([0.25])
+        assert estimate.mean == 0.25
+        assert math.isinf(estimate.half_width)
+        assert estimate.covers(1e9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            batch_means([])
+
+    def test_constant_batches_collapse(self):
+        estimate = batch_means([0.5] * 8)
+        assert estimate.half_width == pytest.approx(0.0)
+
+    def test_from_hourly_buckets(self):
+        # Hourly buckets sized to 50 simulated seconds each; bucket 0 is
+        # exactly the warm-up (buckets start at t=0).
+        config = stationary(
+            "static",
+            200.0,
+            duration=250.0,
+            warmup=50.0,
+            seed=2,
+            hourly_stats=True,
+            day_seconds=24.0 * 50.0,
+        )
+        result = CellularSimulator(config).run()
+        blocking, dropping = batch_means_from_hourly(
+            result, skip_buckets=1
+        )
+        assert blocking.batches == len(result.hourly) - 1
+        assert 0.0 <= blocking.mean <= 1.0
+        assert 0.0 <= dropping.mean <= 1.0
+
+    def test_from_hourly_requires_buckets(self):
+        config = stationary("static", 150.0, duration=100.0)
+        result = CellularSimulator(config).run()
+        with pytest.raises(ValueError):
+            batch_means_from_hourly(result)
 
 
 class TestReplication:

@@ -122,6 +122,23 @@ class TestSnapshotMerge:
         assert merged["timers"]["run"]["count"] == 2
         assert merged["run_id"].count("+") == 1
 
+    def test_merge_keeps_all_negative_gauges(self):
+        # max-merge must seed from the first contribution, not from an
+        # implicit 0.0 — otherwise all-negative gauges collapse to 0.
+        merged = merge_snapshots(
+            [self._snapshot(1, -9.0, []), self._snapshot(1, -5.0, [])]
+        )
+        assert merged["gauges"]["heap"] == -5.0
+
+    def test_merge_sums_histogram_buckets_elementwise(self):
+        merged = merge_snapshots(
+            [self._snapshot(0, 0, [1, 1, 9]), self._snapshot(0, 0, [1, 4])]
+        )
+        histogram = merged["histograms"]["rows"]
+        assert histogram["counts"] == [3, 1, 1]
+        assert histogram["count"] == 5
+        assert histogram["sum"] == pytest.approx(16.0)
+
     def test_merge_skips_none(self):
         snapshot = self._snapshot(7, 1, [])
         merged = merge_snapshots([None, snapshot, None])

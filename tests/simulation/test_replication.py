@@ -1,0 +1,181 @@
+"""Sharded replication runner: determinism, merging, shm lifecycle."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.des.random import RandomStreams
+from repro.simulation.replication import (
+    ReplicatedResult,
+    replication_configs,
+    replication_seeds,
+    run_replicated,
+)
+from repro.simulation.runner import SweepWorkerError, run_sweep
+from repro.simulation.scenarios import stationary
+from repro.simulation.shared_state import (
+    SharedColumnStore,
+    active_segment_names,
+)
+from repro.simulation.simulator import CellularSimulator
+
+
+def _config(**overrides):
+    defaults = dict(duration=180.0, warmup=20.0, seed=11)
+    defaults.update(overrides)
+    return stationary("AC3", offered_load=180.0, **defaults)
+
+
+class TestReplicationConfigs:
+    def test_splits_measured_interval(self):
+        shards = replication_configs(_config(), 4)
+        assert len(shards) == 4
+        for shard in shards:
+            assert shard.duration == pytest.approx(20.0 + 160.0 / 4)
+            assert shard.warmup == 20.0
+
+    def test_seeds_are_spawn_children(self):
+        config = _config()
+        shards = replication_configs(config, 3)
+        expected = [
+            RandomStreams(config.seed).spawn(index).seed
+            for index in range(3)
+        ]
+        assert [shard.seed for shard in shards] == expected
+        assert replication_seeds(config, 3) == expected
+
+    def test_seeds_distinct_and_deterministic(self):
+        config = _config()
+        first = replication_seeds(config, 8)
+        assert len(set(first)) == 8
+        assert config.seed not in first
+        assert replication_seeds(config, 8) == first
+
+    def test_labels_carry_shard_index(self):
+        shards = replication_configs(_config(), 2)
+        assert shards[0].label.endswith("[rep0]")
+        assert shards[1].label.endswith("[rep1]")
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ValueError):
+            replication_configs(_config(), 0)
+
+
+class TestRunReplicated:
+    def test_merged_key_independent_of_worker_count(self):
+        config = _config()
+        sequential = run_replicated(config, replications=4, workers=None)
+        two = run_replicated(config, replications=4, workers=2)
+        three = run_replicated(config, replications=4, workers=3)
+        assert sequential.metrics_key() == two.metrics_key()
+        assert sequential.metrics_key() == three.metrics_key()
+
+    def test_pooled_counts_and_cis(self):
+        replicated = run_replicated(_config(), replications=4, workers=None)
+        assert isinstance(replicated, ReplicatedResult)
+        assert replicated.replications == 4
+        assert replicated.blocking.trials == sum(
+            cell.new_requests
+            for result in replicated.results
+            for cell in result.cells
+        )
+        assert replicated.blocking_ci.batches == 4
+        assert replicated.blocking_ci.low <= replicated.blocking_ci.mean
+        assert replicated.events_processed == sum(
+            result.events_processed for result in replicated.results
+        )
+
+    def test_share_columns_hydrates_history(self):
+        config = _config()
+        shared = run_replicated(config, replications=2, workers=None)
+        cold = run_replicated(
+            config, replications=2, workers=None, share_columns=False
+        )
+        assert shared.shared_bytes > 0
+        assert cold.shared_bytes == 0
+        # The shared warm prior is a real input: the shards see it.
+        assert shared.metrics_key() != cold.metrics_key()
+
+    def test_merged_telemetry_rides_along(self):
+        replicated = run_replicated(
+            _config(telemetry=True), replications=2, workers=2
+        )
+        snapshot = replicated.telemetry
+        assert snapshot is not None
+        assert snapshot["counters"]["des.events_fired"] == (
+            replicated.events_processed
+        )
+        assert "+" in snapshot["run_id"]
+
+
+class TestSharedColumnLifecycle:
+    def test_no_segments_leak_after_replicated_run(self):
+        before = active_segment_names()
+        run_replicated(_config(), replications=2, workers=2)
+        assert active_segment_names() == before
+
+    def test_store_close_is_idempotent(self):
+        config = _config(duration=60.0, warmup=10.0)
+        sim = CellularSimulator(config)
+        sim.run()
+        store = SharedColumnStore.from_network(sim.network, origin=60.0)
+        name = store.name
+        assert name in active_segment_names()
+        store.close()
+        store.close()
+        assert name not in active_segment_names()
+        with pytest.raises(ValueError):
+            store.handle()
+
+    def test_context_manager_cleans_up(self):
+        sim = CellularSimulator(_config(duration=60.0, warmup=10.0))
+        sim.run()
+        with SharedColumnStore.from_network(sim.network, origin=60.0) as store:
+            name = store.name
+            assert name in active_segment_names()
+        assert name not in active_segment_names()
+
+    def test_segment_survives_worker_crash_then_owner_cleans_up(self):
+        """A crashing worker must not tear the segment down (ownership is
+        the parent's), and the parent's close() still reclaims it."""
+        warm = CellularSimulator(_config(duration=60.0, warmup=10.0))
+        warm.run()
+        store = SharedColumnStore.from_network(warm.network, origin=60.0)
+        name = store.name
+        handle = store.handle()
+        good = replace(
+            _config(duration=30.0, warmup=5.0, seed=21), warm_state=handle
+        )
+        bad = replace(good, scheme="bogus", label="boom")
+        try:
+            with pytest.raises(SweepWorkerError):
+                run_sweep([good, bad, good], workers=2)
+            # The worker that ran `good` attached and detached; the
+            # failing worker died — either way the segment is still ours.
+            assert name in active_segment_names()
+        finally:
+            store.close()
+        assert name not in active_segment_names()
+
+    def test_hydrated_shard_matches_inprocess_hydration(self):
+        """Worker-side hydration (pickled handle) is bit-identical to
+        hydrating in the parent process."""
+        warm = CellularSimulator(_config(duration=60.0, warmup=10.0))
+        warm.run()
+        with SharedColumnStore.from_network(warm.network, origin=60.0) as store:
+            shard = replace(
+                _config(duration=40.0, warmup=5.0, seed=33),
+                warm_state=store.handle(),
+            )
+            local = CellularSimulator(shard).run()
+            (remote,) = run_sweep([shard], workers=2)
+        # One config => run_sweep executes in-process; force the pool:
+        with SharedColumnStore.from_network(warm.network, origin=60.0) as store:
+            shard = replace(
+                _config(duration=40.0, warmup=5.0, seed=33),
+                warm_state=store.handle(),
+            )
+            pooled = run_sweep([shard, shard], workers=2)
+        assert local.metrics_key() == remote.metrics_key()
+        assert pooled[0].metrics_key() == local.metrics_key()
+        assert pooled[1].metrics_key() == local.metrics_key()

@@ -1,6 +1,15 @@
 """Parallel sweep runner: process-pool results equal the sequential run."""
 
-from repro.simulation.runner import run_sweep, sweep_offered_load
+from dataclasses import replace
+
+import pytest
+
+from repro.simulation.runner import (
+    SweepWorkerError,
+    run_sweep,
+    shared_pool,
+    sweep_offered_load,
+)
 from repro.simulation.scenarios import stationary
 
 
@@ -48,6 +57,30 @@ def test_workers_one_runs_in_process():
         run_sweep(configs, workers=1)[0].metrics_key()
         == run_sweep(configs)[0].metrics_key()
     )
+
+
+def test_worker_failure_surfaces_remote_traceback():
+    good, other = _configs(duration=60.0)
+    bad = replace(good, scheme="bogus", label="boom")
+    with pytest.raises(SweepWorkerError) as excinfo:
+        run_sweep([good, bad, other], workers=2)
+    error = excinfo.value
+    assert error.config.label == "boom"
+    assert "unknown admission scheme" in error.remote_traceback
+    assert "unknown admission scheme" in str(error)
+
+
+def test_pool_survives_worker_failure():
+    good, other = _configs(duration=60.0)
+    bad = replace(good, scheme="bogus", label="boom")
+    pool = shared_pool(2)
+    with pytest.raises(SweepWorkerError):
+        run_sweep([bad, good], workers=2, pool=pool)
+    # An ordinary remote exception must not poison the shared pool.
+    results = run_sweep([good, other], workers=2, pool=pool)
+    assert [r.metrics_key() for r in results] == [
+        r.metrics_key() for r in run_sweep([good, other])
+    ]
 
 
 def test_sweep_offered_load_accepts_workers():
