@@ -30,6 +30,11 @@ else
 fi
 rm -f /tmp/bench-smoke.json
 
+echo "== state smoke =="
+# Durable state store: corruption must fail `state inspect`, and
+# save -> load -> run must be bit-identical to the straight run.
+PYTHONPATH=src python scripts/state_smoke.py
+
 echo "== replication perf smoke =="
 # The sharded replication runner end-to-end: warm pool, shared-memory
 # columnar snapshots, merged CIs, and the scheduling-independence

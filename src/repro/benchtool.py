@@ -18,7 +18,9 @@ The report covers:
   (ops/sec each);
 * one representative AC3 simulation — wall time, events/sec, and the
   paper's complexity metrics (``N_calc`` per admission test, average
-  inter-BS messages).
+  inter-BS messages);
+* ``state_io`` — durable checkpoint write/read throughput (MB/s and
+  wall time) against an L=200 warm state, plus the state's size.
 
 ``--compare`` prints the per-bench throughput delta against a previous
 report and exits non-zero when any bench regressed by more than the
@@ -329,6 +331,68 @@ def bench_ac3_replicated(
     }
 
 
+def bench_state_io(smoke: bool) -> dict:
+    """Checkpoint write/read throughput against an L=200 warm state.
+
+    Saves a warm simulator's full state a few times (best wall time
+    wins, as in ``_measure``) and restores it back; throughput is
+    checkpoint bytes over wall seconds.  The read number includes
+    rebuilding the simulator from the state — that is what a restart
+    actually pays.  Not part of the ``--compare`` regression gate
+    (disk speed is machine noise); the section exists so reports show
+    how big and how costly durable state is.
+    """
+    import tempfile
+
+    from repro.state import restore_simulator, save_checkpoint
+
+    config = stationary(
+        "AC3",
+        offered_load=200.0,
+        voice_ratio=0.8,
+        high_mobility=True,
+        duration=120.0 if smoke else 600.0,
+        seed=3,
+    )
+    sim = CellularSimulator(config)
+    sim.run()
+    repeats = 2 if smoke else 5
+    with tempfile.TemporaryDirectory() as scratch:
+        target = Path(scratch) / "ckpt"
+        write_seconds = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            save_checkpoint(sim, target)
+            write_seconds = min(
+                write_seconds, time.perf_counter() - started
+            )
+        state_bytes = sum(
+            entry.stat().st_size
+            for entry in target.rglob("*")
+            if entry.is_file()
+        )
+        quadruplets = sum(
+            station.estimator.cache.size()
+            for station in sim.network.stations
+        )
+        read_seconds = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            restore_simulator(target, config)
+            read_seconds = min(read_seconds, time.perf_counter() - started)
+    return {
+        "warm_duration": config.duration,
+        "offered_load": config.offered_load,
+        "state_bytes": state_bytes,
+        "quadruplets": quadruplets,
+        "connections": len(sim.active_connections),
+        "write_seconds": write_seconds,
+        "write_mb_per_sec": state_bytes / write_seconds / 1e6,
+        "read_seconds": read_seconds,
+        "read_mb_per_sec": state_bytes / read_seconds / 1e6,
+    }
+
+
 def _rate(hits: float, misses: float) -> float:
     total = hits + misses
     return hits / total if total else 0.0
@@ -406,6 +470,7 @@ def run_benchmarks(
     report["simulation"]["ac3_replicated"] = bench_ac3_replicated(
         smoke, workers=workers, replications=replications, ci_level=ci_level
     )
+    report["state_io"] = bench_state_io(smoke)
     report["telemetry"] = bench_ac3_telemetry(smoke)
     return report
 
@@ -483,6 +548,17 @@ def _print_report(report: dict, output: Path) -> None:
             f"  P_HD={rep['p_hd']:.4f}±{rep['p_hd_half_width']:.4f}"
             f"  within_seq_ci="
             f"{replicated['merged_within_sequential_ci']}"
+        )
+    state_io = report.get("state_io")
+    if state_io:
+        print(
+            f"{'state_io':<28} "
+            f"write={state_io['write_mb_per_sec']:.1f} MB/s"
+            f" ({state_io['write_seconds'] * 1e3:.1f} ms)"
+            f"  read={state_io['read_mb_per_sec']:.1f} MB/s"
+            f" ({state_io['read_seconds'] * 1e3:.1f} ms)"
+            f"  {state_io['state_bytes'] / 1e6:.2f} MB,"
+            f" {state_io['quadruplets']} quads"
         )
     telemetry = report.get("telemetry")
     if telemetry:

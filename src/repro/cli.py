@@ -69,6 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for --replications (the merged result"
         " is identical at any worker count)",
     )
+    state_group = run_parser.add_argument_group("durable state")
+    state_group.add_argument(
+        "--save-state", default=None, metavar="PATH",
+        help="write a durable checkpoint of the final state after the"
+        " run (load it later with --load-state to continue)",
+    )
+    state_group.add_argument(
+        "--load-state", default=None, metavar="PATH",
+        help="restore a checkpoint and continue it up to --duration;"
+        " the continued run is bit-identical to an uninterrupted one",
+    )
+    state_group.add_argument(
+        "--checkpoint-every", type=float, default=0.0, metavar="SECONDS",
+        help="write periodic mid-run checkpoints every SECONDS of"
+        " simulated time (0 disables)",
+    )
+    state_group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for --checkpoint-every checkpoints"
+        " (default: 'checkpoints')",
+    )
+    state_group.add_argument(
+        "--checkpoint-keep", type=int, default=3, metavar="K",
+        help="keep only the newest K periodic checkpoints (default 3)",
+    )
 
     sweep_parser = commands.add_parser(
         "sweep", help="sweep the offered load and print P_CB / P_HD"
@@ -98,6 +123,49 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "list-experiments", help="list the registered experiment ids"
     )
+
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="run N chained simulated days, warm-starting each from the"
+        " previous day's checkpoint",
+    )
+    _add_scenario_arguments(campaign_parser)
+    _add_observability_arguments(campaign_parser)
+    campaign_parser.add_argument(
+        "--days", type=int, default=3, metavar="N",
+        help="number of simulated days to chain (default 3)",
+    )
+    campaign_parser.add_argument(
+        "--state-dir", default="campaign-state", metavar="DIR",
+        help="directory for per-day checkpoints and campaign.jsonl",
+    )
+    campaign_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="per-day report path (default: <state-dir>/campaign.jsonl)",
+    )
+    campaign_parser.add_argument(
+        "--day-seconds", type=float, default=None, metavar="SECONDS",
+        help="override the simulated day length T_day (each day runs"
+        " this long; --duration is ignored by campaigns)",
+    )
+    campaign_parser.add_argument(
+        "--fresh-windows", action="store_true",
+        help="reset the T_est window controllers each day instead of"
+        " carrying their position across days",
+    )
+
+    state_parser = commands.add_parser(
+        "state", help="inspect durable state checkpoints"
+    )
+    state_commands = state_parser.add_subparsers(
+        dest="state_command", required=True
+    )
+    inspect_parser = state_commands.add_parser(
+        "inspect",
+        help="print a checkpoint's manifest and verify every file's"
+        " CRC32 (non-zero exit on corruption)",
+    )
+    inspect_parser.add_argument("path", help="checkpoint directory")
     return parser
 
 
@@ -223,16 +291,49 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
 
 def _command_run(args: argparse.Namespace) -> int:
     _configure_observability(args)
+    uses_state = bool(
+        args.save_state or args.load_state or args.checkpoint_every > 0.0
+    )
     if args.replications > 1:
+        if uses_state:
+            raise ValueError(
+                "--save-state/--load-state/--checkpoint-every capture one"
+                " engine's state; they cannot be combined with"
+                " --replications"
+            )
         return _command_run_replicated(args)
+    if uses_state and args.trace_jsonl:
+        raise ValueError(
+            "checkpoints do not capture tracer extensions; drop"
+            " --trace-jsonl or the state flags"
+        )
     extensions = []
     tracer = None
     if args.trace_jsonl:
         tracer = ConnectionTracer()
         extensions.append(tracer)
-    result = CellularSimulator(
-        _build_config(args), extensions=extensions
-    ).run()
+    config = _build_config(args)
+    if args.load_state:
+        from repro.state import restore_simulator
+
+        simulator = restore_simulator(args.load_state, config)
+    else:
+        simulator = CellularSimulator(config, extensions=extensions)
+    if args.checkpoint_every > 0.0:
+        from repro.state import Checkpointer
+
+        simulator.checkpointer = Checkpointer(
+            simulator,
+            args.checkpoint_dir or "checkpoints",
+            every=args.checkpoint_every,
+            keep=args.checkpoint_keep,
+        )
+    result = simulator.run()
+    if args.save_state:
+        from repro.state import save_checkpoint
+
+        saved = save_checkpoint(simulator, args.save_state)
+        print(f"state saved: {saved}")
     if tracer is not None:
         tracer.write_jsonl(args.trace_jsonl)
         log = get_logger("trace")
@@ -368,6 +469,51 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.state import run_campaign
+
+    _configure_observability(args)
+    config = _build_config(args)
+    if args.day_seconds is not None:
+        config = replace(config, day_seconds=args.day_seconds)
+    reports = run_campaign(
+        config,
+        days=args.days,
+        state_dir=args.state_dir,
+        jsonl_path=args.jsonl,
+        carry_windows=not args.fresh_windows,
+    )
+    rows = [
+        [
+            report.day + 1,
+            report.p_cb,
+            report.p_hd,
+            report.mean_t_est,
+            report.quadruplets,
+            report.handoff_drops,
+        ]
+        for report in reports
+    ]
+    print(
+        Table(
+            ["Day", "PCB", "PHD", "mean Test", "Nquad", "Drops"], rows
+        ).render()
+    )
+    jsonl = args.jsonl or f"{args.state_dir}/campaign.jsonl"
+    print(f"\nper-day report: {jsonl}")
+    return 0
+
+
+def _command_state(args: argparse.Namespace) -> int:
+    from repro.state import inspect_state
+
+    if args.state_command == "inspect":
+        return inspect_state(args.path)
+    raise ValueError(f"unknown state command {args.state_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -376,6 +522,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _command_sweep,
         "experiment": _command_experiment,
         "list-experiments": _command_list,
+        "campaign": _command_campaign,
+        "state": _command_state,
     }
     try:
         return handlers[args.command](args)

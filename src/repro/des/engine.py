@@ -74,6 +74,18 @@ class Engine:
         return self._now
 
     @property
+    def sequence(self) -> int:
+        """Next scheduling order stamp to be issued.
+
+        Stamps are monotonic per engine and break (time, priority) ties,
+        so the checkpoint store records each pending event's stamp and
+        re-schedules in stamp order on restore — relative order (and
+        therefore the exact firing sequence) is preserved even though
+        the absolute numbering restarts.
+        """
+        return self._sequence
+
+    @property
     def pending(self) -> int:
         """Number of live (uncancelled) events still in the queue.
 

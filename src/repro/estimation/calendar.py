@@ -118,6 +118,46 @@ class CalendarEstimator:
         self.estimator_for(event_time).record_departure(
             event_time, prev, next_cell, sojourn
         )
+        for day_type in self._boundary_neighbors(event_time):
+            self._estimators[day_type].record_departure(
+                event_time, prev, next_cell, sojourn
+            )
+
+    def _boundary_neighbors(self, event_time: float) -> list[str]:
+        """Adjacent day types whose query windows can reach ``event_time``.
+
+        A query at (say) Friday 23:55 selects quadruplets in the
+        ``T_int`` half-width window around 23:55, which wraps past
+        midnight into Saturday — a *different* day type whose estimator
+        never saw Friday's entries.  To make such boundary windows see
+        both sides, a departure recorded within ``interval`` of a
+        type-changing day boundary is mirrored into the neighboring day
+        type's estimator as well.  Mirrored entries inflate the
+        aggregate ``total_recorded`` (one physical hand-off, two
+        recordings); conservation checks must use the router's event
+        count, not the cache union.  With ``interval = None`` every
+        window is infinite and day types are meant to stay disjoint, so
+        nothing is mirrored; likewise when ``interval >= day_seconds``
+        (a window wider than a day overlaps *every* boundary — day
+        typing itself is the misconfiguration there, not the routing).
+        """
+        pattern = self.schedule.pattern
+        day_seconds = self.schedule.day_seconds
+        if self.interval is None or self.interval >= day_seconds:
+            return []
+        day_index = int(event_time // day_seconds)
+        offset = event_time - day_index * day_seconds
+        here = pattern[day_index % len(pattern)]
+        neighbors = []
+        if offset < self.interval:
+            before = pattern[(day_index - 1) % len(pattern)]
+            if before != here:
+                neighbors.append(before)
+        if day_seconds - offset <= self.interval:
+            after = pattern[(day_index + 1) % len(pattern)]
+            if after != here and after not in neighbors:
+                neighbors.append(after)
+        return neighbors
 
     def handoff_probability(
         self,

@@ -8,16 +8,35 @@ state is set at creation and, per paper assumption A4, never changes
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
-_mobile_ids = itertools.count()
+
+class _IdCounter:
+    """``itertools.count`` with a readable/settable position (see
+    :class:`repro.traffic.connection._IdCounter`)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
 
 
-def reset_mobile_ids() -> None:
-    """Restart the global id sequence (test isolation helper)."""
-    global _mobile_ids
-    _mobile_ids = itertools.count()
+_mobile_ids = _IdCounter()
+
+
+def reset_mobile_ids(start: int = 0) -> None:
+    """Restart the global id sequence (test isolation / state restore)."""
+    _mobile_ids.value = start
+
+
+def peek_mobile_ids() -> int:
+    """Next mobile id to be issued, without consuming it."""
+    return _mobile_ids.value
 
 
 @dataclass(slots=True)

@@ -201,6 +201,22 @@ class CellularSimulator:
         self._crossing_events: dict[int, Event] = {}
         self.active_connections: dict[int, Connection] = {}
         self._finished = False
+        #: Random draws made but never scheduled because they fell past
+        #: the horizon: ``cell -> (time, order stamp, tiebreak)`` for
+        #: Poisson renewals, plus at most one monitor sample.  The
+        #: checkpoint store (:mod:`repro.state`) persists these so a
+        #: resume under a longer horizon schedules them in exactly the
+        #: order the uninterrupted run would have.
+        self._suppressed_arrivals: dict[int, tuple[float, int, int]] = {}
+        self._suppressed_sample: tuple[float, int, int] | None = None
+        self._suppressed_tiebreak = 0
+        #: Set by :func:`repro.state.restore_simulator`: the queue is
+        #: already populated, so :meth:`run` must skip the initial
+        #: scheduling pass.
+        self._resumed = False
+        #: Optional mid-run checkpoint hook (``repro.state.Checkpointer``),
+        #: composed into the engine heartbeat alongside progress.
+        self.checkpointer = None
 
     # ------------------------------------------------------------------
     # run control
@@ -210,23 +226,24 @@ class CellularSimulator:
         if self._finished:
             raise RuntimeError("simulator instances are single-use")
         started = wall_clock.perf_counter()
-        arrival_rng = self.streams.get("arrivals")
-        for cell_id in range(self.topology.num_cells):
-            first = self.arrivals.next_arrival(0.0, arrival_rng)
-            if first is not None:
+        if not self._resumed:
+            arrival_rng = self.streams.get("arrivals")
+            for cell_id in range(self.topology.num_cells):
+                first = self.arrivals.next_arrival(0.0, arrival_rng)
+                if first is not None:
+                    self.engine.call_at(
+                        first,
+                        self._on_arrival,
+                        cell_id,
+                        1,
+                        priority=EventPriority.ARRIVAL,
+                    )
+            if self.config.sample_interval > 0:
                 self.engine.call_at(
-                    first,
-                    self._on_arrival,
-                    cell_id,
-                    1,
-                    priority=EventPriority.ARRIVAL,
+                    self.config.sample_interval,
+                    self._on_sample,
+                    priority=EventPriority.MONITOR,
                 )
-        if self.config.sample_interval > 0:
-            self.engine.call_at(
-                self.config.sample_interval,
-                self._on_sample,
-                priority=EventPriority.MONITOR,
-            )
         reporter = None
         if self.config.progress_interval > 0:
             reporter = ProgressReporter(
@@ -235,9 +252,22 @@ class CellularSimulator:
                 interval=self.config.progress_interval,
                 label=self.config.label or self.config.scheme,
             )
+        heartbeats = []
+        if reporter is not None:
+            heartbeats.append(reporter.beat)
+        if self.checkpointer is not None:
+            heartbeats.append(self.checkpointer.beat)
+        if not heartbeats:
+            heartbeat = None
+        elif len(heartbeats) == 1:
+            heartbeat = heartbeats[0]
+        else:
+            def heartbeat() -> None:
+                for beat in heartbeats:
+                    beat()
         self.engine.run(
             until=self.config.duration,
-            heartbeat=reporter.beat if reporter is not None else None,
+            heartbeat=heartbeat,
         )
         if reporter is not None:
             reporter.final()
@@ -254,14 +284,26 @@ class CellularSimulator:
             # Schedule the next fresh request of this cell's Poisson
             # process (retries are extra events, not process renewals).
             next_time = self.arrivals.next_arrival(now, arrival_rng)
-            if next_time is not None and next_time <= self.config.duration:
-                self.engine.call_at(
-                    next_time,
-                    self._on_arrival,
-                    cell_id,
-                    1,
-                    priority=EventPriority.ARRIVAL,
-                )
+            if next_time is not None:
+                if next_time <= self.config.duration:
+                    self.engine.call_at(
+                        next_time,
+                        self._on_arrival,
+                        cell_id,
+                        1,
+                        priority=EventPriority.ARRIVAL,
+                    )
+                else:
+                    # Past the horizon: remember the draw (with the
+                    # order stamp scheduling would have consumed) so a
+                    # checkpoint resumed under a longer horizon can
+                    # still schedule it in its rightful place.
+                    self._suppressed_arrivals[cell_id] = (
+                        next_time,
+                        self.engine.sequence,
+                        self._suppressed_tiebreak,
+                    )
+                    self._suppressed_tiebreak += 1
         self._handle_request(cell_id, attempt)
 
     def _handle_request(self, cell_id: int, attempt: int) -> None:
@@ -470,6 +512,13 @@ class CellularSimulator:
             self.engine.call_at(
                 next_time, self._on_sample, priority=EventPriority.MONITOR
             )
+        else:
+            self._suppressed_sample = (
+                next_time,
+                self.engine.sequence,
+                self._suppressed_tiebreak,
+            )
+            self._suppressed_tiebreak += 1
 
     # ------------------------------------------------------------------
     # result assembly

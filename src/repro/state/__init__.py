@@ -1,0 +1,48 @@
+"""Durable simulation state: versioned checkpoints and warm-starts.
+
+The paper's mobility estimator (§3) aggregates hand-off quadruplets
+across ``N_win`` previous days — state that is only meaningful if it
+outlives a single process.  This package persists the full warm state
+of a run (quadruplet caches, window controllers, RNG positions, the
+pending event queue, run metrics) into an atomic, versioned,
+checksummed on-disk directory, and restores it either
+
+* **exactly** — :func:`restore_simulator` rebuilds a mid-run simulator
+  that continues bit-identically (same ``metrics_key()`` as the
+  uninterrupted run), or
+* **warm-only** — :class:`CheckpointWarmStart` hydrates a *fresh* run's
+  estimator history (rebased backwards in time the way
+  ``SharedColumnStore`` rebases worker imports), which is what the
+  multi-day :func:`run_campaign` chains between simulated days.
+"""
+
+from repro.state.campaign import CampaignDay, run_campaign
+from repro.state.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    CheckpointWarmStart,
+    restore_simulator,
+    save_checkpoint,
+)
+from repro.state.format import (
+    SCHEMA_VERSION,
+    StateCorruptionError,
+    StateFormatError,
+    StateSchemaError,
+)
+from repro.state.inspect import inspect_state
+
+__all__ = [
+    "CampaignDay",
+    "CheckpointError",
+    "CheckpointWarmStart",
+    "Checkpointer",
+    "SCHEMA_VERSION",
+    "StateCorruptionError",
+    "StateFormatError",
+    "StateSchemaError",
+    "inspect_state",
+    "restore_simulator",
+    "run_campaign",
+    "save_checkpoint",
+]

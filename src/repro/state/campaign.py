@@ -1,0 +1,207 @@
+"""Multi-day campaign runner: chain simulated days through the store.
+
+The paper's estimator is explicitly multi-day — ``F_HOE`` aggregates
+quadruplets across ``N_win`` previous days with day-age weights ``w_n``
+(Eq. 3) — but one simulated day is already millions of events, so long
+campaigns want to run day by day, possibly across process lifetimes.
+
+:func:`run_campaign` runs ``N`` one-day simulations.  Each day:
+
+* starts **warm**: the previous day's checkpoint hydrates the fresh
+  simulator through :class:`~repro.state.checkpoint.CheckpointWarmStart`
+  — quadruplet history rebased one period backwards (so day-age
+  weighting sees yesterday's entries at ``n = 1``), entries beyond the
+  ``N_win`` horizon expired, and the window controllers' ``T_est``
+  position carried over;
+* draws from a **distinct RNG universe**: per-day seeds are derived
+  with :meth:`RandomStreams.spawn`, so days see different traffic while
+  the whole campaign stays reproducible from the base seed;
+* ends with a durable checkpoint in ``state_dir/day_NNN`` and one JSONL
+  line of the day's ``P_CB`` / ``P_HD`` / mean ``T_est``.
+
+A campaign interrupted after day ``k`` resumes by re-running with the
+same arguments: completed days are detected by their on-disk state and
+re-used instead of re-simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import time as wall_clock
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.des.random import RandomStreams
+from repro.obs import get_logger, get_telemetry
+from repro.state.checkpoint import CheckpointWarmStart, save_checkpoint
+from repro.state.format import StateFormatError, load_manifest
+
+_log = get_logger("repro.state.campaign")
+
+_REPORT_NAME = "campaign.jsonl"
+
+
+@dataclass
+class CampaignDay:
+    """One day's outcome — a row of the campaign report."""
+
+    day: int
+    seed: int
+    p_cb: float
+    p_hd: float
+    mean_t_est: float
+    new_requests: int
+    handoff_attempts: int
+    handoff_drops: int
+    quadruplets: int
+    events_processed: int
+    wall_seconds: float
+    state_path: str
+
+
+def day_seed(base_seed: int, day: int) -> int:
+    """Per-day master seed (stable sha256 derivation, collision-free)."""
+    return RandomStreams(base_seed).spawn(day).seed
+
+
+def _day_state_path(state_dir: Path, day: int) -> Path:
+    return state_dir / f"day_{day:03d}"
+
+
+def _day_config(config, day: int, state_dir: Path, carry_windows: bool):
+    base_label = config.label or config.scheme
+    warm = None
+    if day > 0:
+        warm = CheckpointWarmStart(
+            _day_state_path(state_dir, day - 1),
+            rebase_seconds=config.day_seconds,
+            carry_windows=carry_windows,
+        )
+    return replace(
+        config,
+        duration=config.day_seconds,
+        seed=day_seed(config.seed, day),
+        warm_state=warm,
+        label=f"{base_label} day {day + 1}",
+    )
+
+
+def run_campaign(
+    config,
+    days: int,
+    state_dir: str | Path,
+    jsonl_path: str | Path | None = None,
+    carry_windows: bool = True,
+) -> list[CampaignDay]:
+    """Run ``days`` chained one-day simulations; return per-day reports.
+
+    ``config`` describes one day: ``config.day_seconds`` becomes each
+    day's horizon (``config.duration`` is ignored).  ``state_dir``
+    receives one durable checkpoint per day plus ``campaign.jsonl``
+    (or ``jsonl_path`` if given); existing day states from an earlier,
+    interrupted invocation are reused, making the campaign resumable.
+    """
+    from repro.simulation.simulator import CellularSimulator
+
+    if days < 1:
+        raise ValueError("a campaign needs at least one day")
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    report_path = (
+        Path(jsonl_path) if jsonl_path is not None else state_dir / _REPORT_NAME
+    )
+    reports: list[CampaignDay] = []
+    completed = _load_completed(report_path, state_dir, days)
+    if completed:
+        reports.extend(completed)
+        _log.info(
+            "campaign resumed",
+            extra={"days_done": len(completed), "days_total": days},
+        )
+    # Rewrite the report from the verified prefix: a row whose
+    # checkpoint did not survive must not linger in the JSONL.
+    with open(report_path, "w") as report_file:
+        for report in completed:
+            report_file.write(json.dumps(asdict(report)) + "\n")
+        report_file.flush()
+        for day in range(len(completed), days):
+            started = wall_clock.perf_counter()
+            day_config = _day_config(config, day, state_dir, carry_windows)
+            simulator = CellularSimulator(day_config)
+            result = simulator.run()
+            state_path = save_checkpoint(
+                simulator, _day_state_path(state_dir, day)
+            )
+            stations = simulator.network.stations
+            report = CampaignDay(
+                day=day,
+                seed=day_config.seed,
+                p_cb=result.blocking_probability,
+                p_hd=result.dropping_probability,
+                mean_t_est=(
+                    sum(station.t_est for station in stations)
+                    / len(stations)
+                ),
+                new_requests=result.total_new_requests,
+                handoff_attempts=result.total_handoff_attempts,
+                handoff_drops=sum(
+                    cell.handoff_drops for cell in result.cells
+                ),
+                quadruplets=sum(
+                    station.estimator.cache.size() for station in stations
+                ),
+                events_processed=result.events_processed,
+                wall_seconds=wall_clock.perf_counter() - started,
+                state_path=str(state_path),
+            )
+            reports.append(report)
+            report_file.write(json.dumps(asdict(report)) + "\n")
+            report_file.flush()
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.counter("state.campaign_days").inc()
+            _log.info(
+                "campaign day complete",
+                extra={
+                    "day": day,
+                    "p_cb": round(report.p_cb, 6),
+                    "p_hd": round(report.p_hd, 6),
+                    "mean_t_est": round(report.mean_t_est, 3),
+                    "quadruplets": report.quadruplets,
+                },
+            )
+    return reports
+
+
+def _load_completed(
+    report_path: Path, state_dir: Path, days: int
+) -> list[CampaignDay]:
+    """Days already finished by an earlier invocation, in order.
+
+    A day counts as done only if its JSONL row *and* its checkpoint
+    directory are both intact; the first gap truncates the resumable
+    prefix (later days depend on the chain).
+    """
+    if not report_path.is_file():
+        return []
+    rows: dict[int, CampaignDay] = {}
+    for line in report_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            rows[data["day"]] = CampaignDay(**data)
+        except (ValueError, TypeError, KeyError):
+            break
+    completed: list[CampaignDay] = []
+    for day in range(days):
+        report = rows.get(day)
+        if report is None:
+            break
+        try:
+            load_manifest(_day_state_path(state_dir, day))
+        except StateFormatError:
+            break
+        completed.append(report)
+    return completed

@@ -1,0 +1,84 @@
+"""``repro state inspect``: manifest summary + blob CRC verification.
+
+Prints what a checkpoint claims to contain (schema version, clock,
+scenario, per-cell quadruplet counts) and verifies every file's CRC32
+against the manifest.  Exit status is the contract: 0 only when every
+checksum matches and the schema is readable — CI's corruption smoke
+flips one blob byte and asserts a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import time as wall_clock
+from pathlib import Path
+from typing import Callable
+
+from repro.state.format import (
+    MANIFEST_NAME,
+    load_manifest,
+    verify_state_dir,
+)
+
+__all__ = ["inspect_state"]
+
+
+def inspect_state(
+    path: str | Path, out: Callable[[str], None] = print
+) -> int:
+    """Describe and verify the checkpoint at ``path``; return exit code.
+
+    Raises :class:`~repro.state.format.StateFormatError` (or its
+    schema/corruption subclasses) when the manifest itself is missing,
+    unparseable, or written by an incompatible schema — per-file
+    corruption below the manifest is *reported* and turns the exit
+    code non-zero instead.
+    """
+    path = Path(path)
+    manifest = load_manifest(path)
+    created = manifest.get("created_unix")
+    counts = manifest.get("counts", {})
+    out(f"Checkpoint: {path}")
+    out(
+        f"  format:           {manifest['format']} "
+        f"schema v{manifest['schema_version']}"
+    )
+    if created is not None:
+        stamp = wall_clock.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", wall_clock.gmtime(created)
+        )
+        out(f"  created:          {stamp}")
+    out(f"  label:            {manifest.get('label', '?')}")
+    out(f"  seed:             {manifest.get('seed', '?')}")
+    out(f"  virtual clock:    {manifest.get('clock', 0.0):.3f} s")
+    out(
+        f"  connections:      {counts.get('connections', '?')}"
+        f"   pending events: {counts.get('pending_events', '?')}"
+        f"   processed: {counts.get('events_processed', '?')}"
+    )
+    out(f"  quadruplets:      {counts.get('quadruplets', '?')}")
+    out("")
+    out(f"  {'file':<28} {'cell':>4} {'quads':>8} {'bytes':>10}  crc")
+    rows = verify_state_dir(path)
+    by_path = {entry["path"]: entry for entry in manifest.get("files", [])}
+    failures = 0
+    for row in rows:
+        entry = by_path.get(row["path"], {})
+        cell = entry.get("cell", "")
+        quads = entry.get("quadruplets", "")
+        status = "OK" if row["ok"] else "FAIL"
+        if not row["ok"]:
+            failures += 1
+        out(
+            f"  {row['path']:<28} {cell!s:>4} {quads!s:>8}"
+            f" {row['bytes']:>10}  {status}"
+        )
+        if not row["ok"]:
+            out(f"    !! {row['error']}")
+    out("")
+    manifest_bytes = (path / MANIFEST_NAME).stat().st_size
+    out(f"  {MANIFEST_NAME:<28} {'':>4} {'':>8} {manifest_bytes:>10}  -")
+    if failures:
+        out(f"Integrity: FAILED ({failures}/{len(rows)} files corrupt)")
+        return 1
+    out(f"Integrity: OK ({len(rows)} files verified)")
+    return 0

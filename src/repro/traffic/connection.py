@@ -9,7 +9,6 @@ inputs of the Bayes estimator (Eq. 4).
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -28,13 +27,36 @@ class ConnectionState(enum.Enum):
     EXITED = "exited"        # mobile drove off an open road's end
 
 
-_connection_ids = itertools.count()
+class _IdCounter:
+    """``itertools.count`` with a readable/settable position.
+
+    The checkpoint store (``repro.state``) must capture the next id to
+    be issued without consuming it, and restore it in a fresh process so
+    resumed runs keep allocating non-colliding, bit-identical ids.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
 
 
-def reset_connection_ids() -> None:
-    """Restart the global id sequence (test isolation helper)."""
-    global _connection_ids
-    _connection_ids = itertools.count()
+_connection_ids = _IdCounter()
+
+
+def reset_connection_ids(start: int = 0) -> None:
+    """Restart the global id sequence (test isolation / state restore)."""
+    _connection_ids.value = start
+
+
+def peek_connection_ids() -> int:
+    """Next connection id to be issued, without consuming it."""
+    return _connection_ids.value
 
 
 @dataclass(slots=True)

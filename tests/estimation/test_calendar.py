@@ -100,6 +100,51 @@ class TestCalendarEstimator:
         assert estimator.max_sojourn(7_500.0) == 10.0
         assert estimator.max_sojourn(12_500.0) == 99.0
 
+    def test_boundary_window_sees_both_sides_of_midnight(self):
+        # Regression: a T_int half-width window wrapping a type-changing
+        # midnight boundary must select quadruplets from both sides.
+        estimator = CalendarEstimator(
+            schedule=WeekSchedule(
+                pattern=("weekday",) * 5 + ("weekend",) * 2,
+                day_seconds=100.0,
+            ),
+            interval=30.0,
+        )
+        estimator.record_departure(490.0, 1, 2, 10.0)  # Fri 23:50-ish
+        estimator.record_departure(505.0, 1, 3, 10.0)  # Sat 00:05-ish
+        # A weekday query one week later at 23:50: its window
+        # [460, 520] wraps into Saturday; both entries must be visible.
+        function = estimator.function_for(1190.0, 1)
+        assert function.sample_count_above(0.0) == 2
+        assert set(function.next_cells()) == {2, 3}
+        # And the mirror runs the other way: a weekend query just after
+        # midnight sees Friday's tail too.
+        weekend_function = estimator.function_for(1205.0, 1)
+        assert weekend_function.sample_count_above(0.0) == 2
+
+    def test_mid_day_recordings_are_not_mirrored(self):
+        estimator = self.make()  # day_seconds=1000, interval=100
+        estimator.record_departure(500.0, 1, 2, 10.0)
+        assert estimator.estimator_for(500.0).cache.total_recorded == 1
+        assert estimator.estimator_for(5_500.0).cache.total_recorded == 0
+
+    def test_same_type_boundary_is_not_mirrored(self):
+        estimator = self.make()
+        # Day 0 -> day 1 are both weekdays: nothing to mirror even
+        # within `interval` of the boundary.
+        estimator.record_departure(995.0, 1, 2, 10.0)
+        estimator.record_departure(1_005.0, 1, 2, 10.0)
+        assert estimator.estimator_for(500.0).cache.total_recorded == 2
+        assert estimator.estimator_for(5_500.0).cache.total_recorded == 0
+
+    def test_infinite_interval_skips_mirroring(self):
+        estimator = CalendarEstimator(
+            schedule=WeekSchedule(day_seconds=1000.0), interval=None
+        )
+        estimator.record_departure(4_995.0, 1, 2, 10.0)  # end of Friday
+        assert estimator.estimator_for(500.0).cache.total_recorded == 1
+        assert estimator.estimator_for(5_500.0).cache.total_recorded == 0
+
     def test_plugs_into_network(self):
         network = CellularNetwork(
             LinearTopology(3),

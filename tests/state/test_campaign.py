@@ -1,0 +1,132 @@
+"""Multi-day campaign runner: chaining, resume, and warm hydration."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import LinearTopology
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+from repro.state import CheckpointWarmStart, run_campaign, save_checkpoint
+from repro.state.campaign import day_seed
+
+
+def campaign_config(**overrides):
+    defaults = dict(
+        offered_load=100.0, voice_ratio=0.8, duration=100.0, seed=5
+    )
+    defaults.update(overrides)
+    config = stationary("AC3", **defaults)
+    return replace(config, day_seconds=100.0)  # compressed days
+
+
+class TestCampaign:
+    def test_three_days_chain_history(self, tmp_path):
+        config = campaign_config()
+        reports = run_campaign(config, days=3, state_dir=tmp_path / "camp")
+        assert [report.day for report in reports] == [0, 1, 2]
+        # Warm-started days accumulate quadruplet history.
+        assert reports[1].quadruplets > reports[0].quadruplets
+        assert reports[2].quadruplets > reports[1].quadruplets
+        # Each day draws from its own derived seed.
+        assert reports[0].seed == day_seed(config.seed, 0)
+        assert len({report.seed for report in reports}) == 3
+
+    def test_campaign_is_deterministic(self, tmp_path):
+        config = campaign_config()
+        first = run_campaign(config, days=2, state_dir=tmp_path / "a")
+        second = run_campaign(config, days=2, state_dir=tmp_path / "b")
+        for left, right in zip(first, second):
+            assert left.p_cb == right.p_cb
+            assert left.p_hd == right.p_hd
+            assert left.mean_t_est == right.mean_t_est
+            assert left.quadruplets == right.quadruplets
+            assert left.events_processed == right.events_processed
+
+    def test_resume_reuses_completed_days(self, tmp_path):
+        config = campaign_config()
+        state_dir = tmp_path / "camp"
+        first = run_campaign(config, days=2, state_dir=state_dir)
+        # Same args again: both days come from disk, nothing re-runs.
+        again = run_campaign(config, days=2, state_dir=state_dir)
+        assert again == first
+        # Extending re-uses the prefix and appends day 3.
+        extended = run_campaign(config, days=3, state_dir=state_dir)
+        assert extended[:2] == first
+        assert extended[2].day == 2
+
+    def test_jsonl_report(self, tmp_path):
+        config = campaign_config()
+        state_dir = tmp_path / "camp"
+        reports = run_campaign(config, days=2, state_dir=state_dir)
+        lines = (state_dir / "campaign.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for index, line in enumerate(lines):
+            row = json.loads(line)
+            assert row["day"] == index
+            assert row["p_cb"] == reports[index].p_cb
+            assert {"p_hd", "mean_t_est", "quadruplets"} <= set(row)
+
+    def test_corrupt_day_truncates_resume(self, tmp_path):
+        config = campaign_config()
+        state_dir = tmp_path / "camp"
+        run_campaign(config, days=2, state_dir=state_dir)
+        # Destroy day 1's manifest: resume must redo it (and only it).
+        (state_dir / "day_001" / "manifest.json").unlink()
+        redone = run_campaign(config, days=2, state_dir=state_dir)
+        assert [report.day for report in redone] == [0, 1]
+
+    def test_requires_at_least_one_day(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_campaign(campaign_config(), days=0, state_dir=tmp_path)
+
+
+class TestWarmStart:
+    def test_hydrate_rebases_and_expires(self, tmp_path):
+        config = campaign_config()
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "day0")
+        warm = CheckpointWarmStart(path, rebase_seconds=config.day_seconds)
+        network = CellularNetwork(
+            LinearTopology(config.num_cells), capacity=config.capacity
+        )
+        warm.hydrate(network)
+        times = [
+            time
+            for station in network.stations
+            for (times, _s) in station.estimator.cache.export_columns().values()
+            for time in times
+        ]
+        assert times, "hydration loaded no history"
+        # Rebased history sits strictly before the new day's t = 0...
+        assert max(times) <= 0.0
+        # ...and nothing beyond the N_win horizon survives.
+        station = network.stations[0]
+        cache_config = station.estimator.cache.config
+        horizon = (
+            cache_config.window_days * cache_config.period
+            + (cache_config.interval or 0.0)
+        )
+        assert min(times) >= -(horizon + config.day_seconds)
+
+    def test_warm_state_flows_through_config(self, tmp_path):
+        config = campaign_config()
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "day0")
+        warmed = CellularSimulator(
+            replace(
+                config,
+                warm_state=CheckpointWarmStart(
+                    path, rebase_seconds=config.day_seconds
+                ),
+            )
+        )
+        loaded = sum(
+            station.estimator.cache.size()
+            for station in warmed.network.stations
+        )
+        assert loaded > 0

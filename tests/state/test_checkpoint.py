@@ -1,0 +1,161 @@
+"""Determinism proofs for checkpoint save/restore.
+
+The contract under test: restore → run produces the *same*
+``metrics_key()`` as the equivalent uninterrupted run — bit-identical
+counters, traces, and event totals, whether the checkpoint was written
+at the end of a run, mid-run by the heartbeat, or loaded by a brand-new
+process (the subprocess test).
+"""
+
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import CellularSimulator
+from repro.simulation.tracing import ConnectionTracer
+from repro.state import (
+    Checkpointer,
+    CheckpointError,
+    StateFormatError,
+    inspect_state,
+    restore_simulator,
+    save_checkpoint,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def base_config(**overrides):
+    defaults = dict(
+        offered_load=150.0, voice_ratio=0.8, duration=300.0, seed=7
+    )
+    defaults.update(overrides)
+    return stationary("AC3", **defaults)
+
+
+def split_run_parity(config, split):
+    """Uninterrupted vs save-at-``split``/restore; returns both keys."""
+    full = CellularSimulator(config).run()
+    first = CellularSimulator(replace(config, duration=split))
+    first.run()
+    return full, first
+
+
+class TestSplitRunParity:
+    def test_restore_continues_bit_identically(self, tmp_path):
+        config = base_config()
+        full, first = split_run_parity(config, split=150.0)
+        path = save_checkpoint(first, tmp_path / "ckpt")
+        resumed = restore_simulator(path, config).run()
+        assert resumed.metrics_key() == full.metrics_key()
+
+    def test_restore_with_finite_t_int(self, tmp_path):
+        config = base_config(seed=11, t_int=120.0)
+        full, first = split_run_parity(config, split=150.0)
+        path = save_checkpoint(first, tmp_path / "ckpt")
+        resumed = restore_simulator(path, config).run()
+        assert resumed.metrics_key() == full.metrics_key()
+
+    def test_double_restore(self, tmp_path):
+        # save -> load -> save -> load still matches the straight run.
+        config = base_config(seed=3)
+        full, first = split_run_parity(config, split=100.0)
+        first_path = save_checkpoint(first, tmp_path / "first")
+        middle = restore_simulator(first_path, replace(config, duration=200.0))
+        middle.run()
+        middle_path = save_checkpoint(middle, tmp_path / "middle")
+        resumed = restore_simulator(middle_path, config).run()
+        assert resumed.metrics_key() == full.metrics_key()
+
+
+class TestMidRunCheckpointer:
+    def test_heartbeat_checkpoint_restores_to_same_metrics(self, tmp_path):
+        config = base_config(offered_load=200.0, duration=400.0, seed=3)
+        full = CellularSimulator(config).run()
+        watched = CellularSimulator(config)
+        checkpointer = Checkpointer(
+            watched, tmp_path / "ckpts", every=100.0, keep=2
+        )
+        watched.checkpointer = checkpointer
+        watched.run()
+        assert checkpointer.latest is not None
+        assert len(list((tmp_path / "ckpts").iterdir())) <= 2  # pruned
+        resumed = restore_simulator(checkpointer.latest, config).run()
+        assert resumed.metrics_key() == full.metrics_key()
+
+
+class TestGuards:
+    def test_extensions_are_not_checkpointable(self, tmp_path):
+        config = base_config(duration=50.0)
+        sim = CellularSimulator(config, extensions=[ConnectionTracer()])
+        sim.run()
+        with pytest.raises(CheckpointError):
+            save_checkpoint(sim, tmp_path / "ckpt")
+
+    def test_config_fingerprint_mismatch(self, tmp_path):
+        config = base_config(duration=50.0)
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "ckpt")
+        other = replace(config, offered_load=160.0, duration=100.0)
+        with pytest.raises(StateFormatError, match="offered_load"):
+            restore_simulator(path, other)
+
+    def test_duration_before_clock_rejected(self, tmp_path):
+        config = base_config(duration=50.0)
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "ckpt")
+        with pytest.raises(StateFormatError):
+            restore_simulator(path, replace(config, duration=25.0))
+
+    def test_duration_and_label_are_exempt(self, tmp_path):
+        config = base_config(duration=50.0)
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "ckpt")
+        longer = replace(config, duration=80.0, label="another name")
+        assert restore_simulator(path, longer).run().duration == 80.0
+
+
+class TestInspect:
+    def test_inspect_ok_then_corrupt(self, tmp_path):
+        config = base_config(duration=50.0)
+        sim = CellularSimulator(config)
+        sim.run()
+        path = save_checkpoint(sim, tmp_path / "ckpt")
+        lines = []
+        assert inspect_state(path, out=lines.append) == 0
+        assert any("Integrity: OK" in line for line in lines)
+        blob = path / "cells" / "cell_0004.bin"
+        data = bytearray(blob.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        blob.write_bytes(bytes(data))
+        lines.clear()
+        assert inspect_state(path, out=lines.append) == 1
+        assert any("FAIL" in line for line in lines)
+
+
+class TestNewProcessRestore:
+    def test_cli_round_trip_across_processes(self, tmp_path):
+        # The true restart story: save in this process, restore via the
+        # CLI in a brand-new interpreter, and match the straight run.
+        def cli(*arguments):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", "run",
+                 "--load", "150", "--rvo", "0.8", "--seed", "7",
+                 *arguments],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            ).stdout
+
+        full = cli("--duration", "240")
+        ckpt = tmp_path / "ckpt"
+        half = cli("--duration", "120", "--save-state", str(ckpt))
+        assert f"state saved: {ckpt}" in half
+        resumed = cli("--duration", "240", "--load-state", str(ckpt))
+        assert resumed == full

@@ -1,0 +1,167 @@
+"""Unit tests for the on-disk state container (blobs, manifest, CRC)."""
+
+import json
+
+import pytest
+
+from repro.state.format import (
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    StateCorruptionError,
+    StateFormatError,
+    StateSchemaError,
+    cell_blob_name,
+    crc32_of,
+    load_manifest,
+    pack_cell_blob,
+    publish_state_dir,
+    read_entry,
+    unpack_cell_blob,
+    verify_state_dir,
+)
+
+PAIRS = {
+    (None, 2): ([10.0, 20.0], [3.5, 4.5]),  # birth-cell prev
+    (1, -1): ([-5.0], [2.0]),               # EXIT_CELL next, negative time
+    (1, 2): ([], []),
+}
+
+SNAPSHOTS = [
+    {
+        "prev": None,
+        "built_at": 120.0,
+        "per_next": {2: ([1.0, 2.0], [0.5, 1.0]), -1: ([], [])},
+        "union": ([1.0, 2.0, 3.0], [0.25, 0.5, 1.0]),
+    }
+]
+
+
+class TestCellBlob:
+    def test_round_trip_without_snapshots(self):
+        pairs, snapshots = unpack_cell_blob(pack_cell_blob(PAIRS))
+        assert pairs == PAIRS
+        assert snapshots is None
+
+    def test_round_trip_with_snapshots(self):
+        pairs, snapshots = unpack_cell_blob(pack_cell_blob(PAIRS, SNAPSHOTS))
+        assert pairs == PAIRS
+        assert snapshots == SNAPSHOTS
+
+    def test_empty_blob(self):
+        pairs, snapshots = unpack_cell_blob(pack_cell_blob({}))
+        assert pairs == {}
+        assert snapshots is None
+
+    def test_bad_magic(self):
+        data = b"XXXX" + pack_cell_blob({})[4:]
+        with pytest.raises(StateFormatError):
+            unpack_cell_blob(data)
+
+    def test_truncation_detected(self):
+        data = pack_cell_blob(PAIRS)
+        with pytest.raises(StateCorruptionError):
+            unpack_cell_blob(data[:-3])
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(StateCorruptionError):
+            unpack_cell_blob(pack_cell_blob(PAIRS) + b"\x00")
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(StateFormatError):
+            pack_cell_blob({(1, 2): ([1.0, 2.0], [1.0])})
+
+    def test_blob_name(self):
+        assert cell_blob_name(7) == "cells/cell_0007.bin"
+
+
+def make_state(tmp_path, schema_version=SCHEMA_VERSION):
+    blob = pack_cell_blob(PAIRS)
+    runtime = b'{"clock": 1.5}'
+    manifest = {
+        "format": "repro-state",
+        "schema_version": schema_version,
+        "clock": 1.5,
+        "files": [
+            {
+                "path": "runtime.json",
+                "bytes": len(runtime),
+                "crc32": crc32_of(runtime),
+            },
+            {
+                "path": cell_blob_name(0),
+                "bytes": len(blob),
+                "crc32": crc32_of(blob),
+            },
+        ],
+    }
+    path = tmp_path / "ckpt"
+    publish_state_dir(
+        path,
+        {
+            MANIFEST_NAME: json.dumps(manifest).encode(),
+            "runtime.json": runtime,
+            cell_blob_name(0): blob,
+        },
+    )
+    return path
+
+
+class TestContainer:
+    def test_publish_and_verify(self, tmp_path):
+        path = make_state(tmp_path)
+        manifest = load_manifest(path)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        rows = verify_state_dir(path)
+        assert [row["ok"] for row in rows] == [True, True]
+        assert read_entry(path, manifest["files"][0]) == b'{"clock": 1.5}'
+
+    def test_publish_replaces_existing(self, tmp_path):
+        path = make_state(tmp_path)
+        publish_state_dir(
+            path,
+            {
+                MANIFEST_NAME: json.dumps(
+                    {"format": "repro-state",
+                     "schema_version": SCHEMA_VERSION,
+                     "files": []}
+                ).encode()
+            },
+        )
+        assert load_manifest(path)["files"] == []
+        assert not (path / "runtime.json").exists()
+
+    def test_crc_flip_detected(self, tmp_path):
+        path = make_state(tmp_path)
+        blob_path = path / cell_blob_name(0)
+        data = bytearray(blob_path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        blob_path.write_bytes(bytes(data))
+        rows = verify_state_dir(path)
+        assert [row["ok"] for row in rows] == [True, False]
+        manifest = load_manifest(path)
+        with pytest.raises(StateCorruptionError):
+            read_entry(path, manifest["files"][1])
+
+    def test_size_change_detected(self, tmp_path):
+        path = make_state(tmp_path)
+        blob_path = path / cell_blob_name(0)
+        blob_path.write_bytes(blob_path.read_bytes() + b"\x00")
+        manifest = load_manifest(path)
+        with pytest.raises(StateCorruptionError):
+            read_entry(path, manifest["files"][1])
+
+    def test_schema_gate(self, tmp_path):
+        path = make_state(tmp_path, schema_version=99)
+        with pytest.raises(StateSchemaError, match="v99"):
+            load_manifest(path)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StateFormatError):
+            load_manifest(tmp_path / "nope")
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        target = tmp_path / "other"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        with pytest.raises(StateFormatError):
+            load_manifest(target)
