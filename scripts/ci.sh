@@ -9,6 +9,23 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== kernel matrix =="
+# All backends must be bit-identical, so the kernel-sensitive suites
+# re-run under each forced backend.  numba is optional: when absent
+# its leg is skipped with a notice (requesting it would error).
+KERNEL_TESTS="tests/properties/test_kernel_backend_parity.py \
+    tests/cellular/test_reservation_cache.py tests/estimation"
+for KERNEL in python numpy; do
+    echo "-- REPRO_KERNEL=$KERNEL --"
+    REPRO_KERNEL=$KERNEL PYTHONPATH=src python -m pytest -x -q $KERNEL_TESTS
+done
+if PYTHONPATH=src python -c "import numba" 2>/dev/null; then
+    echo "-- REPRO_KERNEL=numba --"
+    REPRO_KERNEL=numba PYTHONPATH=src python -m pytest -x -q $KERNEL_TESTS
+else
+    echo "-- numba not installed; skipping the numba kernel leg --"
+fi
+
 echo "== telemetry smoke =="
 PYTHONPATH=src python scripts/telemetry_smoke.py
 

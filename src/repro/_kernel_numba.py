@@ -1,0 +1,109 @@
+"""Jitted Eq. 4/5 flush kernels (the optional ``numba`` backend).
+
+Imported lazily by :mod:`repro._kernel` only when the ``numba`` kernel
+is explicitly selected — importing numba costs seconds and must never
+tax numpy/python runs.  The functions mirror the numpy flush-batch
+arithmetic *op for op* (same subtract / divide / clip / scale sequence
+on float64, no fastmath), so all three kernels produce bit-identical
+contributions; what changes is dispatch: one compiled call replaces a
+handful of numpy array ops per ``(block, request)`` part.
+
+``cache=True`` persists the compiled machine code next to the package,
+so only the very first run on a machine pays JIT compilation —
+:func:`warm` is invoked at kernel selection time so even that cost
+lands before the first simulated event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def searchsorted_right(sorted_values, queries):
+    """``np.searchsorted(sorted_values, queries, side="right")``."""
+    n = sorted_values.shape[0]
+    out = np.empty(queries.shape[0], dtype=np.int64)
+    for i in range(queries.shape[0]):
+        query = queries[i]
+        lo = 0
+        hi = n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sorted_values[mid] <= query:
+                lo = mid + 1
+            else:
+                hi = mid
+        out[i] = lo
+    return out
+
+
+@njit(cache=True)
+def unit_part_contributions(
+    idx_u,
+    union_len,
+    target_sojourns,
+    extants,
+    extants_high,
+    bases,
+    out,
+    offset,
+):
+    """Evaluate one ``(block, request)`` part of a coalesced flush.
+
+    Unit-weight masses only: the cumulative weight of the first ``k``
+    sojourns is exactly ``float(k)``, so both Eq. 4 masses are binary-
+    search counts.  Writes each row's Eq. 5 contribution into
+    ``out[offset + row]`` (0.0 when the row carries no mass).
+    """
+    m = target_sojourns.shape[0]
+    for i in range(extants.shape[0]):
+        extant = extants[i]
+        # bisect_right over the target sojourn column, twice.
+        lo = 0
+        hi = m
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if target_sojourns[mid] <= extant:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx_lo = lo
+        high_q = extants_high[i]
+        lo = idx_lo
+        hi = m
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if target_sojourns[mid] <= high_q:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx_hi = lo
+        den_count = union_len - idx_u[i]
+        num_count = idx_hi - idx_lo
+        if den_count > 0 and num_count > 0:
+            ratio = float(num_count) / float(den_count)
+            if ratio > 1.0:
+                ratio = 1.0
+            out[offset + i] = bases[i] * ratio
+        else:
+            out[offset + i] = 0.0
+
+
+def warm() -> None:
+    """Trigger (or load the cache of) every jitted kernel."""
+    sojourns = np.asarray([1.0, 2.0, 3.0], dtype=np.float64)
+    queries = np.asarray([0.5, 2.5], dtype=np.float64)
+    idx_u = searchsorted_right(sojourns, queries)
+    out = np.zeros(2, dtype=np.float64)
+    unit_part_contributions(
+        idx_u,
+        3,
+        sojourns,
+        queries,
+        queries + 1.0,
+        np.asarray([1.0, 1.0], dtype=np.float64),
+        out,
+        0,
+    )

@@ -128,7 +128,15 @@ def _reservation_update_station():
 
 
 def bench_reservation_update(duration: float) -> dict:
-    """Steady-state Eq. 6 update: 2 contributing neighbours, 80 conns each."""
+    """Cold Eq. 6 update: 2 contributing neighbours, 80 conns each.
+
+    Every call recomputes the full batched Eq. 5 evaluation — there is
+    no per-``(version, now)`` memo any more (retired: under the
+    coalesced tick every admission evaluates at a distinct ``now``, so
+    its hit rate was structurally zero).  Reported as
+    ``reservation_update_cold`` so ``--compare`` treats it as a new
+    bench rather than a regression of the old memo-warm number.
+    """
     station = _reservation_update_station()
     return _measure(
         lambda: station.update_target_reservation(100.0), duration
@@ -246,15 +254,18 @@ def bench_ac3_replicated(
     :func:`repro.simulation.replication.run_replicated` on the
     persistent warm pool.  Reports both wall clocks, the speedup, and
     whether the merged shard estimate lands inside the sequential CI.
-    The speedup is bounded by physical cores — ``cpu_count`` is recorded
-    so a 1-CPU CI box reading ~1x is interpretable.
+    The speedup is bounded by physical cores — ``cpu_count`` is
+    recorded, the default worker count is capped at it, and an
+    explicitly oversubscribed pool is annotated in the report so a
+    reader never mistakes scheduler thrash for sharding overhead.
     """
     from repro.analysis.stats import batch_means_from_hourly
     from repro.simulation.replication import run_replicated
     from repro.simulation.runner import shared_pool
 
+    cpu_count = os.cpu_count() or 1
     if workers is None:
-        workers = 2 if smoke else 8
+        workers = 2 if smoke else min(8, cpu_count)
     if replications is None:
         replications = 4 if smoke else 8
     batch = 100.0 if smoke else 200.0
@@ -286,20 +297,25 @@ def bench_ac3_replicated(
         ci_level=ci_level,
         pool=pool,
     )
-    deterministic = None
-    if smoke:
-        # Cheap enough in smoke mode: the merged metrics must not
-        # depend on how the shards were scheduled.
-        recheck = run_replicated(
-            config, replications=replications, ci_level=ci_level
-        )
-        deterministic = (
-            recheck.metrics_key() == replicated.metrics_key()
+    # The merged metrics must not depend on how the shards were
+    # scheduled across workers.  Always re-run and verify — a silent
+    # scheduling dependence would invalidate every replicated result —
+    # and fail the whole benchmark loudly on a mismatch instead of
+    # recording ``null``.
+    recheck = run_replicated(
+        config, replications=replications, ci_level=ci_level
+    )
+    deterministic = recheck.metrics_key() == replicated.metrics_key()
+    if not deterministic:
+        raise RuntimeError(
+            "replicated merge is not deterministic: two runs of the"
+            " same sharded scenario produced different merged metrics"
         )
     return {
         "workers": workers,
         "replications": replications,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "oversubscribed": workers > cpu_count,
         "measured_seconds": config.duration - config.warmup,
         "sequential": {
             "wall_seconds": sequential.wall_seconds,
@@ -418,9 +434,23 @@ def bench_ac3_telemetry(smoke: bool) -> dict:
     snapshot = CellularSimulator(config).run().telemetry
     counters = snapshot["counters"]
     return {
-        "eq5_memo_hit_rate": _rate(
-            counters.get('cellular.eq5_memo{outcome="hit"}', 0),
-            counters.get('cellular.eq5_memo{outcome="miss"}', 0),
+        # The Eq. 5 contribution memo was removed (structurally-0% hit
+        # rate under the coalesced tick); the field stays as an explicit
+        # resolution marker so old reports' ``eq5_memo_hit_rate`` reads
+        # as retired rather than silently vanished.
+        "eq5_memo": "retired",
+        # Fraction of Eq. 4 *rows* (per-connection evaluations) served
+        # by the vectorized kernel — the row-weighted version of the
+        # batch fraction, and the number the grouped flush moves.
+        "eq4_numpy_row_fraction": _rate(
+            counters.get('estimation.eq4_rows{kernel="numpy"}', 0),
+            counters.get('estimation.eq4_rows{kernel="python"}', 0),
+        ),
+        # Fraction of tick-flush suppliers evaluated through the
+        # cross-cell grouped batch (vs the per-supplier fallback).
+        "tick_grouped_fraction": _rate(
+            counters.get('cellular.tick_suppliers{path="grouped"}', 0),
+            counters.get('cellular.tick_suppliers{path="fallback"}', 0),
         ),
         "eq4_numpy_batch_fraction": _rate(
             counters.get('estimation.eq4_batches{kernel="numpy"}', 0),
@@ -456,7 +486,7 @@ def run_benchmarks(
         "kernel": kernel_name(),
         "micro_seconds_per_bench": duration,
         "micro": {
-            "reservation_update": bench_reservation_update(duration),
+            "reservation_update_cold": bench_reservation_update(duration),
             "handoff_probability": bench_handoff_probability(duration),
             "handoff_probability_scalar": bench_handoff_probability_scalar(
                 duration
@@ -490,6 +520,21 @@ def _throughputs(report: dict) -> dict[str, float]:
     return flat
 
 
+#: Telemetry fractions (0..1) gated by ``--compare`` alongside the
+#: throughputs: a drop of more than the threshold (absolute) means the
+#: fast path stopped covering the work it used to cover.
+_TRACKED_FRACTIONS = ("eq4_numpy_row_fraction", "tick_grouped_fraction")
+
+
+def _fractions(report: dict) -> dict[str, float]:
+    telemetry = report.get("telemetry", {})
+    return {
+        name: telemetry[name]
+        for name in _TRACKED_FRACTIONS
+        if isinstance(telemetry.get(name), (int, float))
+    }
+
+
 def compare_reports(
     baseline: dict, current: dict, threshold: float
 ) -> list[str]:
@@ -498,7 +543,9 @@ def compare_reports(
     A bench regresses when its throughput falls below
     ``baseline * (1 - threshold)``.  Benches present in only one report
     are listed but never counted as regressions (the harness itself
-    evolves — e.g. ``handoff_probability`` became batched).
+    evolves — e.g. ``handoff_probability`` became batched).  Tracked
+    telemetry fractions regress on an *absolute* drop larger than the
+    threshold (they are already normalized to [0, 1]).
     """
     base = _throughputs(baseline)
     now = _throughputs(current)
@@ -519,6 +566,25 @@ def compare_reports(
         print(
             f"{name:<28} {base[name]:>14,.0f} {now[name]:>14,.0f}"
             f" {speedup:>7.2f}x{flag}"
+        )
+    base_fractions = _fractions(baseline)
+    now_fractions = _fractions(current)
+    for name in sorted(base_fractions.keys() | now_fractions.keys()):
+        if name not in base_fractions:
+            print(f"{name:<28} {'-':>14} {now_fractions[name]:>13.1%} "
+                  f"{'new':>8}")
+            continue
+        if name not in now_fractions:
+            print(f"{name:<28} {base_fractions[name]:>13.1%} {'-':>14} "
+                  f"{'gone':>8}")
+            continue
+        flag = ""
+        if now_fractions[name] < base_fractions[name] - threshold:
+            regressions.append(name)
+            flag = "  ** REGRESSION"
+        print(
+            f"{name:<28} {base_fractions[name]:>13.1%} "
+            f"{now_fractions[name]:>13.1%}{flag}"
         )
     return regressions
 
@@ -565,9 +631,9 @@ def _print_report(report: dict, output: Path) -> None:
         print(
             "telemetry (instrumented run):"
             f" snapshot_hit={telemetry['snapshot_hit_rate']:.1%}"
-            f" eq5_memo_hit={telemetry['eq5_memo_hit_rate']:.1%}"
             f" pool_hit={telemetry['event_pool_hit_rate']:.1%}"
-            f" eq4_numpy={telemetry['eq4_numpy_batch_fraction']:.1%}"
+            f" eq4_numpy_rows={telemetry['eq4_numpy_row_fraction']:.1%}"
+            f" tick_grouped={telemetry['tick_grouped_fraction']:.1%}"
         )
     print(f"wrote {output}")
 

@@ -41,15 +41,24 @@ class ReservationGroup:
     (synthetic populations) fall back to an insort.
     """
 
-    __slots__ = ("keys", "entries", "bases", "_arrays", "rebuilds")
+    __slots__ = ("keys", "entries", "bases", "seqs", "_arrays", "_seq_array",
+                 "rebuilds")
 
     def __init__(self) -> None:
         self.keys: list[int] = []
         self.entries: list[float] = []
         self.bases: list[float] = []
+        #: Cell-wide attach sequence numbers (see :attr:`Cell.attach`):
+        #: ``argsort`` over the concatenated ``seqs`` of all buckets
+        #: reproduces the cell's connection-iteration order, which is
+        #: what lets the grouped flush build its summation permutation
+        #: with one array op instead of a per-connection Python walk.
+        self.seqs: list[int] = []
         #: Cached ``(entries, bases)`` ndarray pair (see :meth:`arrays`);
         #: invalidated by every mutation.
         self._arrays = None
+        #: Cached ``seqs`` ndarray, invalidated alongside :attr:`_arrays`.
+        self._seq_array = None
         #: Times the ndarray cache was rebuilt (a telemetry observable:
         #: rebuilds / queries is the group-level cache miss rate).
         self.rebuilds = 0
@@ -57,18 +66,23 @@ class ReservationGroup:
     def __len__(self) -> int:
         return len(self.keys)
 
-    def add(self, key: int, entry_time: float, basis: float) -> None:
+    def add(
+        self, key: int, entry_time: float, basis: float, seq: int = 0
+    ) -> None:
         self._arrays = None
+        self._seq_array = None
         entries = self.entries
         if not entries or entry_time >= entries[-1]:
             self.keys.append(key)
             entries.append(entry_time)
             self.bases.append(basis)
+            self.seqs.append(seq)
             return
         index = bisect_right(entries, entry_time)
         self.keys.insert(index, key)
         entries.insert(index, entry_time)
         self.bases.insert(index, basis)
+        self.seqs.insert(index, seq)
 
     def remove(self, key: int, entry_time: float) -> bool:
         """Drop one connection located via its (exact) entry time."""
@@ -79,9 +93,11 @@ class ReservationGroup:
         while index < count and entries[index] == entry_time:
             if keys[index] == key:
                 self._arrays = None
+                self._seq_array = None
                 del keys[index]
                 del entries[index]
                 del self.bases[index]
+                del self.seqs[index]
                 return True
             index += 1
         return False
@@ -93,9 +109,11 @@ class ReservationGroup:
         except ValueError:
             return False
         self._arrays = None
+        self._seq_array = None
         del self.keys[index]
         del self.entries[index]
         del self.bases[index]
+        del self.seqs[index]
         return True
 
     def arrays(self, np):
@@ -112,6 +130,13 @@ class ReservationGroup:
                 np.asarray(self.entries, dtype=np.float64),
                 np.asarray(self.bases, dtype=np.float64),
             )
+        return cached
+
+    def seq_array(self, np):
+        """Cached int64 ndarray of the attach sequence numbers."""
+        cached = self._seq_array
+        if cached is None:
+            cached = self._seq_array = np.asarray(self.seqs, dtype=np.int64)
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -166,6 +191,10 @@ class Cell:
         #: ndarray-cache rebuilds of buckets already emptied and dropped
         #: (so :attr:`group_rebuilds` survives bucket turnover).
         self._retired_rebuilds = 0
+        #: Monotone attach counter.  ``dict`` preserves insertion order
+        #: and re-attaches get a fresh (higher) number, so ascending
+        #: sequence == the iteration order of :meth:`connections`.
+        self._attach_seq = 0
 
     # ------------------------------------------------------------------
     # capacity queries
@@ -267,7 +296,9 @@ class Cell:
             connection.connection_id,
             getattr(connection, "cell_entry_time", 0.0),
             getattr(connection, "reservation_basis", connection.bandwidth),
+            self._attach_seq,
         )
+        self._attach_seq += 1
         self.version += 1
 
     def detach(self, connection: "Connection") -> None:

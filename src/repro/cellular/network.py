@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from repro._kernel import flush_batch_or_none
 from repro.cellular.base_station import BaseStation
 from repro.core.reservation import aggregate_reservation
 from repro.cellular.cell import Cell
@@ -30,14 +31,22 @@ class CellularNetwork:
     estimator_factory:
         Override to plug a custom estimator (e.g. ``KnownPathEstimator``).
     reservation_cache:
-        Whether base stations memoize their Eq. 5 contributions (see
-        :meth:`repro.cellular.base_station.BaseStation.outgoing_reservation`).
+        Whether base stations evaluate Eq. 5 over their incremental
+        columnar buckets (see
+        :meth:`repro.cellular.base_station.BaseStation.outgoing_reservation`);
+        disabling forces the naive per-connection rescan.
     coalesced_tick:
         Whether admission policies may coalesce the reservation updates
         of one admission test into a single batched estimation tick
         (see :meth:`flush_reservation_tick`).  Off by default so direct
         constructions behave exactly as before; the simulator turns it
         on via :attr:`repro.simulation.config.SimulationConfig.coalesced_tick`.
+    grouped_flush:
+        Whether a tick flush may gather the Eq. 4/5 rows of *all*
+        suppliers into one cross-cell batch
+        (:class:`repro._kernel.FlushBatch`) instead of evaluating each
+        supplier separately.  Pure optimisation — bit-identical either
+        way; the switch keeps the equivalence testable.
     """
 
     def __init__(
@@ -50,15 +59,26 @@ class CellularNetwork:
         handoff_overload: float = 1.0,
         reservation_cache: bool = True,
         coalesced_tick: bool = False,
+        grouped_flush: bool = True,
     ) -> None:
         self.topology = topology
         self.coalesced_tick = coalesced_tick
+        self.grouped_flush = grouped_flush
         #: Cells whose ``B_r`` must be refreshed at the next tick flush.
         self._reservation_dirty: list[int] = []
         #: Tick flushes performed / targets refreshed across them
         #: (telemetry: targets-per-flush is the coalescing win).
         self.tick_flushes = 0
         self.tick_targets = 0
+        #: Suppliers evaluated through the cross-cell batch vs through
+        #: the per-supplier fallback, across all tick flushes.
+        self.tick_grouped_suppliers = 0
+        self.tick_fallback_suppliers = 0
+        #: Running inter-BS message total (kept in sync with the
+        #: per-station ``messages_sent`` counters via
+        #: :meth:`count_messages`, so the per-admission message deltas
+        #: need no sweep over all stations).
+        self._messages_total = 0
         self.cells: list[Cell] = []
         self.stations: list[BaseStation] = []
         for cell_id in range(topology.num_cells):
@@ -122,11 +142,16 @@ class CellularNetwork:
         the Eq. 5 inputs (connection sets, ``T_est``, estimator state)
         are frozen — installing one target's ``reserved_target`` cannot
         change another's contributions.  The batching win is on the
-        supplier side: each supplier evaluates all of its pending
-        targets through one
+        supplier side, at two levels: each supplier evaluates all of
+        its pending targets at once, and — under an array kernel with
+        :attr:`grouped_flush` on — the rows of *every* supplier are
+        gathered into one cross-cell :class:`repro._kernel.FlushBatch`
+        whose searches and arithmetic run as a single columnar pass.
+        Suppliers that cannot join the batch (non-unit-weight
+        snapshots, route oracles, duck-typed estimators, disabled
+        batching) fall back to
         :meth:`~repro.cellular.base_station.BaseStation.outgoing_reservation_multi`
-        call, so its ``prev``-buckets are walked once and the Eq. 4
-        kernel sees one large batch instead of one batch per target.
+        supplier-locally; mixing the paths never changes a result.
         """
         dirty = self._reservation_dirty
         if not dirty:
@@ -137,6 +162,7 @@ class CellularNetwork:
         # bucket the Eq. 5 requests by supplier.
         plan: list[tuple[BaseStation, list[BaseStation]]] = []
         requests: dict[int, list[tuple[int, float]]] = {}
+        message_pairs = 0
         for cell_id in dirty:
             station = self.stations[cell_id]
             neighbors = station.neighbor_stations()
@@ -147,15 +173,52 @@ class CellularNetwork:
                     (cell_id, station.t_est)
                 )
                 neighbor.messages_sent += 1  # neighbour returns B_{i,0}
-        # Supply phase: one batched call per supplier.
-        supplies: dict[int, Iterator[float]] = {
-            supplier_id: iter(
-                self.stations[supplier_id].outgoing_reservation_multi(
-                    now, pending
+                message_pairs += 1
+        self._messages_total += 2 * message_pairs
+        # Supply phase: one cross-cell batch, with per-supplier batched
+        # calls as the fallback.
+        supplies: dict[int, Iterator[float]] = {}
+        batch = flush_batch_or_none() if self.grouped_flush else None
+        if batch is not None:
+            np = batch.np
+            deferred: list[tuple[int, list]] = []
+            for supplier_id, pending in requests.items():
+                supplier = self.stations[supplier_id]
+                slots = supplier.grouped_contribution_eval(
+                    np, now, pending, batch
                 )
-            )
-            for supplier_id, pending in requests.items()
-        }
+                if slots is None:
+                    self.tick_fallback_suppliers += 1
+                    supplies[supplier_id] = iter(
+                        supplier.outgoing_reservation_multi(now, pending)
+                    )
+                else:
+                    self.tick_grouped_suppliers += 1
+                    deferred.append((supplier_id, slots))
+            if deferred:
+                batch.resolve()
+                for supplier_id, slots in deferred:
+                    supplies[supplier_id] = iter(
+                        [
+                            0.0
+                            if slot is None
+                            else (
+                                slot
+                                if type(slot) is float
+                                else slot.total
+                            )
+                            for slot in slots
+                        ]
+                    )
+        else:
+            supplies = {
+                supplier_id: iter(
+                    self.stations[supplier_id].outgoing_reservation_multi(
+                        now, pending
+                    )
+                )
+                for supplier_id, pending in requests.items()
+            }
         # Install phase: re-assemble each target's contributions in the
         # neighbour order the sequential path would have used.
         for station, neighbors in plan:
@@ -173,9 +236,21 @@ class CellularNetwork:
         """Bandwidth in use across the whole network (BUs)."""
         return sum(cell.used_bandwidth for cell in self.cells)
 
+    def count_messages(self, count: int) -> None:
+        """Note inter-BS messages just added to a station's counter."""
+        self._messages_total += count
+
     def total_messages(self) -> int:
-        """Inter-BS messages sent by all stations so far."""
-        return sum(station.messages_sent for station in self.stations)
+        """Inter-BS messages sent by all stations so far (O(1))."""
+        return self._messages_total
+
+    def recount_messages(self) -> int:
+        """Rebuild the running message total from the per-station
+        counters (used after checkpoint restore overwrites them)."""
+        self._messages_total = sum(
+            station.messages_sent for station in self.stations
+        )
+        return self._messages_total
 
     def total_reservation_calculations(self) -> int:
         """``B_r`` (Eq. 6) computations performed by all stations so far."""

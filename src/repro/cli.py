@@ -197,9 +197,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="FACTOR",
                         help="CDMA soft-capacity hand-off margin (§7)")
     parser.add_argument("--kernel", default="auto",
-                        choices=["auto", "numpy", "python"],
-                        help="estimation kernel: numpy-batched or pure"
-                        " python (auto picks numpy when installed)")
+                        choices=["auto", "numpy", "python", "numba"],
+                        help="estimation kernel: numpy-batched, jitted"
+                        " numba flush kernels ([fastest] extra, explicit"
+                        " opt-in), or pure python; auto picks numpy when"
+                        " installed, all produce bit-identical metrics")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -252,15 +254,15 @@ def _export_telemetry(snapshot, args: argparse.Namespace) -> None:
     gauges = snapshot.get("gauges", {})
     events = counters.get("des.events_fired", 0)
     rate = gauges.get("des.events_per_sec", 0.0)
-    eq5_hits = counters.get('cellular.eq5_memo{outcome="hit"}', 0)
-    eq5_misses = counters.get('cellular.eq5_memo{outcome="miss"}', 0)
-    eq5_total = eq5_hits + eq5_misses
+    vector_rows = counters.get('estimation.eq4_rows{kernel="numpy"}', 0)
+    scalar_rows = counters.get('estimation.eq4_rows{kernel="python"}', 0)
+    row_total = vector_rows + scalar_rows
     print()
     print(f"telemetry: run_id={snapshot.get('run_id', '')}")
     print(f"  events fired: {events:,.0f} ({rate:,.0f} events/s)")
-    if eq5_total:
-        print(f"  Eq.5 memo hit rate: {eq5_hits / eq5_total:.1%}"
-              f" ({eq5_total:,.0f} lookups)")
+    if row_total:
+        print(f"  Eq.4 vectorized rows: {vector_rows / row_total:.1%}"
+              f" ({row_total:,.0f} rows)")
 
 
 def _build_config(args: argparse.Namespace, load: float | None = None):

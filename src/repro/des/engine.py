@@ -255,37 +255,64 @@ class Engine:
         self._stopped = False
         fired = 0
         next_beat = heartbeat_events if heartbeat is not None else None
+        heappop = heapq.heappop
+        recycle = self._recycle
         try:
             # Inlined peek()+step(): one heap access per event instead of
-            # a peek/pop pair.  ``self._queue`` must be re-read every
-            # iteration — firing an event can cancel others and trigger a
-            # compaction, which REBINDS the queue to a new list.
+            # a peek/pop pair.  ``self._queue`` must be re-read after
+            # every fire — firing an event can cancel others and trigger
+            # a compaction, which REBINDS the queue to a new list.
+            #
+            # Events are dispatched in same-timestamp *runs*: the outer
+            # loop advances the clock and checks the horizon once per
+            # distinct timestamp, the inner loop then drains every live
+            # event at exactly that time (coalesced admission tests
+            # schedule bursts of equal-time events, so runs of 2+ are
+            # the common case, not the exception).  Events scheduled
+            # *during* the run at the same time join it — the inner
+            # loop re-reads the heap head after each fire, preserving
+            # the exact one-at-a-time firing order.
             while not self._stopped:
                 queue = self._queue
                 while queue and queue[0].cancelled:
-                    heapq.heappop(queue)
+                    heappop(queue)
                     self._cancelled_pending -= 1
                 if not queue:
                     break
                 head = queue[0]
-                if until is not None and head.time > until:
+                time = head.time
+                if until is not None and time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                if head.time < self._now:
+                if time < self._now:
                     raise SimulationError(
                         "event queue corrupted: time went backwards"
                     )
-                heapq.heappop(queue)
-                head._cancel_hook = None
-                self._now = head.time
-                self.events_processed += 1
-                head.fire()
-                self._recycle(head)
-                fired += 1
-                if next_beat is not None and fired >= next_beat:
-                    heartbeat()
-                    next_beat = fired + heartbeat_events
+                self._now = time
+                while True:
+                    heappop(queue)
+                    head._cancel_hook = None
+                    self.events_processed += 1
+                    head.fire()
+                    recycle(head)
+                    fired += 1
+                    if next_beat is not None and fired >= next_beat:
+                        heartbeat()
+                        next_beat = fired + heartbeat_events
+                    if self._stopped:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
+                    queue = self._queue
+                    while queue and queue[0].cancelled:
+                        heappop(queue)
+                        self._cancelled_pending -= 1
+                    if not queue:
+                        break
+                    head = queue[0]
+                    if head.time != time:
+                        break
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

@@ -398,6 +398,88 @@ class MobilityEstimator:
             totals.append(total)
         return totals
 
+    def grouped_flush_parts(
+        self,
+        np,
+        now: float,
+        requests: Sequence[tuple[int, float]],
+        plan,
+        batch,
+    ):
+        """Register this station's Eq. 5 work into a cross-cell flush.
+
+        ``plan`` is the supplier's cached flush plan
+        (:meth:`repro.cellular.base_station.BaseStation.grouped_flush_plan`):
+        concatenated entry-time/basis columns, one slice per ``prev``
+        block, and the row permutation that restores connection
+        iteration order.  ``batch`` is the tick-wide
+        :class:`repro._kernel.FlushBatch`; this method only runs the
+        per-block binary searches and registers the parts — the single
+        flush-level arithmetic pass happens in ``batch.resolve()``.
+
+        Returns one :class:`repro._kernel.FlushSegment` (or ``None``
+        for ``t_est <= 0``) per request; each segment's ``total`` is
+        bit-identical to the matching :meth:`expected_bandwidth_multi`
+        element.  Returns ``None`` when any needed snapshot is not
+        unit-weight (finite ``T_int`` / non-unit day weights) — the
+        caller then falls back to the per-supplier path.
+        """
+        entries_cat, bases_cat, blocks, perm, n_rows = plan
+        function_for = self.function_for
+        snapshots = []
+        for prev, _start, _end in blocks:
+            snapshot = function_for(now, prev)
+            if not snapshot.is_empty and not snapshot.is_unit_weight:
+                return None
+            snapshots.append(snapshot)
+        extants = now - entries_cat
+        new_segment = batch.new_segment
+        segments = [
+            new_segment(n_rows, perm) if t_est > 0 else None
+            for _target_cell, t_est in requests
+        ]
+        n_requests = len(requests)
+        highs: list = [None] * n_requests
+        count_dispatch = self._count_dispatch
+        union_indices = batch.union_indices
+        add_part = batch.add_part
+        for snapshot, (prev, start, end) in zip(snapshots, blocks):
+            if snapshot.is_empty:
+                continue
+            # The whole block evaluates in the flush-level vectorized
+            # pass regardless of its own size — that is the point of
+            # gathering rows across suppliers.
+            count_dispatch(True, (end - start) * n_requests)
+            block_extants = extants[start:end]
+            union_sojourns = None
+            idx_u = None
+            for index, (target_cell, t_est) in enumerate(requests):
+                segment = segments[index]
+                if segment is None:
+                    continue
+                target_sojourns = snapshot.target_sojourn_array(
+                    np, target_cell
+                )
+                if target_sojourns is None:
+                    continue
+                if union_sojourns is None:
+                    union_sojourns = snapshot.union_sojourn_array(np)
+                    idx_u = union_indices(union_sojourns, block_extants)
+                high = highs[index]
+                if high is None:
+                    high = highs[index] = extants + t_est
+                add_part(
+                    segment,
+                    start,
+                    idx_u,
+                    len(union_sojourns),
+                    target_sojourns,
+                    block_extants,
+                    high[start:end],
+                    bases_cat[start:end],
+                )
+        return segments
+
     def is_stationary(
         self, now: float, prev: int | None, extant_sojourn: float
     ) -> bool:
@@ -519,6 +601,21 @@ class KnownPathEstimator(MobilityEstimator):
             self.expected_bandwidth(now, connections, target_cell, t_est)
             for target_cell, t_est in requests
         ]
+
+    def grouped_flush_parts(
+        self,
+        np,
+        now: float,
+        requests: Sequence[tuple[int, float]],
+        plan,
+        batch,
+    ):
+        """Route-aware Eq. 5 consults the oracle per connection, so the
+        cross-cell flush does not apply; ``None`` sends the caller to
+        :meth:`expected_bandwidth_multi` (which routes correctly)."""
+        if self.route_oracle is not None:
+            return None
+        return super().grouped_flush_parts(np, now, requests, plan, batch)
 
     def handoff_probability_known_next(
         self,

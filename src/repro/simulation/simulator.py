@@ -105,6 +105,14 @@ class CellularSimulator:
         set_run_id(self.run_id)
         self.engine = Engine()
         self.streams = RandomStreams(config.seed)
+        # Hot-path stream handles, resolved once: checkpoint restore
+        # mutates these Random objects in place (``setstate``), so the
+        # cached references stay valid across save/resume.
+        self._arrival_rng = self.streams.get("arrivals")
+        self._traffic_rng = self.streams.get("traffic")
+        self._mobility_rng = self.streams.get("mobility")
+        self._lifetime_rng = self.streams.get("lifetimes")
+        self._retry_rng = self.streams.get("retries")
         if config.adaptive_qos:
             self.mix = TrafficMix(
                 config.voice_ratio, video_class=ADAPTIVE_VIDEO
@@ -135,6 +143,7 @@ class CellularSimulator:
             handoff_overload=config.handoff_overload,
             reservation_cache=config.reservation_cache,
             coalesced_tick=config.coalesced_tick,
+            grouped_flush=config.grouped_flush,
         )
         if config.warm_state is not None:
             # Replication shards start from a shared warm-up's estimator
@@ -227,7 +236,7 @@ class CellularSimulator:
             raise RuntimeError("simulator instances are single-use")
         started = wall_clock.perf_counter()
         if not self._resumed:
-            arrival_rng = self.streams.get("arrivals")
+            arrival_rng = self._arrival_rng
             for cell_id in range(self.topology.num_cells):
                 first = self.arrivals.next_arrival(0.0, arrival_rng)
                 if first is not None:
@@ -279,7 +288,7 @@ class CellularSimulator:
     # ------------------------------------------------------------------
     def _on_arrival(self, cell_id: int, attempt: int) -> None:
         now = self.engine.now
-        arrival_rng = self.streams.get("arrivals")
+        arrival_rng = self._arrival_rng
         if attempt == 1:
             # Schedule the next fresh request of this cell's Poisson
             # process (retries are extra events, not process renewals).
@@ -308,9 +317,7 @@ class CellularSimulator:
 
     def _handle_request(self, cell_id: int, attempt: int) -> None:
         now = self.engine.now
-        traffic_rng = self.streams.get("traffic")
-        mobility_rng = self.streams.get("mobility")
-        traffic_class = self.mix.sample(traffic_rng)
+        traffic_class = self.mix.sample(self._traffic_rng)
         decision = self.policy.admit_new(
             self.network, cell_id, traffic_class.bandwidth, now
         )
@@ -320,7 +327,7 @@ class CellularSimulator:
         admitted = decision.admitted
         connection = None
         if admitted:
-            mobile = self.mobility.spawn(cell_id, now, mobility_rng)
+            mobile = self.mobility.spawn(cell_id, now, self._mobility_rng)
             connection = Connection(
                 traffic_class,
                 start_time=now,
@@ -336,8 +343,7 @@ class CellularSimulator:
                 admitted = False
         self.metrics.record_request(cell_id, now, blocked=not admitted)
         if not admitted:
-            retry_rng = self.streams.get("retries")
-            if self.retry.should_retry(attempt, retry_rng):
+            if self.retry.should_retry(attempt, self._retry_rng):
                 self.engine.call_in(
                     self.retry.delay,
                     self._handle_request,
@@ -349,8 +355,9 @@ class CellularSimulator:
         self.network.cell(cell_id).attach(connection)
         self.extensions.on_admitted(connection, now)
         self.active_connections[connection.connection_id] = connection
-        lifetime_rng = self.streams.get("lifetimes")
-        lifetime = lifetime_rng.expovariate(1.0 / self.config.mean_lifetime)
+        lifetime = self._lifetime_rng.expovariate(
+            1.0 / self.config.mean_lifetime
+        )
         self._end_events[connection.connection_id] = self.engine.call_in(
             lifetime,
             self._on_lifetime_end,
@@ -364,7 +371,7 @@ class CellularSimulator:
         if mobile is None or not mobile.is_moving:
             return
         transition = self.mobility.next_transition(
-            mobile, self.engine.now, self.streams.get("mobility")
+            mobile, self.engine.now, self._mobility_rng
         )
         if transition is None:
             return
@@ -572,13 +579,11 @@ class CellularSimulator:
             metrics.total_admission_tests
         )
 
-        eq5_hits = eq5_misses = messages = updates = rebuilds = 0
+        messages = updates = rebuilds = 0
         steps_up = steps_down = window_handoffs = window_drops = 0
         snap_hits = snap_builds = snap_invalidations = 0
         vector_batches = scalar_batches = vector_rows = scalar_rows = 0
         for station in self.network.stations:
-            eq5_hits += station.contribution_cache_hits
-            eq5_misses += station.contribution_cache_misses
             messages += station.messages_sent
             updates += station.reservation_calculations
             rebuilds += station.cell.group_rebuilds
@@ -605,8 +610,6 @@ class CellularSimulator:
             scalar_batches += getattr(estimator, "eq4_scalar_batches", 0)
             vector_rows += getattr(estimator, "eq4_vector_rows", 0)
             scalar_rows += getattr(estimator, "eq4_scalar_rows", 0)
-        tel.counter("cellular.eq5_memo", outcome="hit").inc(eq5_hits)
-        tel.counter("cellular.eq5_memo", outcome="miss").inc(eq5_misses)
         tel.counter("cellular.messages_sent").inc(messages)
         tel.counter("cellular.reservation_updates").inc(updates)
         tel.counter("cellular.tick_flushes").inc(
@@ -614,6 +617,12 @@ class CellularSimulator:
         )
         tel.counter("cellular.tick_targets").inc(
             getattr(self.network, "tick_targets", 0)
+        )
+        tel.counter("cellular.tick_suppliers", path="grouped").inc(
+            getattr(self.network, "tick_grouped_suppliers", 0)
+        )
+        tel.counter("cellular.tick_suppliers", path="fallback").inc(
+            getattr(self.network, "tick_fallback_suppliers", 0)
         )
         tel.counter("cellular.group_rebuilds").inc(rebuilds)
         tel.counter("window.t_est_steps", direction="up").inc(steps_up)

@@ -437,8 +437,6 @@ def capture_state(sim: "CellularSimulator") -> dict[str, bytes]:
             {
                 "reservation_calculations": station.reservation_calculations,
                 "messages_sent": station.messages_sent,
-                "eq5_hits": station.contribution_cache_hits,
-                "eq5_misses": station.contribution_cache_misses,
                 "window": _capture_window(station.window),
                 "estimator": _capture_estimator(station.estimator),
             }
@@ -447,6 +445,8 @@ def capture_state(sim: "CellularSimulator") -> dict[str, bytes]:
         "network": {
             "tick_flushes": sim.network.tick_flushes,
             "tick_targets": sim.network.tick_targets,
+            "tick_grouped_suppliers": sim.network.tick_grouped_suppliers,
+            "tick_fallback_suppliers": sim.network.tick_fallback_suppliers,
         },
         "metrics": _capture_metrics(sim.metrics),
         "queue": _capture_queue(sim),
@@ -836,11 +836,10 @@ def restore_simulator(path: str | Path, config) -> "CellularSimulator":
             "reservation_calculations"
         ]
         station.messages_sent = saved_station["messages_sent"]
-        station.contribution_cache_hits = saved_station["eq5_hits"]
-        station.contribution_cache_misses = saved_station["eq5_misses"]
-        # The Eq. 6 memo is derived state: entries are keyed by
-        # (now, t_est, versions) and rebuilt on miss with identical
-        # values, so dropping it cannot change any decision.
+        # (Older checkpoints also carry eq5_hits/eq5_misses from the
+        # retired Eq. 5 memo; the counters no longer exist, so the
+        # fields are simply ignored.)
+    sim.network.recount_messages()
     for cell_id, member_ids in enumerate(runtime["cell_members"]):
         cell = sim.network.cell(cell_id)
         for connection_id in member_ids:
@@ -855,8 +854,15 @@ def restore_simulator(path: str | Path, config) -> "CellularSimulator":
         cell._retired_rebuilds = saved_cell["rebuilds"] - sum(
             group.rebuilds for group in cell._by_prev.values()
         )
-    sim.network.tick_flushes = runtime["network"]["tick_flushes"]
-    sim.network.tick_targets = runtime["network"]["tick_targets"]
+    saved_network = runtime["network"]
+    sim.network.tick_flushes = saved_network["tick_flushes"]
+    sim.network.tick_targets = saved_network["tick_targets"]
+    sim.network.tick_grouped_suppliers = saved_network.get(
+        "tick_grouped_suppliers", 0
+    )
+    sim.network.tick_fallback_suppliers = saved_network.get(
+        "tick_fallback_suppliers", 0
+    )
     _restore_metrics(sim.metrics, runtime["metrics"])
     sim.active_connections = {
         record["id"]: connections[record["id"]]

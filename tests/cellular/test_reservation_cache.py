@@ -1,15 +1,21 @@
-"""The base station's incremental Eq. 5 memo: hits, invalidation, equality.
+"""The base station's batched Eq. 5 paths: equality with the naive scan.
 
-The contract under test: caching is a pure optimisation.  Whatever the
-history of attaches, detaches, window changes and new quadruplets, a
-cached station returns bit-identical reservations to an uncached one —
-the cache may only skip work when nothing that feeds Eq. 5 has changed.
+The contract under test: the columnar batched evaluation, the coalesced
+estimation tick, and the cross-cell grouped flush are pure
+optimisations.  Whatever the history of attaches, detaches, window
+changes and new quadruplets, a batched station returns bit-identical
+reservations to a naive one — and the message / N_calc accounting is
+identical too.  (The per-``(version, now, target, t_est)`` contribution
+memo that used to live here was retired: under the coalesced tick every
+admission evaluates at a distinct ``now``, so its hit rate was
+structurally zero — see DESIGN.md §4.)
 """
 
 import random
 
 import pytest
 
+from repro._kernel import flush_batch_or_none, numpy_or_none
 from repro.cellular.network import CellularNetwork
 from repro.cellular.topology import LinearTopology
 from repro.estimation.cache import CacheConfig
@@ -17,11 +23,14 @@ from repro.traffic.classes import VOICE
 from repro.traffic.connection import Connection
 
 
-def build_network(reservation_cache=True, seed=1, interval=None):
+def build_network(
+    reservation_cache=True, seed=1, interval=None, grouped_flush=True
+):
     network = CellularNetwork(
         LinearTopology(10),
         cache_config=CacheConfig(interval=interval),
         reservation_cache=reservation_cache,
+        grouped_flush=grouped_flush,
     )
     rng = random.Random(seed)
     for neighbor in (1, 9):
@@ -41,103 +50,106 @@ def build_network(reservation_cache=True, seed=1, interval=None):
     return network
 
 
-class TestMemoBehaviour:
-    def test_repeated_update_hits_the_cache(self):
-        network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        first = target.update_target_reservation(100.0)
-        misses = neighbor.contribution_cache_misses
-        assert neighbor.contribution_cache_hits == 0
-        second = target.update_target_reservation(100.0)
-        assert second == first
-        assert neighbor.contribution_cache_hits > 0
-        assert neighbor.contribution_cache_misses == misses
+class TestBatchedEquivalence:
+    def test_batched_matches_naive(self):
+        batched = build_network(reservation_cache=True)
+        naive = build_network(reservation_cache=False)
+        assert (
+            batched.station(0).update_target_reservation(100.0)
+            == naive.station(0).update_target_reservation(100.0)
+        )
 
-    def test_attach_forces_recompute(self):
+    def test_messages_and_calculations_counted_identically(self):
+        batched = build_network(reservation_cache=True)
+        naive = build_network(reservation_cache=False)
+        for network in (batched, naive):
+            network.station(0).update_target_reservation(100.0)
+            network.station(0).update_target_reservation(100.0)
+        assert batched.total_messages() == naive.total_messages()
+        assert (
+            batched.total_reservation_calculations()
+            == naive.total_reservation_calculations()
+        )
+
+    def test_message_total_matches_station_sweep(self):
+        # total_messages() is maintained O(1) via count_messages();
+        # it must always equal the sum of per-station counters.
         network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        target.update_target_reservation(100.0)
+        network.station(0).update_target_reservation(100.0)
+        network.station(5).update_target_reservation(101.0)
+        assert network.total_messages() == sum(
+            station.messages_sent for station in network.stations
+        )
+        before = network.total_messages()
+        network.recount_messages()
+        assert network.total_messages() == before
+
+
+class TestGroupedFlush:
+    def test_grouped_tick_matches_sequential_updates(self):
+        grouped = build_network(grouped_flush=True)
+        sequential = build_network(grouped_flush=False)
+        for cell_id in (0, 2, 8):
+            grouped.mark_reservation_dirty(cell_id)
+        grouped.flush_reservation_tick(100.0)
+        for cell_id in (0, 2, 8):
+            sequential.station(cell_id).update_target_reservation(100.0)
+        for cell_id in (0, 2, 8):
+            assert (
+                grouped.cell(cell_id).reserved_target
+                == sequential.cell(cell_id).reserved_target
+            )
+        assert grouped.total_messages() == sequential.total_messages()
+
+    def test_grouped_path_actually_used_under_array_kernel(self):
+        if flush_batch_or_none() is None:
+            pytest.skip("pure-python kernel: no grouped flush")
+        network = build_network(grouped_flush=True)
+        network.mark_reservation_dirty(0)
+        network.flush_reservation_tick(100.0)
+        assert network.tick_grouped_suppliers > 0
+
+    def test_flush_plan_perm_restores_connection_order(self):
+        np = numpy_or_none()
+        if np is None:
+            pytest.skip("pure-python kernel: no flush plan")
+        network = build_network()
+        station = network.station(1)
+        plan = station.grouped_flush_plan(np)
+        assert plan is not None
+        entries_cat, bases_cat, blocks, perm, n_rows = plan
+        cell = network.cell(1)
+        assert n_rows == cell.connection_count
+        # Walking the rows through ``perm`` must visit the connections
+        # in exactly the order ``cell.connections()`` yields them.
+        row_entry = [float(entries_cat[index]) for index in perm]
+        expected = [
+            connection.cell_entry_time
+            for connection in cell.connections()
+        ]
+        assert row_entry == expected
+
+    def test_flush_plan_invalidated_by_attach(self):
+        np = numpy_or_none()
+        if np is None:
+            pytest.skip("pure-python kernel: no flush plan")
+        network = build_network()
+        station = network.station(1)
+        first = station.grouped_flush_plan(np)
+        assert station.grouped_flush_plan(np) is first
         network.cell(1).attach(
             Connection(VOICE, 0.0, 1, cell_entry_time=50.0)
         )
-        misses = neighbor.contribution_cache_misses
-        target.update_target_reservation(100.0)
-        assert neighbor.contribution_cache_misses == misses + 1
-
-    def test_detach_forces_recompute(self):
-        network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        victim = next(iter(network.cell(1).connections()))
-        target.update_target_reservation(100.0)
-        network.cell(1).detach(victim)
-        misses = neighbor.contribution_cache_misses
-        target.update_target_reservation(100.0)
-        assert neighbor.contribution_cache_misses == misses + 1
-
-    def test_t_est_change_forces_recompute(self):
-        network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        target.update_target_reservation(100.0)
-        target.window.t_est = 20.0
-        misses = neighbor.contribution_cache_misses
-        target.update_target_reservation(100.0)
-        assert neighbor.contribution_cache_misses == misses + 1
-
-    def test_new_quadruplet_forces_recompute(self):
-        # A fresh observation rebuilds the F_HOE snapshot, so the memo
-        # must not serve the pre-rebuild value.
-        network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        target.update_target_reservation(100.0)
-        neighbor.estimator.record_departure(99.0, None, 0, 30.0)
-        misses = neighbor.contribution_cache_misses
-        target.update_target_reservation(100.0)
-        assert neighbor.contribution_cache_misses == misses + 1
-
-    def test_clock_advance_forces_recompute(self):
-        # Eq. 4 conditions on the extant sojourn, which grows with the
-        # clock: same connections at a later instant is a *different*
-        # Eq. 5 input and must be recomputed.
-        network = build_network()
-        target = network.station(0)
-        neighbor = network.station(1)
-        target.update_target_reservation(100.0)
-        misses = neighbor.contribution_cache_misses
-        target.update_target_reservation(101.0)
-        assert neighbor.contribution_cache_misses == misses + 1
-
-    def test_disabled_cache_never_counts(self):
-        network = build_network(reservation_cache=False)
-        target = network.station(0)
-        neighbor = network.station(1)
-        target.update_target_reservation(100.0)
-        target.update_target_reservation(100.0)
-        assert neighbor.contribution_cache_hits == 0
-        assert neighbor.contribution_cache_misses == 0
-
-    def test_messages_counted_identically_on_hits(self):
-        cached = build_network(reservation_cache=True)
-        naive = build_network(reservation_cache=False)
-        for network in (cached, naive):
-            network.station(0).update_target_reservation(100.0)
-            network.station(0).update_target_reservation(100.0)
-        assert cached.total_messages() == naive.total_messages()
-        assert (
-            cached.total_reservation_calculations()
-            == naive.total_reservation_calculations()
-        )
+        second = station.grouped_flush_plan(np)
+        assert second is not first
+        assert second[4] == network.cell(1).connection_count
 
 
 @pytest.mark.parametrize("interval", [None, 500.0])
 @pytest.mark.parametrize("seed", [1, 2, 3])
-def test_randomized_history_matches_uncached(seed, interval):
+def test_randomized_history_matches_naive(seed, interval):
     """Bit-identical reservations across a random mutation history."""
-    cached = build_network(True, seed=seed, interval=interval)
+    batched = build_network(True, seed=seed, interval=interval)
     naive = build_network(False, seed=seed, interval=interval)
     rng = random.Random(100 + seed)
     now = 100.0
@@ -147,7 +159,7 @@ def test_randomized_history_matches_uncached(seed, interval):
             # Attach an identical connection to both networks.
             entry = now - rng.uniform(0.0, 60.0)
             prev = rng.choice([None, 0, 2])
-            for network in (cached, naive):
+            for network in (batched, naive):
                 network.cell(1).attach(
                     Connection(
                         VOICE, entry, 1,
@@ -155,34 +167,70 @@ def test_randomized_history_matches_uncached(seed, interval):
                     )
                 )
         elif action < 0.5:
-            live = list(cached.cell(1).connections())
+            live = list(batched.cell(1).connections())
             if live:
                 victim_index = rng.randrange(len(live))
-                cached.cell(1).detach(live[victim_index])
+                batched.cell(1).detach(live[victim_index])
                 naive.cell(1).detach(
                     list(naive.cell(1).connections())[victim_index]
                 )
         elif action < 0.65:
             sojourn = rng.uniform(5.0, 80.0)
             prev = rng.choice([None, 0, 2])
-            for network in (cached, naive):
+            for network in (batched, naive):
                 network.station(1).estimator.record_departure(
                     now, prev, 0, sojourn
                 )
         elif action < 0.8:
             t_est = rng.uniform(1.0, 30.0)
-            cached.station(0).window.t_est = t_est
+            batched.station(0).window.t_est = t_est
             naive.station(0).window.t_est = t_est
         else:
             now += rng.uniform(0.0, 20.0)
         assert (
-            cached.station(0).update_target_reservation(now)
+            batched.station(0).update_target_reservation(now)
             == naive.station(0).update_target_reservation(now)
         )
-    # The untouched neighbour (cell 9) must have served real cache hits
-    # during the same-instant updates, so equality above exercised both
-    # the hit and the recompute paths.
-    assert any(
-        station.contribution_cache_hits > 0
-        for station in cached.stations
-    )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_randomized_history_grouped_tick_matches_sequential(seed):
+    """Grouped tick flushes equal per-station updates under churn."""
+    grouped = build_network(True, seed=seed, grouped_flush=True)
+    sequential = build_network(True, seed=seed, grouped_flush=False)
+    rng = random.Random(200 + seed)
+    now = 100.0
+    for step in range(40):
+        action = rng.random()
+        if action < 0.4:
+            entry = now - rng.uniform(0.0, 60.0)
+            prev = rng.choice([None, 0, 2])
+            for network in (grouped, sequential):
+                network.cell(1).attach(
+                    Connection(
+                        VOICE, entry, 1,
+                        prev_cell=prev, cell_entry_time=entry,
+                    )
+                )
+        elif action < 0.6:
+            live = list(grouped.cell(1).connections())
+            if live:
+                victim_index = rng.randrange(len(live))
+                grouped.cell(1).detach(live[victim_index])
+                sequential.cell(1).detach(
+                    list(sequential.cell(1).connections())[victim_index]
+                )
+        else:
+            now += rng.uniform(0.0, 20.0)
+        targets = rng.sample(range(10), rng.randrange(1, 4))
+        for cell_id in targets:
+            grouped.mark_reservation_dirty(cell_id)
+        grouped.flush_reservation_tick(now)
+        for cell_id in targets:
+            sequential.station(cell_id).update_target_reservation(now)
+        for cell_id in targets:
+            assert (
+                grouped.cell(cell_id).reserved_target
+                == sequential.cell(cell_id).reserved_target
+            )
+    assert grouped.total_messages() == sequential.total_messages()

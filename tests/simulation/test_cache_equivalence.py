@@ -1,10 +1,11 @@
-"""Whole-run equivalence: the reservation memo never changes a metric.
+"""Whole-run equivalence: batched reservation never changes a metric.
 
 Runs the acceptance scenarios — the Figure 7 static policy and the
-Figure 10/11 AC3 trace run — once with the incremental reservation
-cache and once with the naive path, and requires every simulation-
-determined field of the results (counters, probabilities, traces,
-N_calc, messages) to be identical.  Only wall-clock time may differ.
+Figure 10/11 AC3 trace run — once with the batched columnar
+reservation path and once with the naive per-connection rescan, and
+requires every simulation-determined field of the results (counters,
+probabilities, traces, N_calc, messages) to be identical.  Only
+wall-clock time may differ.
 """
 
 from dataclasses import replace
@@ -56,6 +57,6 @@ def test_fig11_trace_scenario_is_identical():
     cached, naive = _run_both(config)
     assert cached.metrics_key() == naive.metrics_key()
     # Sanity: the scenario is busy enough that the assertion is not
-    # vacuous, and the cached run actually used its memo.
+    # vacuous, and the batched run actually exercised the hot path.
     assert cached.total_handoff_attempts > 0
     assert cached.average_calculations > 0
