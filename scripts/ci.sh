@@ -52,6 +52,11 @@ echo "== state smoke =="
 # save -> load -> run must be bit-identical to the straight run.
 PYTHONPATH=src python scripts/state_smoke.py
 
+echo "== spatial smoke =="
+# City-scale spatial sharding: a 2-shard process run must merge to the
+# same metrics_key() as the single-shard in-process run.
+PYTHONPATH=src python scripts/spatial_smoke.py
+
 echo "== replication perf smoke =="
 # The sharded replication runner end-to-end: warm pool, shared-memory
 # columnar snapshots, merged CIs, and the scheduling-independence

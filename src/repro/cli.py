@@ -29,7 +29,7 @@ from repro.obs import (
     to_prometheus,
 )
 from repro.simulation.runner import run_sweep
-from repro.simulation.scenarios import stationary
+from repro.simulation.scenarios import hex_city, stationary
 from repro.simulation.simulator import CellularSimulator
 from repro.simulation.tracing import ConnectionTracer
 
@@ -48,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one scenario and print the per-cell report"
     )
     _add_scenario_arguments(run_parser)
+    _add_spatial_arguments(run_parser)
     _add_observability_arguments(run_parser)
     run_parser.add_argument(
         "--trace-jsonl", default=None, metavar="PATH",
@@ -130,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         " previous day's checkpoint",
     )
     _add_scenario_arguments(campaign_parser)
+    _add_spatial_arguments(campaign_parser)
     _add_observability_arguments(campaign_parser)
     campaign_parser.add_argument(
         "--days", type=int, default=3, metavar="N",
@@ -202,6 +204,42 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         " numba flush kernels ([fastest] extra, explicit"
                         " opt-in), or pure python; auto picks numpy when"
                         " installed, all produce bit-identical metrics")
+
+
+def _add_spatial_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("spatial sharding")
+    group.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition a hex city into N row-band shards and run one"
+        " DES engine per shard (the merged metrics are bit-identical"
+        " at any N); 0 keeps the single-engine 1-D road runner",
+    )
+    group.add_argument(
+        "--hex", default="12x12", metavar="RxC", dest="hex_grid",
+        help="hex grid dimensions for --shards runs, e.g. 30x30"
+        " (wrapped torus; --cells is ignored; default 12x12)",
+    )
+    group.add_argument(
+        "--epoch", type=float, default=1.0, metavar="SECONDS",
+        help="barrier epoch for --shards runs; must not exceed the"
+        " 1 s minimum hand-off notice (default 1.0)",
+    )
+    group.add_argument(
+        "--inline-shards", action="store_true",
+        help="run the shards sequentially in this process instead of"
+        " one worker process each (same metrics, no parallelism)",
+    )
+
+
+def _parse_hex(spec: str) -> tuple[int, int]:
+    try:
+        rows_text, _, cols_text = spec.lower().partition("x")
+        rows, cols = int(rows_text), int(cols_text)
+    except ValueError:
+        raise ValueError(
+            f"--hex wants ROWSxCOLS (e.g. 30x30), got {spec!r}"
+        ) from None
+    return rows, cols
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -291,8 +329,86 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
     )
 
 
+def _build_spatial_config(args: argparse.Namespace):
+    rows, cols = _parse_hex(args.hex_grid)
+    return hex_city(
+        args.scheme,
+        rows=rows,
+        cols=cols,
+        offered_load=args.load,
+        voice_ratio=args.rvo,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        static_guard=args.guard,
+        adaptive_qos=args.adaptive_qos,
+        soft_handoff_window=args.soft_handoff,
+        kernel=args.kernel,
+        telemetry=_wants_telemetry(args),
+    )
+
+
+def _command_run_spatial(args: argparse.Namespace) -> int:
+    from repro.simulation.spatial import run_spatial
+
+    if args.replications > 1:
+        raise ValueError(
+            "--shards partitions space; it cannot be combined with"
+            " --replications (which partitions seeds)"
+        )
+    if args.save_state or args.load_state or args.checkpoint_every > 0.0:
+        raise ValueError(
+            "spatial runs checkpoint per day via"
+            " 'repro campaign --shards'; drop the state flags"
+        )
+    if args.trace_jsonl:
+        raise ValueError("--trace-jsonl is not supported with --shards")
+    config = _build_spatial_config(args)
+    result = run_spatial(
+        config,
+        args.shards,
+        processes=False if args.inline_shards else None,
+        epoch=args.epoch,
+    )
+    rate = (
+        result.events_processed / result.wall_seconds
+        if result.wall_seconds > 0
+        else 0.0
+    )
+    print(f"scheme={result.scheme}  L={result.offered_load:g}"
+          f"  duration={result.duration:g}s"
+          f"  grid={args.hex_grid}  shards={args.shards}")
+    print(f"P_CB = {result.blocking_probability:.4f}")
+    print(f"P_HD = {result.dropping_probability:.4f}")
+    print(f"avg B_r = {result.average_reservation:.2f} BUs,"
+          f" avg B_u = {result.average_used:.2f} BUs,"
+          f" N_calc = {result.average_calculations:.2f}")
+    print(f"{result.events_processed:,} events in"
+          f" {result.wall_seconds:.2f}s ({rate:,.0f} events/s)")
+    cap = 20
+    rows = [
+        [
+            status.cell_id + 1,
+            status.blocking_probability,
+            status.dropping_probability,
+            status.t_est,
+            status.reserved_target,
+            status.used_bandwidth,
+        ]
+        for status in result.statuses[:cap]
+    ]
+    print()
+    print(Table(["Cell", "PCB", "PHD", "Test", "Br", "Bu"], rows).render())
+    if len(result.statuses) > cap:
+        print(f"... ({len(result.statuses) - cap} more cells)")
+    _export_telemetry(result.telemetry, args)
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     _configure_observability(args)
+    if args.shards > 0:
+        return _command_run_spatial(args)
     uses_state = bool(
         args.save_state or args.load_state or args.checkpoint_every > 0.0
     )
@@ -477,6 +593,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
     from repro.state import run_campaign
 
     _configure_observability(args)
+    if args.shards > 0:
+        return _command_campaign_spatial(args)
     config = _build_config(args)
     if args.day_seconds is not None:
         config = replace(config, day_seconds=args.day_seconds)
@@ -504,6 +622,44 @@ def _command_campaign(args: argparse.Namespace) -> int:
         ).render()
     )
     jsonl = args.jsonl or f"{args.state_dir}/campaign.jsonl"
+    print(f"\nper-day report: {jsonl}")
+    return 0
+
+
+def _command_campaign_spatial(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.simulation.spatial import run_spatial_campaign
+
+    config = _build_spatial_config(args)
+    if args.day_seconds is not None:
+        config = replace(config, duration=args.day_seconds)
+    jsonl = args.jsonl or f"{args.state_dir}/campaign.jsonl"
+    reports = run_spatial_campaign(
+        config,
+        args.shards,
+        days=args.days,
+        state_dir=args.state_dir,
+        processes=False if args.inline_shards else None,
+        epoch=args.epoch,
+        jsonl_path=jsonl,
+    )
+    rows = [
+        [
+            report.day + 1,
+            report.blocking_probability,
+            report.dropping_probability,
+            report.events,
+            report.quadruplets,
+            report.checkpoint,
+        ]
+        for report in reports
+    ]
+    print(
+        Table(
+            ["Day", "PCB", "PHD", "Events", "Nquad", "Checkpoint"], rows
+        ).render()
+    )
     print(f"\nper-day report: {jsonl}")
     return 0
 

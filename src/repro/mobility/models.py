@@ -166,6 +166,12 @@ class HexMobilityModel:
     the (prev, next) correlation the estimator is designed to learn.
     """
 
+    #: Minimum hand-off notice in seconds: sojourns are clamped so a
+    #: mobile entering a cell never crosses again sooner than this.
+    #: The spatial sharding layer relies on it as conservative
+    #: lookahead — its epoch barrier interval must not exceed it.
+    MIN_NOTICE = 1.0
+
     def __init__(
         self,
         topology: HexTopology,
@@ -218,7 +224,7 @@ class HexMobilityModel:
             index = (heading + rng.choice((-1, 1))) % 6
         mobile.direction = index
         next_cell = neighbors[index % len(neighbors)]
-        return Transition(now + max(sojourn, 1.0), next_cell)
+        return Transition(now + max(sojourn, self.MIN_NOTICE), next_cell)
 
     def forget(self, mobile: Mobile) -> None:
         """Release per-mobile state once its connection ends."""

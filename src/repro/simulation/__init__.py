@@ -17,11 +17,18 @@ from repro.simulation.runner import (
 )
 from repro.simulation.scenarios import (
     TWO_DAYS,
+    hex_city,
     one_directional,
     stationary,
     time_varying,
 )
 from repro.simulation.simulator import CellularSimulator, simulate
+from repro.simulation.spatial import (
+    ShardPlan,
+    partition_hex,
+    run_spatial,
+    run_spatial_campaign,
+)
 from repro.simulation.tracing import ConnectionTracer, TraceEvent
 
 __all__ = [
@@ -35,11 +42,16 @@ __all__ = [
     "TraceEvent",
     "HourlyBucket",
     "MetricsCollector",
+    "ShardPlan",
     "SimulationConfig",
     "SimulationResult",
     "TWO_DAYS",
     "TracePoint",
+    "hex_city",
     "one_directional",
+    "partition_hex",
+    "run_spatial",
+    "run_spatial_campaign",
     "run_sweep",
     "simulate",
     "stationary",

@@ -1,0 +1,248 @@
+"""Struct-of-arrays stores for connection/mobile hot state.
+
+A city-scale run keeps ~10^5..10^6 concurrent connections alive.  The
+object representation costs three allocations per connection (a
+:class:`~repro.traffic.connection.Connection`, a
+:class:`~repro.mobility.models.Mobile`, and the model's class-map dict
+entry) — several hundred bytes each — and scatters the hot fields
+(cell, entry time, lifetime end) across the heap.  The columnar stores
+below keep the same state as parallel typed columns (numpy arrays when
+available, stdlib ``array`` otherwise) indexed by a small integer row
+id, with free-list recycling so long runs reuse rows instead of
+growing.
+
+The spatial simulator works on row ids directly; the only per-object
+shim is :func:`handle_class`, a two-word handle exposing the attribute
+set :meth:`repro.cellular.cell.Cell.attach` duck-types against
+(``connection_id``, ``bandwidth``, ``reservation_basis``,
+``prev_cell``, ``cell_entry_time``, ...).  The store itself is bound
+at the *class* level so each live handle carries nothing but its row.
+
+Rows are guarded by a monotone ``serial`` column: every allocation
+stamps the row with a fresh serial, so stale references (e.g. a
+shipped hand-off record whose connection has since ended) can detect
+recycling with one integer compare.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - exercised via whichever backend is installed
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+import array as _array
+
+#: column typecode -> (numpy dtype name, stdlib array typecode)
+_CODES = {
+    "f8": ("float64", "d"),
+    "i4": ("int32", "l" if _array.array("l").itemsize == 4 else "i"),
+    "i8": ("int64", "q"),
+    "i1": ("int8", "b"),
+}
+
+#: Bandwidth demand table indexed by ``bw_code`` (bandwidth units).
+#: Matches :data:`repro.traffic.classes.VOICE` / ``VIDEO``.
+BANDWIDTH_TABLE = (1.0, 4.0)
+
+
+def _new_column(code: str, capacity: int):
+    dtype, typecode = _CODES[code]
+    if _np is not None:
+        return _np.zeros(capacity, dtype=dtype)
+    return _array.array(typecode, bytes(_array.array(typecode).itemsize * capacity))
+
+
+def _grow_column(column, code: str, capacity: int):
+    if _np is not None:
+        grown = _np.zeros(capacity, dtype=column.dtype)
+        grown[: len(column)] = column
+        return grown
+    dtype, typecode = _CODES[code]
+    grown = _array.array(typecode, bytes(_array.array(typecode).itemsize * capacity))
+    grown[: len(column)] = column
+    return grown
+
+
+class ColumnStore:
+    """Base store: named typed columns with free-list row recycling.
+
+    Subclasses declare ``COLUMNS`` as ``((name, code), ...)`` with codes
+    from ``f8/i4/i8/i1``.  Every store additionally carries an ``i8``
+    ``serial`` column written on :meth:`alloc`.
+    """
+
+    COLUMNS: tuple[tuple[str, str], ...] = ()
+
+    __slots__ = ("columns", "serial", "capacity", "_free", "_next_row",
+                 "_next_serial", "live")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.columns: dict[str, Any] = {
+            name: _new_column(code, capacity) for name, code in self.COLUMNS
+        }
+        self.serial = _new_column("i8", capacity)
+        self._free: list[int] = []
+        self._next_row = 0
+        self._next_serial = 1
+        self.live = 0
+
+    def _grow(self, minimum: int) -> None:
+        capacity = self.capacity
+        while capacity < minimum:
+            capacity *= 2
+        for name, code in self.COLUMNS:
+            self.columns[name] = _grow_column(self.columns[name], code, capacity)
+        self.serial = _grow_column(self.serial, "i8", capacity)
+        self.capacity = capacity
+
+    def alloc(self) -> int:
+        """Return a fresh row id (recycled when possible) with a new serial."""
+        free = self._free
+        if free:
+            row = free.pop()
+        else:
+            row = self._next_row
+            if row >= self.capacity:
+                self._grow(row + 1)
+            self._next_row = row + 1
+        self.serial[row] = self._next_serial
+        self._next_serial += 1
+        self.live += 1
+        return row
+
+    def free(self, row: int) -> None:
+        """Release ``row`` back to the free list (serial stays burned)."""
+        self.serial[row] = 0
+        self._free.append(row)
+        self.live -= 1
+
+    def serial_of(self, row: int) -> int:
+        """Current serial of ``row`` (0 while the row sits on the free list)."""
+        return int(self.serial[row])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the column buffers (excludes Python object shells)."""
+        total = 0
+        for column in self.columns.values():
+            total += getattr(column, "nbytes", None) or (
+                column.itemsize * len(column)
+            )
+        total += getattr(self.serial, "nbytes", None) or (
+            self.serial.itemsize * len(self.serial)
+        )
+        return total
+
+
+class ConnectionStore(ColumnStore):
+    """Hot state of one connection + its mobile, one row per connection.
+
+    Columns (≈49 bytes/row including the serial guard, versus several
+    hundred bytes for the ``Connection``/``Mobile`` object pair):
+
+    ``entry_time`` (f8)
+        Time the connection entered its current cell.
+    ``end_time`` (f8)
+        Absolute lifetime expiry (scheduled as a DEPARTURE event).
+    ``cell`` (i4) / ``prev`` (i4)
+        Current cell and hand-off predecessor (−1 = born here).
+    ``birth_cell`` (i4) / ``birth_seq`` (i4)
+        Birth coordinates: the arrival cell and that cell's arrival
+        index.  Together they give the deterministic, shard-independent
+        ``connection_id = birth_seq * num_cells + birth_cell`` and key
+        the per-transition random streams.
+    ``hops`` (i4)
+        Hand-offs completed so far (keys the next transition draw).
+    ``bw_code`` (i1)
+        Index into :data:`BANDWIDTH_TABLE` (0 = voice, 1 = video).
+    ``pop`` (i1) / ``heading`` (i1)
+        Mobility population-class index and current hex heading.
+    """
+
+    COLUMNS = (
+        ("entry_time", "f8"),
+        ("end_time", "f8"),
+        ("cell", "i4"),
+        ("prev", "i4"),
+        ("birth_cell", "i4"),
+        ("birth_seq", "i4"),
+        ("hops", "i4"),
+        ("bw_code", "i1"),
+        ("pop", "i1"),
+        ("heading", "i1"),
+    )
+
+    __slots__ = ("num_cells",)
+
+    def __init__(self, num_cells: int, capacity: int = 256) -> None:
+        super().__init__(capacity)
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        self.num_cells = num_cells
+
+    def connection_id(self, row: int) -> int:
+        """Deterministic global id: ``birth_seq * num_cells + birth_cell``."""
+        return (
+            int(self.columns["birth_seq"][row]) * self.num_cells
+            + int(self.columns["birth_cell"][row])
+        )
+
+    def bandwidth(self, row: int) -> float:
+        return BANDWIDTH_TABLE[self.columns["bw_code"][row]]
+
+
+class _ConnectionHandle:
+    """Two-word view of one :class:`ConnectionStore` row.
+
+    Exposes exactly the duck-typed attribute set the admission layer
+    reads (:meth:`Cell.attach` / :meth:`Cell.detach` / the policies).
+    The store is a *class* attribute — see :func:`handle_class` — so a
+    handle costs one slot beyond the object header.
+    """
+
+    store: ConnectionStore  # bound by handle_class()
+
+    __slots__ = ("row",)
+
+    def __init__(self, row: int) -> None:
+        self.row = row
+
+    @property
+    def connection_id(self) -> int:
+        return self.store.connection_id(self.row)
+
+    @property
+    def bandwidth(self) -> float:
+        return BANDWIDTH_TABLE[self.store.columns["bw_code"][self.row]]
+
+    #: Adaptive QoS is gated out of spatial runs, so the allocated,
+    #: full, and minimum demands coincide — as do reservation bases.
+    full_bandwidth = bandwidth
+    min_bandwidth = bandwidth
+    reservation_basis = bandwidth
+
+    @property
+    def prev_cell(self) -> int | None:
+        prev = int(self.store.columns["prev"][self.row])
+        return None if prev < 0 else prev
+
+    @property
+    def cell_entry_time(self) -> float:
+        return float(self.store.columns["entry_time"][self.row])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConnectionHandle row={self.row} id={self.connection_id}>"
+
+
+def handle_class(store: ConnectionStore) -> type:
+    """Build a handle class bound to ``store`` at the class level."""
+    return type("ConnectionHandle", (_ConnectionHandle,), {
+        "__slots__": (),
+        "store": store,
+    })

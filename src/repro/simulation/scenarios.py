@@ -119,3 +119,37 @@ def time_varying(
         label=f"{scheme} time-varying",
     )
     return replace(config, **overrides) if overrides else config
+
+
+def hex_city(
+    scheme: str,
+    rows: int = 12,
+    cols: int = 12,
+    wrap: bool = True,
+    offered_load: float = 100.0,
+    voice_ratio: float = 1.0,
+    duration: float = 600.0,
+    warmup: float = 0.0,
+    seed: int = 1,
+    **overrides: object,
+) -> SimulationConfig:
+    """A 2-D hex-city scenario for the spatial sharding runner.
+
+    The grid dimensions ride in ``config.extra`` (the config dataclass
+    stays topology-agnostic); :func:`repro.simulation.spatial.run_spatial`
+    reads them back.  ``T_int`` is infinite like the stationary runs —
+    spatial mode refreshes ``B_r`` at epoch barriers instead of ticks.
+    """
+    config = SimulationConfig(
+        scheme=scheme,
+        offered_load=offered_load,
+        voice_ratio=voice_ratio,
+        num_cells=rows * cols,
+        t_int=None,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        label=f"{scheme} hex {rows}x{cols} L={offered_load:g}",
+        extra={"hex_rows": rows, "hex_cols": cols, "hex_wrap": wrap},
+    )
+    return replace(config, **overrides) if overrides else config

@@ -93,13 +93,16 @@ class SharedColumnsHandle:
     def __reduce__(self):
         return (SharedColumnsHandle, (self.name, self.total, self.index))
 
-    def hydrate(self, network) -> None:
+    def hydrate(self, network, cells=None) -> None:
         """Preload a fresh network's estimators from the shared segment.
 
         Attaches read-only, copies the columns out into each station's
         cache, and detaches before returning — the worker holds no
         shared-memory references afterwards, so the parent can unlink
         the segment the moment every shard has started.
+
+        ``cells`` optionally restricts hydration to a subset of cell
+        ids (a spatial shard only warms the cells it owns).
         """
         if not self.index:
             return
@@ -113,7 +116,10 @@ class SharedColumnsHandle:
             else:
                 buffer = memoryview(shm.buf).cast("d")
             per_cell: dict[int, dict] = {}
+            times = sojourns = None
             for cell_id, prev, next_cell, offset, count in self.index:
+                if cells is not None and cell_id not in cells:
+                    continue
                 times = buffer[offset:offset + count]
                 sojourns = buffer[offset + count:offset + 2 * count]
                 per_cell.setdefault(cell_id, {})[(prev, next_cell)] = (

@@ -1,0 +1,1373 @@
+"""City-scale spatial sharding: one DES engine per hex row-band.
+
+The paper's scheme is strictly local — every base station talks only to
+its ``A_0`` neighbours — so a :class:`~repro.cellular.topology.HexTopology`
+city partitions cleanly into contiguous row-bands with a one-cell-deep
+boundary.  Each shard runs its own engine over the cells it *owns* and
+exchanges three kinds of boundary traffic as message batches at epoch
+barriers:
+
+* **mirrors** — per boundary cell: its activity flag and its
+  estimator's ``max_sojourn`` at the barrier instant (feeds the
+  neighbour shard's dirty set and window-controller ``T_soj,max``);
+* **reservation requests/replies** — Eq. 5 contributions crossing the
+  cut, batched through ``outgoing_reservation_multi``;
+* **migrations** — hand-offs whose destination cell lives in another
+  shard, shipped one barrier ahead of their crossing time.
+
+Determinism for *any* shard count (the acceptance bar: ``metrics_key()``
+bit-identical for N ∈ {1, 2, 4}) comes from an epoch-synchronous
+protocol variant with identical semantics at every N, including N=1:
+
+* Cross-cell reads happen **only at barriers**.  Mid-epoch admission is
+  cell-local: a new request runs Eq. 1 against the barrier-installed
+  ``B_r`` (0 calculations / 0 messages per test — the protocol work is
+  accounted at the barrier), a hand-off runs the Eq. 2 overload test at
+  its destination, and the window controller is fed the epoch-start
+  neighbourhood-max-sojourn mirror.
+* ``B_r`` refreshes at each barrier for the *dirty* set — cells whose
+  own or neighbouring cells saw an attach/detach/departure/hand-off in
+  the finished epoch — via one sorted ``outgoing_reservation_multi``
+  call per supplier.  Suppliers and requests are processed in cell-id
+  order, and Eq. 6 installs in target-id order, so float addition
+  order is shard-independent.
+* Every random draw comes from an sha256-derived stream keyed by
+  *simulation* coordinates (cell, arrival index, hop count), never by
+  scheduling history, so shards draw identical values no matter who
+  owns the cell.  Connection ids are likewise deterministic:
+  ``birth_seq * num_cells + birth_cell``.
+* The epoch length must not exceed the minimum hand-off notice
+  (:attr:`HexMobilityModel.MIN_NOTICE`): a crossing landing in epoch
+  ``j`` was drawn in epoch ``j-1`` or earlier, so shipping the
+  outgoing heap up to ``(k + 2) * epoch`` at the end of epoch ``k``
+  delivers every boundary hand-off exactly one barrier ahead of its
+  crossing time.  The destination schedules it at the barrier with
+  ``now = T_j < crossing time``, preserving engine-time monotonicity.
+
+Events at exactly equal virtual times order by (priority, scheduling
+sequence); the protocol never schedules two *cross-shard-visible*
+events at the same instant except lifetime-vs-crossing ties, which
+resolve identically at every N (DEPARTURE fires before HANDOFF).
+Crossing/lifetime instants are continuous exponential draws, so
+coincidences between distinct connections have measure zero.
+
+Hot state lives in the struct-of-arrays stores of
+:mod:`repro.simulation.columnar`; the per-connection footprint is the
+column row plus a two-word handle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import random
+import time as wall_clock
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro._kernel import kernel_name, set_kernel
+from repro.cellular.network import CellularNetwork
+from repro.cellular.topology import HexTopology
+from repro.core.admission import make_policy
+from repro.core.reservation import aggregate_reservation
+from repro.core.window import WindowControllerConfig
+from repro.des.engine import Engine
+from repro.des.events import Event, EventPriority
+from repro.des.random import RandomStreams
+from repro.estimation.cache import CacheConfig
+from repro.mobility.models import DEFAULT_HEX_POPULATION, HexMobilityModel
+from repro.obs.logs import ensure_configured
+from repro.obs.telemetry import begin_run, merge_snapshots, new_run_id
+from repro.simulation.columnar import (
+    BANDWIDTH_TABLE,
+    ConnectionStore,
+    handle_class,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import (
+    CellStatus,
+    HourlyBucket,
+    MetricsCollector,
+    SimulationResult,
+)
+from repro.simulation.shared_state import SharedColumnsHandle, SharedColumnStore
+from repro.traffic.arrivals import (
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    RetryPolicy,
+)
+from repro.traffic.classes import VOICE, TrafficMix
+
+#: Schemes the epoch-synchronous protocol supports.  The adaptive
+#: schemes (AC1-3) collapse to the same barrier-driven dirty-set
+#: refresh; "static" skips the refresh entirely.
+_SCHEMES = ("static", "ac1", "ac2", "ac3")
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """A row-band partition of a hex city.
+
+    ``owner[cell]`` is the shard owning each cell; ``cells[s]`` the
+    ascending cell ids owned by shard ``s``; ``boundary[s][t]`` the
+    ascending cells of ``s`` with at least one neighbour owned by
+    ``t`` (the mirror set shipped from ``s`` to ``t`` every barrier).
+    """
+
+    shards: int
+    owner: tuple[int, ...]
+    cells: tuple[tuple[int, ...], ...]
+    boundary: tuple[dict[int, tuple[int, ...]], ...]
+
+
+def partition_hex(topology: HexTopology, shards: int) -> ShardPlan:
+    """Partition ``topology`` into contiguous row-band shards.
+
+    Hex neighbours span at most one row up/down (wrap included), so a
+    row-band cut has a one-cell-deep boundary and every cross-cut edge
+    connects adjacent bands (or the first/last band under wrap).
+    """
+    bands = topology.row_bands(shards)
+    owner = [0] * topology.num_cells
+    cells: list[tuple[int, ...]] = []
+    for shard, (start_row, end_row) in enumerate(bands):
+        owned = [
+            topology.cell_id(row, col)
+            for row in range(start_row, end_row)
+            for col in range(topology.cols)
+        ]
+        for cell in owned:
+            owner[cell] = shard
+        cells.append(tuple(owned))
+    boundary: list[dict[int, tuple[int, ...]]] = []
+    for shard in range(shards):
+        per_target: dict[int, list[int]] = {}
+        for cell in cells[shard]:
+            for neighbor in topology.neighbors(cell):
+                target = owner[neighbor]
+                if target != shard:
+                    bucket = per_target.setdefault(target, [])
+                    if not bucket or bucket[-1] != cell:
+                        bucket.append(cell)
+        boundary.append(
+            {target: tuple(per_target[target]) for target in sorted(per_target)}
+        )
+    return ShardPlan(
+        shards=shards,
+        owner=tuple(owner),
+        cells=tuple(cells),
+        boundary=tuple(boundary),
+    )
+
+
+def _derived_rng(seed: int, *parts) -> random.Random:
+    """A deterministic stream keyed by simulation coordinates.
+
+    Same derivation style as :meth:`repro.des.random.RandomStreams.get`
+    (sha256 of a string key), but built on demand from stable keys —
+    per-request and per-transition streams never depend on which shard
+    draws them or in what order.
+    """
+    key = ":".join(str(part) for part in ("spatial", seed, *parts))
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _hex_dimensions(config: SimulationConfig) -> tuple[int, int, bool]:
+    extra = config.extra or {}
+    rows = extra.get("hex_rows")
+    cols = extra.get("hex_cols")
+    if rows is None or cols is None:
+        raise ValueError(
+            "spatial runs need a hex city: set config.extra['hex_rows'] / "
+            "['hex_cols'] (see repro.simulation.scenarios.hex_city)"
+        )
+    return int(rows), int(cols), bool(extra.get("hex_wrap", True))
+
+
+def check_spatial_config(config: SimulationConfig, epoch: float) -> None:
+    """Reject configurations the epoch-synchronous protocol cannot honour."""
+    rows, cols, _ = _hex_dimensions(config)
+    if rows * cols != config.num_cells:
+        raise ValueError(
+            f"config.num_cells={config.num_cells} does not match the "
+            f"{rows}x{cols} hex grid"
+        )
+    if config.scheme.lower() not in _SCHEMES:
+        raise ValueError(f"unsupported spatial scheme {config.scheme!r}")
+    if config.adaptive_qos:
+        raise ValueError("adaptive QoS is not supported in spatial runs")
+    if config.soft_handoff_window > 0:
+        raise ValueError("soft hand-off is not supported in spatial runs")
+    if not 0 < epoch <= HexMobilityModel.MIN_NOTICE:
+        raise ValueError(
+            f"epoch must be in (0, {HexMobilityModel.MIN_NOTICE}] so every "
+            "boundary hand-off is known one barrier ahead"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-shard engine
+# ----------------------------------------------------------------------
+@dataclass
+class ShardResult:
+    """Everything one shard contributes to the merged result."""
+
+    index: int
+    cells: dict[int, object]
+    statuses: dict[int, CellStatus]
+    hourly: dict[int, tuple[int, int, int, int]]
+    t_est_traces: dict[int, list]
+    reservation_traces: dict[int, list]
+    phd_traces: dict[int, list]
+    sample_sums: dict[int, tuple[float, float, int]]
+    admission_tests: int
+    calculations: int
+    messages: int
+    events: int
+    telemetry: dict | None = None
+    state: dict | None = None
+    store_bytes: int = 0
+    peak_live: int = 0
+
+
+class ShardEngine:
+    """One shard's DES engine plus its side of the barrier protocol."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        plan: ShardPlan,
+        index: int,
+        epoch: float,
+    ) -> None:
+        check_spatial_config(config, epoch)
+        self.config = config
+        self.plan = plan
+        self.index = index
+        self.epoch = epoch
+        self.seed = config.seed
+        self.duration = config.duration
+        self.adaptive = config.scheme.lower() != "static"
+        if config.kernel == "auto":
+            kernel_name()
+        else:
+            set_kernel(config.kernel)
+        ensure_configured()
+        run_id = config.run_id or new_run_id()
+        self.telemetry = begin_run(
+            run_id=f"{run_id}-s{index}",
+            enabled=True if config.telemetry else None,
+        )
+        rows, cols, wrap = _hex_dimensions(config)
+        self.topology = HexTopology(rows, cols, wrap=wrap)
+        # Every shard builds the full-topology network so cell ids,
+        # neighbour sets, and Eq. 5/6 semantics are exactly the global
+        # ones; unowned cells simply never see an event.
+        self.network = CellularNetwork(
+            self.topology,
+            capacity=config.capacity,
+            cache_config=CacheConfig(
+                interval=config.t_int,
+                max_per_pair=config.n_quad,
+                weights=config.weights,
+                period=config.day_seconds,
+            ),
+            window_config=WindowControllerConfig(
+                target_drop_probability=config.target_drop_probability,
+                initial_window=config.t_start,
+                step_policy=config.step_policy,
+            ),
+            handoff_overload=config.handoff_overload,
+            reservation_cache=config.reservation_cache,
+            coalesced_tick=False,
+            grouped_flush=config.grouped_flush,
+        )
+        self.owned = plan.cells[index]
+        self._owned_set = frozenset(self.owned)
+        if config.warm_state is not None:
+            config.warm_state.hydrate(self.network, cells=self._owned_set)
+        if not self.adaptive:
+            for cell in range(self.topology.num_cells):
+                self.network.cell(cell).reserved_target = config.static_guard
+        self.population = DEFAULT_HEX_POPULATION
+        self.mix = TrafficMix(config.voice_ratio)
+        if config.load_profile is not None:
+            self.arrivals = ModulatedPoissonArrivals(
+                config.load_profile,
+                self.mix.mean_bandwidth,
+                config.mean_lifetime,
+            )
+        else:
+            self.arrivals = PoissonArrivals(
+                self.mix.arrival_rate_for_load(
+                    config.offered_load, config.mean_lifetime
+                )
+            )
+        self.retry = RetryPolicy(
+            delay=config.retry_delay,
+            giveup_step=config.retry_giveup_step,
+            enabled=config.retry_enabled,
+        )
+        self.metrics = MetricsCollector(
+            self.topology.num_cells,
+            warmup=config.warmup,
+            tracked_cells=tuple(
+                cell for cell in config.tracked_cells if cell in self._owned_set
+            ),
+            hourly=config.hourly_stats,
+            hour_seconds=config.day_seconds / 24.0,
+        )
+        self.engine = Engine()
+        self.store = ConnectionStore(self.topology.num_cells)
+        self._handle_cls = handle_class(self.store)
+        self._handles: dict[int, object] = {}
+        self._end_events: dict[int, Event] = {}
+        self._crossing_events: dict[int, Event] = {}
+        #: Boundary crossings awaiting shipment: (ctime, row, serial, dest).
+        self._outgoing: list[tuple[float, int, int, int]] = []
+        #: Per-arrival-cell renewal streams (order-independent names, so
+        #: every shard count sees identical per-cell arrival processes).
+        streams = RandomStreams(config.seed)
+        self._arrival_rngs = {
+            cell: streams.get(f"spatial-arrivals:{cell}")
+            for cell in self.owned
+        }
+        self._arrival_index = {cell: 0 for cell in self.owned}
+        self._activity = {cell: False for cell in self.owned}
+        self._remote_activity: dict[int, bool] = {}
+        self._remote_ms: dict[int, float] = {}
+        self._nms = {cell: 0.0 for cell in self.owned}
+        self._pending_install: list[int] = []
+        self._local_requests: dict[int, list[tuple[int, float]]] = {}
+        self._reply_values: dict[tuple[int, int], float] = {}
+        self._sample_sums = {cell: [0.0, 0.0, 0] for cell in self.owned}
+        #: Semantic event count: requests (retries included), hand-off
+        #: arrivals, lifetime completions.  Engine bookkeeping events
+        #: (departure halves, samples) are excluded so the count is the
+        #: same for every shard count; the coordinator adds the global
+        #: sample-tick count once.
+        self.semantic_events = 0
+        self.peak_live = 0
+        for cell in self.owned:
+            first = self.arrivals.next_arrival(0.0, self._arrival_rngs[cell])
+            if first is not None and first <= self.duration:
+                self.engine.call_at(
+                    first,
+                    self._on_arrival,
+                    cell,
+                    priority=EventPriority.ARRIVAL,
+                )
+        if config.sample_interval > 0 and self.owned:
+            self.engine.call_at(
+                config.sample_interval,
+                self._on_sample,
+                priority=EventPriority.MONITOR,
+            )
+
+    # -- barrier protocol ------------------------------------------------
+    def barrier_begin(
+        self,
+        k: int,
+        mirrors: list[tuple[int, bool, float]],
+        migrations: list[tuple],
+    ) -> list[tuple[int, int, float]]:
+        """Open epoch ``k``: apply boundary state, emit cross-cut requests.
+
+        Returns ``(supplier, target, t_est)`` requests whose supplier
+        lives in another shard.
+        """
+        barrier = k * self.epoch
+        self._barrier_time = barrier
+        self._remote_activity = {}
+        self._remote_ms = {}
+        for cell, active, max_sojourn in mirrors:
+            self._remote_activity[cell] = active
+            self._remote_ms[cell] = max_sojourn
+        station = self.network.station
+        local_ms = {
+            cell: station(cell).estimator.max_sojourn(barrier)
+            for cell in self.owned
+        }
+        neighbors = self.topology.neighbors
+        for cell in self.owned:
+            best = 0.0
+            for neighbor in neighbors(cell):
+                value = local_ms.get(neighbor)
+                if value is None:
+                    value = self._remote_ms.get(neighbor, 0.0)
+                if value > best:
+                    best = value
+            self._nms[cell] = best
+        for payload in migrations:
+            self.engine.call_at(
+                payload[0],
+                self._on_migration,
+                payload,
+                priority=EventPriority.HANDOFF,
+            )
+        requests_out: list[tuple[int, int, float]] = []
+        self._pending_install = []
+        self._local_requests = {}
+        self._reply_values = {}
+        if self.adaptive and k > 0:
+            activity = self._activity
+            remote_activity = self._remote_activity
+            owner = self.plan.owner
+            metrics = self.metrics
+            for cell in self.owned:
+                dirty = activity[cell]
+                if not dirty:
+                    for neighbor in neighbors(cell):
+                        if activity.get(
+                            neighbor, False
+                        ) or remote_activity.get(neighbor, False):
+                            dirty = True
+                            break
+                if not dirty:
+                    continue
+                cell_station = station(cell)
+                t_est = cell_station.t_est
+                cell_neighbors = neighbors(cell)
+                # §4.1 message pattern, folded into the barrier: one
+                # T_est announcement + one Eq. 5 reply per neighbour.
+                metrics.total_calculations += 1
+                metrics.total_messages += 2 * len(cell_neighbors)
+                cell_station.messages_sent += len(cell_neighbors)
+                self._pending_install.append(cell)
+                for neighbor in cell_neighbors:
+                    if owner[neighbor] == self.index:
+                        self._local_requests.setdefault(neighbor, []).append(
+                            (cell, t_est)
+                        )
+                    else:
+                        requests_out.append((neighbor, cell, t_est))
+        for cell in self.owned:
+            self._activity[cell] = False
+        return requests_out
+
+    def evaluate(
+        self, remote_requests: list[tuple[int, int, float]]
+    ) -> list[tuple[int, int, float]]:
+        """Answer Eq. 5 for every supplier this shard owns.
+
+        Suppliers are processed in cell-id order and each supplier's
+        requests in target-id order, so the batched estimator walk is
+        shard-count-independent.  Returns replies whose target lives in
+        another shard.
+        """
+        merged = self._local_requests
+        for supplier, target, t_est in remote_requests:
+            merged.setdefault(supplier, []).append((target, t_est))
+        owner = self.plan.owner
+        replies_out: list[tuple[int, int, float]] = []
+        for supplier in sorted(merged):
+            requests = sorted(merged[supplier])
+            station = self.network.station(supplier)
+            station.messages_sent += len(requests)
+            values = station.outgoing_reservation_multi(
+                self._barrier_time, requests
+            )
+            for (target, _), value in zip(requests, values):
+                if owner[target] == self.index:
+                    self._reply_values[(supplier, target)] = value
+                else:
+                    replies_out.append((supplier, target, value))
+        self._local_requests = {}
+        return replies_out
+
+    def run_epoch(
+        self, k: int, replies: list[tuple[int, int, float]]
+    ) -> tuple[dict[int, list], dict[int, list]]:
+        """Install Eq. 6, run to the epoch end, ship boundary batches.
+
+        Returns ``(mirrors, migrations)`` keyed by destination shard.
+        """
+        for supplier, target, value in replies:
+            self._reply_values[(supplier, target)] = value
+        station = self.network.station
+        neighbors = self.topology.neighbors
+        reply_values = self._reply_values
+        for cell in self._pending_install:
+            contributions = [
+                reply_values[(neighbor, cell)] for neighbor in neighbors(cell)
+            ]
+            target_station = station(cell)
+            target_station.cell.reserved_target = aggregate_reservation(
+                contributions
+            )
+            target_station.reservation_calculations += 1
+        self._pending_install = []
+        self._reply_values = {}
+        until = min((k + 1) * self.epoch, self.duration)
+        self.engine.run(until=until)
+        if self.store.live > self.peak_live:
+            self.peak_live = self.store.live
+        # Ship every boundary crossing landing in the next epoch.  The
+        # epoch <= MIN_NOTICE bound guarantees anything landing later
+        # than that is still undrawn or already heaped for a later
+        # barrier.
+        deadline = (k + 2) * self.epoch
+        outgoing = self._outgoing
+        store = self.store
+        columns = store.columns
+        owner = self.plan.owner
+        migrations: dict[int, list] = {}
+        while outgoing and outgoing[0][0] <= deadline:
+            ctime, row, serial, dest = heapq.heappop(outgoing)
+            if store.serial_of(row) != serial:
+                continue  # connection already ended; row recycled
+            if float(columns["end_time"][row]) <= ctime:
+                # The lifetime end this epoch or next beats the crossing
+                # (DEPARTURE fires before HANDOFF at equal times); the
+                # local end event will cancel the crossing.
+                continue
+            crossing = self._crossing_events.get(row)
+            if crossing is None or crossing.cancelled or crossing.time != ctime:
+                continue
+            end_event = self._end_events.pop(row)
+            end_event.cancel()
+            payload = (
+                ctime,
+                dest,
+                int(columns["cell"][row]),
+                int(columns["birth_cell"][row]),
+                int(columns["birth_seq"][row]),
+                int(columns["hops"][row]),
+                int(columns["heading"][row]),
+                int(columns["pop"][row]),
+                int(columns["bw_code"][row]),
+                float(columns["end_time"][row]),
+            )
+            migrations.setdefault(owner[dest], []).append(payload)
+        # Boundary mirrors: engine.now == until and nothing runs before
+        # the next barrier, so these are the barrier-time values.
+        mirrors: dict[int, list] = {}
+        for target, cells in self.plan.boundary[self.index].items():
+            mirrors[target] = [
+                (
+                    cell,
+                    self._activity[cell],
+                    station(cell).estimator.max_sojourn(until),
+                )
+                for cell in cells
+            ]
+        return mirrors, migrations
+
+    # -- event handlers --------------------------------------------------
+    def _on_arrival(self, cell_id: int) -> None:
+        now = self.engine.now
+        next_time = self.arrivals.next_arrival(now, self._arrival_rngs[cell_id])
+        if next_time is not None and next_time <= self.duration:
+            self.engine.call_at(
+                next_time,
+                self._on_arrival,
+                cell_id,
+                priority=EventPriority.ARRIVAL,
+            )
+        index = self._arrival_index[cell_id]
+        self._arrival_index[cell_id] = index + 1
+        self._handle_request(cell_id, index, 1)
+
+    def _handle_request(self, cell_id: int, arr_index: int, attempt: int) -> None:
+        now = self.engine.now
+        self.semantic_events += 1
+        rng = _derived_rng(self.seed, "req", cell_id, arr_index, attempt)
+        traffic_class = self.mix.sample(rng)
+        cell = self.network.cell(cell_id)
+        admitted = cell.fits_new_connection(traffic_class.bandwidth)
+        self.metrics.record_admission_test(0, 0)
+        self.metrics.record_request(cell_id, now, blocked=not admitted)
+        if not admitted:
+            if self.retry.should_retry(attempt, rng):
+                self.engine.call_in(
+                    self.retry.delay,
+                    self._handle_request,
+                    cell_id,
+                    arr_index,
+                    attempt + 1,
+                    priority=EventPriority.ARRIVAL,
+                )
+            return
+        # Same draw order as HexMobilityModel.spawn: population class,
+        # then an initial heading for moving mobiles.
+        draw = rng.random()
+        cumulative = 0.0
+        pop_index = len(self.population) - 1
+        for position, member in enumerate(self.population):
+            cumulative += member.fraction
+            if draw < cumulative:
+                pop_index = position
+                break
+        member = self.population[pop_index]
+        heading = rng.randrange(6) if member.mean_sojourn > 0 else 0
+        lifetime = rng.expovariate(1.0 / self.config.mean_lifetime)
+        store = self.store
+        row = store.alloc()
+        columns = store.columns
+        columns["entry_time"][row] = now
+        columns["end_time"][row] = now + lifetime
+        columns["cell"][row] = cell_id
+        columns["prev"][row] = -1
+        columns["birth_cell"][row] = cell_id
+        columns["birth_seq"][row] = arr_index
+        columns["hops"][row] = 0
+        columns["bw_code"][row] = 0 if traffic_class is VOICE else 1
+        columns["pop"][row] = pop_index
+        columns["heading"][row] = heading
+        handle = self._handle_cls(row)
+        self._handles[row] = handle
+        cell.attach(handle)
+        self._activity[cell_id] = True
+        self._end_events[row] = self.engine.call_at(
+            now + lifetime,
+            self._on_lifetime_end,
+            row,
+            priority=EventPriority.DEPARTURE,
+        )
+        self._schedule_crossing(row)
+
+    def _schedule_crossing(self, row: int) -> None:
+        store = self.store
+        columns = store.columns
+        member = self.population[columns["pop"][row]]
+        if member.mean_sojourn <= 0:
+            return
+        cell_id = int(columns["cell"][row])
+        # Same draw order as HexMobilityModel.next_transition, keyed by
+        # birth coordinates + hop count so the stream is identical no
+        # matter which shard executes the hop.
+        rng = _derived_rng(
+            self.seed,
+            "hop",
+            int(columns["birth_cell"][row]),
+            int(columns["birth_seq"][row]),
+            int(columns["hops"][row]),
+        )
+        sojourn = rng.expovariate(1.0 / member.mean_sojourn)
+        heading = int(columns["heading"][row]) % 6
+        if rng.random() < member.heading_persistence:
+            index = heading
+        else:
+            index = (heading + rng.choice((-1, 1))) % 6
+        columns["heading"][row] = index
+        neighbors = self.topology.neighbors(cell_id)
+        next_cell = neighbors[index % len(neighbors)]
+        ctime = self.engine.now + max(sojourn, HexMobilityModel.MIN_NOTICE)
+        serial = store.serial_of(row)
+        self._crossing_events[row] = self.engine.call_at(
+            ctime,
+            self._on_crossing,
+            row,
+            serial,
+            next_cell,
+            priority=EventPriority.HANDOFF,
+        )
+        if self.plan.owner[next_cell] != self.index:
+            heapq.heappush(self._outgoing, (ctime, row, serial, next_cell))
+
+    def _on_crossing(self, row: int, serial: int, next_cell: int) -> None:
+        store = self.store
+        if store.serial_of(row) != serial:
+            return
+        self._crossing_events.pop(row, None)
+        now = self.engine.now
+        columns = store.columns
+        old_cell = int(columns["cell"][row])
+        prev = int(columns["prev"][row])
+        self.network.station(old_cell).record_departure(
+            now,
+            None if prev < 0 else prev,
+            next_cell,
+            float(columns["entry_time"][row]),
+        )
+        handle = self._handles[row]
+        self.network.cell(old_cell).detach(handle)
+        self._activity[old_cell] = True
+        if self.plan.owner[next_cell] != self.index:
+            # Departure half only: the arrival half was shipped at the
+            # previous barrier and runs on the destination's owner.
+            del self._handles[row]
+            store.free(row)
+            return
+        self.semantic_events += 1
+        dropped = not self.network.cell(next_cell).fits_handoff(
+            BANDWIDTH_TABLE[columns["bw_code"][row]]
+        )
+        self.network.station(next_cell).window.on_handoff(
+            dropped, self._nms[next_cell], now
+        )
+        self.metrics.record_handoff(next_cell, now, dropped=dropped)
+        self._activity[next_cell] = True
+        if dropped:
+            end_event = self._end_events.pop(row, None)
+            if end_event is not None:
+                end_event.cancel()
+            del self._handles[row]
+            store.free(row)
+            return
+        columns["prev"][row] = old_cell
+        columns["entry_time"][row] = now
+        columns["cell"][row] = next_cell
+        columns["hops"][row] += 1
+        self.network.cell(next_cell).attach(handle)
+        self._schedule_crossing(row)
+
+    def _on_migration(self, payload: tuple) -> None:
+        (
+            _,
+            dest,
+            old_cell,
+            birth_cell,
+            birth_seq,
+            hops,
+            heading,
+            pop_index,
+            bw_code,
+            end_time,
+        ) = payload
+        now = self.engine.now
+        self.semantic_events += 1
+        dropped = not self.network.cell(dest).fits_handoff(
+            BANDWIDTH_TABLE[bw_code]
+        )
+        self.network.station(dest).window.on_handoff(
+            dropped, self._nms[dest], now
+        )
+        self.metrics.record_handoff(dest, now, dropped=dropped)
+        self._activity[dest] = True
+        if dropped:
+            return
+        store = self.store
+        row = store.alloc()
+        columns = store.columns
+        columns["entry_time"][row] = now
+        columns["end_time"][row] = end_time
+        columns["cell"][row] = dest
+        columns["prev"][row] = old_cell
+        columns["birth_cell"][row] = birth_cell
+        columns["birth_seq"][row] = birth_seq
+        columns["hops"][row] = hops + 1
+        columns["bw_code"][row] = bw_code
+        columns["pop"][row] = pop_index
+        columns["heading"][row] = heading
+        handle = self._handle_cls(row)
+        self._handles[row] = handle
+        self.network.cell(dest).attach(handle)
+        self._end_events[row] = self.engine.call_at(
+            end_time,
+            self._on_lifetime_end,
+            row,
+            priority=EventPriority.DEPARTURE,
+        )
+        self._schedule_crossing(row)
+
+    def _on_lifetime_end(self, row: int) -> None:
+        now = self.engine.now
+        self.semantic_events += 1
+        self._end_events.pop(row, None)
+        crossing = self._crossing_events.pop(row, None)
+        if crossing is not None:
+            crossing.cancel()
+        store = self.store
+        cell_id = int(store.columns["cell"][row])
+        self.network.cell(cell_id).detach(self._handles.pop(row))
+        self.metrics.record_completion(cell_id, now)
+        self._activity[cell_id] = True
+        store.free(row)
+
+    def _on_sample(self) -> None:
+        now = self.engine.now
+        warm = now >= self.config.warmup
+        station = self.network.station
+        for cell_id in self.owned:
+            cell_station = station(cell_id)
+            reserved = cell_station.cell.reserved_target
+            used = cell_station.cell.used_bandwidth
+            self.metrics.sample_cell(
+                cell_id, now, reserved, used, cell_station.t_est
+            )
+            if warm:
+                sums = self._sample_sums[cell_id]
+                sums[0] += reserved
+                sums[1] += used
+                sums[2] += 1
+        next_time = now + self.config.sample_interval
+        if next_time <= self.duration:
+            self.engine.call_at(
+                next_time, self._on_sample, priority=EventPriority.MONITOR
+            )
+
+    # -- finalisation ----------------------------------------------------
+    def _harvest_telemetry(self) -> dict | None:
+        tel = self.telemetry
+        if not tel.enabled:
+            return None
+        engine = self.engine
+        tel.counter("des.events_fired").inc(engine.events_processed)
+        tel.counter("des.events_cancelled").inc(engine.events_cancelled)
+        tel.counter("des.heap_compactions").inc(engine.heap_compactions)
+        tel.counter("spatial.semantic_events").inc(self.semantic_events)
+        tel.gauge("spatial.store_bytes").set(self.store.nbytes)
+        tel.gauge("spatial.peak_live_connections").set(self.peak_live)
+        messages = updates = 0
+        for cell_id in self.owned:
+            station = self.network.station(cell_id)
+            messages += station.messages_sent
+            updates += station.reservation_calculations
+        tel.counter("cellular.messages_sent").inc(messages)
+        tel.counter("cellular.reservation_updates").inc(updates)
+        tel.counter("cellular.admission_tests").inc(
+            self.metrics.total_admission_tests
+        )
+        return tel.snapshot()
+
+    def finish(self, collect_state: bool = False) -> ShardResult:
+        metrics = self.metrics
+        statuses = {}
+        for cell_id in self.owned:
+            station = self.network.station(cell_id)
+            counters = metrics.cells[cell_id]
+            statuses[cell_id] = CellStatus(
+                cell_id=cell_id,
+                blocking_probability=counters.blocking_probability,
+                dropping_probability=counters.dropping_probability,
+                t_est=station.t_est,
+                reserved_target=station.cell.reserved_target,
+                used_bandwidth=station.cell.used_bandwidth,
+            )
+        hourly = {
+            hour: (
+                bucket.new_requests,
+                bucket.blocked,
+                bucket.handoff_attempts,
+                bucket.handoff_drops,
+            )
+            for hour, bucket in metrics.hourly.items()
+        }
+        state = None
+        if collect_state:
+            state = {}
+            for cell_id in self.owned:
+                cache = getattr(
+                    self.network.station(cell_id).estimator, "cache", None
+                )
+                if cache is None:
+                    continue
+                columns = cache.export_columns(self.duration)
+                if columns:
+                    state[cell_id] = columns
+        return ShardResult(
+            index=self.index,
+            cells={cell: metrics.cells[cell] for cell in self.owned},
+            statuses=statuses,
+            hourly=hourly,
+            t_est_traces=dict(metrics.t_est_traces),
+            reservation_traces=dict(metrics.reservation_traces),
+            phd_traces=dict(metrics.phd_traces),
+            sample_sums={
+                cell: tuple(sums) for cell, sums in self._sample_sums.items()
+            },
+            admission_tests=metrics.total_admission_tests,
+            calculations=metrics.total_calculations,
+            messages=metrics.total_messages,
+            events=self.semantic_events,
+            telemetry=self._harvest_telemetry(),
+            state=state,
+            store_bytes=self.store.nbytes,
+            peak_live=self.peak_live,
+        )
+
+
+# ----------------------------------------------------------------------
+# shard hosts
+# ----------------------------------------------------------------------
+class LocalShardHost:
+    """In-process shard host: the sequential reference executor.
+
+    Runs the identical barrier protocol without processes — the N=1
+    path, the determinism tests, and a zero-overhead fallback when the
+    host has fewer cores than shards.
+    """
+
+    def __init__(self, config, plan, index, epoch):
+        self._engine = ShardEngine(config, plan, index, epoch)
+        self._pending = None
+
+    def send(self, op: str, *args) -> None:
+        engine = self._engine
+        if op == "barrier":
+            self._pending = engine.barrier_begin(*args)
+        elif op == "evaluate":
+            self._pending = engine.evaluate(*args)
+        elif op == "epoch":
+            self._pending = engine.run_epoch(*args)
+        elif op == "finish":
+            self._pending = engine.finish(*args)
+        else:  # pragma: no cover - protocol misuse
+            raise ValueError(f"unknown shard op {op!r}")
+
+    def recv(self):
+        pending, self._pending = self._pending, None
+        return pending
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, config, plan, index, epoch) -> None:
+    """Persistent worker process: one ShardEngine driven over a pipe."""
+    import traceback
+
+    try:
+        engine = ShardEngine(config, plan, index, epoch)
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            op, args = conn.recv()
+        except EOFError:
+            return
+        if op == "stop":
+            return
+        try:
+            if op == "barrier":
+                value = engine.barrier_begin(*args)
+            elif op == "evaluate":
+                value = engine.evaluate(*args)
+            elif op == "epoch":
+                value = engine.run_epoch(*args)
+            elif op == "finish":
+                value = engine.finish(*args)
+            else:
+                raise ValueError(f"unknown shard op {op!r}")
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+            return
+        conn.send(("ok", value))
+
+
+class ProcessShardHost:
+    """A shard in a persistent worker process, driven over a Pipe.
+
+    The coordinator sends one command per barrier phase to every host
+    before collecting any reply, so shards run their epochs in
+    parallel.
+    """
+
+    def __init__(self, config, plan, index, epoch, ctx):
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._process = ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, config, plan, index, epoch),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def send(self, op: str, *args) -> None:
+        self._conn.send((op, args))
+
+    def recv(self):
+        status, value = self._conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"shard worker failed:\n{value}")
+        return value
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop", ()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - dying worker
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+def _merge_results(
+    config: SimulationConfig,
+    plan: ShardPlan,
+    results: list[ShardResult],
+    epoch: float,
+    wall_seconds: float,
+) -> SimulationResult:
+    """Merge shard results in cell-id order (shard-count-invariant)."""
+    num_cells = len(plan.owner)
+    by_cell_counters = {}
+    by_cell_status = {}
+    for result in results:
+        by_cell_counters.update(result.cells)
+        by_cell_status.update(result.statuses)
+    cells = [by_cell_counters[cell] for cell in range(num_cells)]
+    statuses = [by_cell_status[cell] for cell in range(num_cells)]
+    reservation_sum = 0.0
+    used_sum = 0.0
+    samples = 0
+    sample_sums = {}
+    for result in results:
+        sample_sums.update(result.sample_sums)
+    for cell in range(num_cells):
+        cell_res, cell_used, cell_samples = sample_sums[cell]
+        reservation_sum += cell_res
+        used_sum += cell_used
+        samples += cell_samples
+    tests = sum(result.admission_tests for result in results)
+    calculations = sum(result.calculations for result in results)
+    messages = sum(result.messages for result in results)
+    hourly_totals: dict[int, list[int]] = {}
+    for result in results:
+        for hour, values in result.hourly.items():
+            bucket = hourly_totals.setdefault(hour, [0, 0, 0, 0])
+            for position in range(4):
+                bucket[position] += values[position]
+    hourly = [
+        HourlyBucket(hour, *hourly_totals[hour])
+        for hour in sorted(hourly_totals)
+    ]
+    t_est_traces = {}
+    reservation_traces = {}
+    phd_traces = {}
+    for result in results:
+        t_est_traces.update(result.t_est_traces)
+        reservation_traces.update(result.reservation_traces)
+        phd_traces.update(result.phd_traces)
+    events = sum(result.events for result in results)
+    if config.sample_interval > 0:
+        events += int(config.duration / config.sample_interval + 1e-9)
+    snapshots = [
+        result.telemetry for result in results if result.telemetry is not None
+    ]
+    if config.scheme.lower() == "static":
+        policy = make_policy("static", guard_bandwidth=config.static_guard)
+    else:
+        policy = make_policy(config.scheme)
+    return SimulationResult(
+        label=config.label or config.scheme,
+        scheme=policy.name,
+        offered_load=config.offered_load,
+        duration=config.duration,
+        warmup=config.warmup,
+        num_cells=num_cells,
+        cells=cells,
+        statuses=statuses,
+        average_reservation=reservation_sum / samples if samples else 0.0,
+        average_used=used_sum / samples if samples else 0.0,
+        average_calculations=calculations / tests if tests else 0.0,
+        average_messages=messages / tests if tests else 0.0,
+        total_admission_tests=tests,
+        hourly=hourly,
+        t_est_traces=t_est_traces,
+        reservation_traces=reservation_traces,
+        phd_traces=phd_traces,
+        events_processed=events,
+        wall_seconds=wall_seconds,
+        run_id=config.run_id or new_run_id(),
+        telemetry=merge_snapshots(snapshots) if snapshots else None,
+    )
+
+
+def run_spatial(
+    config: SimulationConfig,
+    shards: int,
+    *,
+    processes: bool | None = None,
+    epoch: float = 1.0,
+    collect_state: bool = False,
+):
+    """Run a hex city across ``shards`` row-band shards.
+
+    ``processes=None`` uses worker processes whenever ``shards > 1``;
+    ``False`` forces the in-process sequential hosts (tests, or
+    core-starved machines); ``True`` forces one process per shard.
+    Returns the merged :class:`SimulationResult` — bit-identical in
+    :meth:`~SimulationResult.metrics_key` for every shard count — or a
+    ``(result, state)`` pair when ``collect_state`` is set, where
+    ``state`` maps every cell to its exported quadruplet columns.
+    """
+    check_spatial_config(config, epoch)
+    rows, cols, wrap = _hex_dimensions(config)
+    topology = HexTopology(rows, cols, wrap=wrap)
+    plan = partition_hex(topology, shards)
+    if processes is None:
+        processes = shards > 1
+    started = wall_clock.perf_counter()
+    hosts = []
+    try:
+        if processes:
+            import multiprocessing
+
+            # Prefer fork (as the sweep pool does): workers inherit the
+            # warm interpreter instead of re-importing numpy apiece,
+            # which otherwise dominates short runs.  The engine is still
+            # built inside the worker from the pickled plan, so the
+            # start method never affects results.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            hosts = [
+                ProcessShardHost(config, plan, index, epoch, ctx)
+                for index in range(shards)
+            ]
+        else:
+            hosts = [
+                LocalShardHost(config, plan, index, epoch)
+                for index in range(shards)
+            ]
+        epochs = max(1, -int(-config.duration // epoch))
+        pending = [({}, {}) for _ in range(shards)]
+        for k in range(epochs):
+            mirrors_for = [[] for _ in range(shards)]
+            migrations_for = [[] for _ in range(shards)]
+            for shard_mirrors, shard_migrations in pending:
+                for target, items in shard_mirrors.items():
+                    mirrors_for[target].extend(items)
+                for target, items in shard_migrations.items():
+                    migrations_for[target].extend(items)
+            for items in migrations_for:
+                # Deterministic scheduling order no matter which source
+                # shard shipped each hand-off.
+                items.sort()
+            for index, host in enumerate(hosts):
+                host.send("barrier", k, mirrors_for[index], migrations_for[index])
+            request_batches = [host.recv() for host in hosts]
+            requests_for = [[] for _ in range(shards)]
+            for batch in request_batches:
+                for supplier, target, t_est in batch:
+                    requests_for[plan.owner[supplier]].append(
+                        (supplier, target, t_est)
+                    )
+            for index, host in enumerate(hosts):
+                host.send("evaluate", requests_for[index])
+            reply_batches = [host.recv() for host in hosts]
+            replies_for = [[] for _ in range(shards)]
+            for batch in reply_batches:
+                for supplier, target, value in batch:
+                    replies_for[plan.owner[target]].append(
+                        (supplier, target, value)
+                    )
+            for index, host in enumerate(hosts):
+                host.send("epoch", k, replies_for[index])
+            pending = [host.recv() for host in hosts]
+        for host in hosts:
+            host.send("finish", collect_state)
+        results = [host.recv() for host in hosts]
+    finally:
+        for host in hosts:
+            host.close()
+    wall_seconds = wall_clock.perf_counter() - started
+    merged = _merge_results(config, plan, results, epoch, wall_seconds)
+    if collect_state:
+        state = {}
+        for result in results:
+            state.update(result.state or {})
+        return merged, state
+    return merged
+
+
+# ----------------------------------------------------------------------
+# campaign support: per-shard checkpoints + merged manifest
+# ----------------------------------------------------------------------
+def write_spatial_checkpoint(
+    day_dir, plan: ShardPlan, state: dict, meta: dict
+) -> dict:
+    """Write one shard checkpoint file per shard plus ``manifest.json``.
+
+    Each shard file carries its owned cells' exported quadruplet
+    columns as canonical JSON; the manifest records one CRC-32 per
+    file so a later warm start fails loudly on torn or edited
+    checkpoints (same contract as the durable state store).
+    """
+    day_dir = Path(day_dir)
+    day_dir.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for shard in range(plan.shards):
+        cells_payload = {}
+        for cell in plan.cells[shard]:
+            columns = state.get(cell)
+            if not columns:
+                continue
+            cells_payload[str(cell)] = {
+                (
+                    f"{'-' if prev is None else prev}:{next_cell}"
+                ): [list(times), list(sojourns)]
+                for (prev, next_cell), (times, sojourns) in sorted(
+                    columns.items(),
+                    key=lambda item: (item[0][0] is not None, item[0]),
+                )
+            }
+        payload = {"shard": shard, "cells": cells_payload}
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        path = day_dir / f"shard-{shard:02d}.json"
+        path.write_text(encoded)
+        entries.append(
+            {
+                "file": path.name,
+                "crc32": zlib.crc32(encoded.encode("utf-8")),
+                "cells": len(cells_payload),
+            }
+        )
+    manifest = dict(meta)
+    manifest["shards"] = plan.shards
+    manifest["files"] = entries
+    (day_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    return manifest
+
+
+def load_spatial_checkpoint(day_dir) -> dict:
+    """Load and CRC-verify a day checkpoint back into export form."""
+    day_dir = Path(day_dir)
+    manifest = json.loads((day_dir / "manifest.json").read_text())
+    exports: dict = {}
+    for entry in manifest["files"]:
+        path = day_dir / entry["file"]
+        raw = path.read_text()
+        if zlib.crc32(raw.encode("utf-8")) != entry["crc32"]:
+            raise ValueError(f"spatial checkpoint corrupted: {path}")
+        payload = json.loads(raw)
+        for cell_text, pairs in payload["cells"].items():
+            cell_exports = {}
+            for key, (times, sojourns) in pairs.items():
+                prev_text, next_text = key.split(":")
+                prev = None if prev_text == "-" else int(prev_text)
+                cell_exports[(prev, int(next_text))] = (
+                    [float(value) for value in times],
+                    [float(value) for value in sojourns],
+                )
+            exports[int(cell_text)] = cell_exports
+    return exports
+
+
+@dataclass
+class SpatialDayResult:
+    """Summary of one simulated day of a spatial campaign."""
+
+    day: int
+    seed: int
+    blocking_probability: float
+    dropping_probability: float
+    events: int
+    quadruplets: int
+    wall_seconds: float
+    checkpoint: str
+
+
+def run_spatial_campaign(
+    config: SimulationConfig,
+    shards: int,
+    days: int,
+    state_dir,
+    *,
+    processes: bool | None = None,
+    epoch: float = 1.0,
+    jsonl_path=None,
+) -> list[SpatialDayResult]:
+    """Run ``days`` chained spatial days, warm-starting each from disk.
+
+    Day ``d`` runs with seed ``RandomStreams(config.seed).spawn(d)``;
+    its estimator history is checkpointed per shard under
+    ``state_dir/day-<d>/`` and day ``d+1`` warm-starts from the
+    *written files* (CRC-verified), so a campaign interrupted between
+    days resumes from durable state.
+    """
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    check_spatial_config(config, epoch)
+    rows, cols, wrap = _hex_dimensions(config)
+    plan = partition_hex(HexTopology(rows, cols, wrap=wrap), shards)
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    streams = RandomStreams(config.seed)
+    store = None
+    handle = None
+    reports: list[SpatialDayResult] = []
+    jsonl = Path(jsonl_path) if jsonl_path is not None else None
+    try:
+        for day in range(days):
+            day_seed = streams.spawn(day).seed
+            day_config = replace(
+                config,
+                seed=day_seed,
+                warm_state=handle,
+                run_id=f"{config.run_id or 'spatial-campaign'}-day{day}",
+            )
+            result, state = run_spatial(
+                day_config,
+                shards,
+                processes=processes,
+                epoch=epoch,
+                collect_state=True,
+            )
+            day_dir = state_dir / f"day-{day:03d}"
+            write_spatial_checkpoint(
+                day_dir,
+                plan,
+                state,
+                {
+                    "day": day,
+                    "seed": day_seed,
+                    "base_seed": config.seed,
+                    "hex_rows": rows,
+                    "hex_cols": cols,
+                    "hex_wrap": wrap,
+                    "scheme": config.scheme,
+                },
+            )
+            # Warm-start the next day from the durable files, not the
+            # in-memory state: proves the checkpoint round trip daily.
+            exports = load_spatial_checkpoint(day_dir)
+            if store is not None:
+                store.close()
+            store = SharedColumnStore(exports)
+            handle = store.handle()
+            quadruplets = sum(
+                len(times)
+                for pairs in exports.values()
+                for times, _ in pairs.values()
+            )
+            report = SpatialDayResult(
+                day=day,
+                seed=day_seed,
+                blocking_probability=result.blocking_probability,
+                dropping_probability=result.dropping_probability,
+                events=result.events_processed,
+                quadruplets=quadruplets,
+                wall_seconds=result.wall_seconds,
+                checkpoint=str(day_dir),
+            )
+            reports.append(report)
+            if jsonl is not None:
+                with jsonl.open("a", encoding="utf-8") as stream:
+                    stream.write(
+                        json.dumps(
+                            {
+                                "day": report.day,
+                                "seed": report.seed,
+                                "p_cb": report.blocking_probability,
+                                "p_hd": report.dropping_probability,
+                                "events": report.events,
+                                "quadruplets": report.quadruplets,
+                                "checkpoint": report.checkpoint,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+    finally:
+        if store is not None:
+            store.close()
+    return reports

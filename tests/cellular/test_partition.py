@@ -1,0 +1,115 @@
+"""Partitioning invariants of HexTopology.row_bands / partition_hex."""
+
+import pytest
+
+from repro.cellular.topology import HexTopology
+from repro.simulation.spatial import partition_hex
+
+
+class TestRowBands:
+    def test_sizes_differ_by_at_most_one(self):
+        topology = HexTopology(10, 4, wrap=True)
+        for bands in range(1, 11):
+            ranges = topology.row_bands(bands)
+            sizes = [end - start for start, end in ranges]
+            assert len(ranges) == bands
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == topology.rows
+
+    def test_contiguous_and_ordered(self):
+        topology = HexTopology(8, 3, wrap=True)
+        ranges = topology.row_bands(3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == topology.rows
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+    def test_extra_rows_go_to_first_bands(self):
+        ranges = HexTopology(10, 2, wrap=True).row_bands(4)
+        assert [end - start for start, end in ranges] == [3, 3, 2, 2]
+
+    def test_rejects_bad_band_counts(self):
+        topology = HexTopology(4, 4, wrap=True)
+        with pytest.raises(ValueError):
+            topology.row_bands(0)
+        with pytest.raises(ValueError):
+            topology.row_bands(5)
+
+
+class TestPartitionHex:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_every_cell_owned_exactly_once(self, shards):
+        topology = HexTopology(8, 5, wrap=True)
+        plan = partition_hex(topology, shards)
+        seen = []
+        for shard in range(plan.shards):
+            seen.extend(plan.cells[shard])
+        assert sorted(seen) == list(range(topology.num_cells))
+        for cell in range(topology.num_cells):
+            owner = plan.owner[cell]
+            assert cell in plan.cells[owner]
+
+    def test_bands_are_contiguous_rows(self):
+        topology = HexTopology(8, 5, wrap=True)
+        plan = partition_hex(topology, 3)
+        for shard in range(plan.shards):
+            rows = sorted({topology.coordinates(c)[0] for c in plan.cells[shard]})
+            assert rows == list(range(rows[0], rows[-1] + 1))
+
+    @pytest.mark.parametrize("wrap", [False, True])
+    def test_neighbor_sets_preserved_across_cuts(self, wrap):
+        """Partitioning never alters adjacency: every neighbor of every
+        cell is owned by exactly one shard, and the cut edges recorded in
+        ``plan.boundary`` are exactly the cross-owner adjacencies."""
+        topology = HexTopology(6, 4, wrap=wrap)
+        plan = partition_hex(topology, 3)
+        cross = set()
+        for cell in range(topology.num_cells):
+            for neighbor in topology.neighbors(cell):
+                owner, other = plan.owner[cell], plan.owner[neighbor]
+                assert 0 <= other < plan.shards
+                if owner != other:
+                    cross.add((owner, other))
+        recorded = {
+            (source, target)
+            for source, targets in enumerate(plan.boundary)
+            for target in targets
+        }
+        assert recorded == cross
+        for source, targets in enumerate(plan.boundary):
+            for target, cells in targets.items():
+                expected = [
+                    cell
+                    for cell in plan.cells[source]
+                    if any(
+                        plan.owner[neighbor] == target
+                        for neighbor in topology.neighbors(cell)
+                    )
+                ]
+                assert list(cells) == expected
+
+    def test_wrap_routes_first_and_last_band_together(self):
+        """On a torus, row 0 borders the last row, so shard 0 and the
+        last shard must list each other as boundary peers."""
+        topology = HexTopology(8, 4, wrap=True)
+        plan = partition_hex(topology, 4)
+        assert (plan.shards - 1) in plan.boundary[0]
+        assert 0 in plan.boundary[plan.shards - 1]
+        # Unwrapped, the same cut has no 0 <-> last adjacency.
+        open_plan = partition_hex(HexTopology(8, 4, wrap=False), 4)
+        assert (open_plan.shards - 1) not in open_plan.boundary[0]
+
+    def test_boundary_cells_are_one_row_deep(self):
+        """Hex adjacency spans at most one row, so every cross-shard
+        edge starts in the first or last row of its band."""
+        topology = HexTopology(8, 4, wrap=True)
+        plan = partition_hex(topology, 4)
+        bands = topology.row_bands(4)
+        for cell in range(topology.num_cells):
+            owner = plan.owner[cell]
+            row = topology.coordinates(cell)[0]
+            start, end = bands[owner]
+            for neighbor in topology.neighbors(cell):
+                if plan.owner[neighbor] != owner:
+                    assert row in (start, end - 1)
+                    break

@@ -1,0 +1,128 @@
+"""Columnar connection store: allocation, recycling, handles."""
+
+import pytest
+
+from repro.simulation.columnar import (
+    BANDWIDTH_TABLE,
+    ConnectionStore,
+    handle_class,
+)
+
+
+class TestAllocFree:
+    def test_alloc_returns_distinct_rows(self):
+        store = ConnectionStore(num_cells=10, capacity=4)
+        rows = [store.alloc() for _ in range(4)]
+        assert sorted(rows) == [0, 1, 2, 3]
+        assert store.live == 4
+
+    def test_free_recycles_rows(self):
+        store = ConnectionStore(num_cells=10, capacity=4)
+        first = store.alloc()
+        store.alloc()
+        store.free(first)
+        assert store.live == 1
+        assert store.alloc() == first
+
+    def test_growth_preserves_contents(self):
+        store = ConnectionStore(num_cells=10, capacity=2)
+        rows = [store.alloc() for _ in range(2)]
+        store.columns["cell"][rows[0]] = 7
+        store.columns["entry_time"][rows[1]] = 3.5
+        for _ in range(10):
+            store.alloc()
+        assert store.capacity >= 12
+        assert int(store.columns["cell"][rows[0]]) == 7
+        assert float(store.columns["entry_time"][rows[1]]) == 3.5
+        assert store.live == 12
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ConnectionStore(num_cells=10, capacity=0)
+        with pytest.raises(ValueError):
+            ConnectionStore(num_cells=0)
+
+
+class TestSerialGuard:
+    def test_serials_are_unique_and_monotone(self):
+        store = ConnectionStore(num_cells=10)
+        row_a, row_b = store.alloc(), store.alloc()
+        assert 0 < store.serial_of(row_a) < store.serial_of(row_b)
+
+    def test_recycled_row_gets_fresh_serial(self):
+        """A stale reference (row, old_serial) must be detectable after
+        the row is freed and recycled — the migration ghost guard."""
+        store = ConnectionStore(num_cells=10)
+        row = store.alloc()
+        stale = store.serial_of(row)
+        store.free(row)
+        assert store.serial_of(row) == 0
+        assert store.alloc() == row
+        assert store.serial_of(row) != stale
+
+
+class TestConnectionSemantics:
+    def test_connection_id_is_birth_coordinates(self):
+        store = ConnectionStore(num_cells=36)
+        row = store.alloc()
+        store.columns["birth_cell"][row] = 11
+        store.columns["birth_seq"][row] = 4
+        assert store.connection_id(row) == 4 * 36 + 11
+
+    def test_bandwidth_table(self):
+        store = ConnectionStore(num_cells=10)
+        row = store.alloc()
+        store.columns["bw_code"][row] = 0
+        assert store.bandwidth(row) == BANDWIDTH_TABLE[0] == 1.0
+        store.columns["bw_code"][row] = 1
+        assert store.bandwidth(row) == BANDWIDTH_TABLE[1] == 4.0
+
+
+class TestHandle:
+    def _store_with_row(self):
+        store = ConnectionStore(num_cells=36)
+        row = store.alloc()
+        store.columns["entry_time"][row] = 12.5
+        store.columns["cell"][row] = 3
+        store.columns["prev"][row] = -1
+        store.columns["birth_cell"][row] = 3
+        store.columns["birth_seq"][row] = 2
+        store.columns["bw_code"][row] = 1
+        return store, row
+
+    def test_handle_exposes_admission_attributes(self):
+        store, row = self._store_with_row()
+        handle = handle_class(store)(row)
+        assert handle.connection_id == 2 * 36 + 3
+        assert handle.bandwidth == 4.0
+        assert handle.full_bandwidth == 4.0
+        assert handle.min_bandwidth == 4.0
+        assert handle.reservation_basis == 4.0
+        assert handle.prev_cell is None
+        assert handle.cell_entry_time == 12.5
+
+    def test_prev_cell_maps_negative_to_none(self):
+        store, row = self._store_with_row()
+        handle = handle_class(store)(row)
+        store.columns["prev"][row] = 17
+        assert handle.prev_cell == 17
+        store.columns["prev"][row] = -1
+        assert handle.prev_cell is None
+
+    def test_handle_is_one_slot(self):
+        store, row = self._store_with_row()
+        handle = handle_class(store)(row)
+        assert not hasattr(handle, "__dict__")
+        with pytest.raises(AttributeError):
+            handle.other = 1
+
+    def test_handles_share_the_class_level_store(self):
+        store, row = self._store_with_row()
+        cls = handle_class(store)
+        assert cls.store is store
+        assert cls(row).store is cls(row).store
+
+    def test_nbytes_counts_all_columns(self):
+        store = ConnectionStore(num_cells=10, capacity=64)
+        # 2 f8 + 5 i4 + 3 i1 data columns plus the i8 serial column.
+        assert store.nbytes == 64 * (2 * 8 + 5 * 4 + 3 * 1 + 8)

@@ -1,0 +1,120 @@
+"""Spatial sharding: shard-count invariance, hosts, campaigns."""
+
+import pytest
+
+from repro.simulation.scenarios import hex_city
+from repro.simulation.spatial import (
+    load_spatial_checkpoint,
+    run_spatial,
+    run_spatial_campaign,
+)
+
+
+def _city(scheme="AC3", **overrides):
+    options = {
+        "rows": 6,
+        "cols": 6,
+        "offered_load": 150.0,
+        "voice_ratio": 0.8,
+        "duration": 60.0,
+        "seed": 11,
+    }
+    options.update(overrides)
+    return hex_city(scheme, **options)
+
+
+class TestShardInvariance:
+    def test_ac3_metrics_identical_for_1_2_4_shards(self):
+        keys = []
+        for shards in (1, 2, 4):
+            result = run_spatial(_city(), shards, processes=False)
+            keys.append(result.metrics_key())
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_run_exercises_handoffs_and_blocking(self):
+        result = run_spatial(
+            _city(offered_load=700.0), 2, processes=False
+        )
+        assert sum(cell.handoff_attempts for cell in result.cells) > 0
+        assert result.blocking_probability > 0.0
+        assert result.events_processed > 0
+
+    def test_static_scheme_identical_across_shards(self):
+        config = _city("static", offered_load=700.0, static_guard=8.0)
+        one = run_spatial(config, 1, processes=False)
+        three = run_spatial(config, 3, processes=False)
+        assert one.metrics_key() == three.metrics_key()
+        assert one.scheme == "static"
+
+    def test_process_hosts_match_inline_hosts(self):
+        config = _city(duration=40.0)
+        inline = run_spatial(config, 2, processes=False)
+        forked = run_spatial(config, 2, processes=True)
+        assert inline.metrics_key() == forked.metrics_key()
+
+
+class TestValidation:
+    def test_rejects_adaptive_qos(self):
+        config = _city(adaptive_qos=True)
+        with pytest.raises(ValueError, match="adaptive"):
+            run_spatial(config, 2, processes=False)
+
+    def test_rejects_non_hex_config(self):
+        from repro.simulation.scenarios import stationary
+
+        with pytest.raises(ValueError, match="hex"):
+            run_spatial(
+                stationary("AC3", offered_load=150.0), 2, processes=False
+            )
+
+    def test_rejects_epoch_beyond_min_notice(self):
+        with pytest.raises(ValueError, match="epoch"):
+            run_spatial(_city(), 2, processes=False, epoch=2.0)
+
+    def test_rejects_more_shards_than_rows(self):
+        with pytest.raises(ValueError, match="bands"):
+            run_spatial(_city(), 7, processes=False)
+
+
+class TestCampaign:
+    def _run(self, tmp_path, shards, name):
+        return run_spatial_campaign(
+            _city(duration=40.0),
+            shards,
+            days=2,
+            state_dir=tmp_path / name,
+            processes=False,
+        )
+
+    def test_two_day_campaign_is_shard_invariant(self, tmp_path):
+        one = self._run(tmp_path, 1, "one")
+        two = self._run(tmp_path, 2, "two")
+        for day_one, day_two in zip(one, two):
+            assert day_one.seed == day_two.seed
+            assert (
+                day_one.blocking_probability == day_two.blocking_probability
+            )
+            assert (
+                day_one.dropping_probability == day_two.dropping_probability
+            )
+            assert day_one.events == day_two.events
+            assert day_one.quadruplets == day_two.quadruplets
+
+    def test_day_two_warm_starts_from_day_one(self, tmp_path):
+        reports = self._run(tmp_path, 2, "warm")
+        assert len(reports) == 2
+        # Day 2 starts from day 1's history, so its checkpoint can only
+        # deepen the quadruplet pool (capped runs could plateau, never
+        # restart from zero).
+        assert reports[1].quadruplets >= reports[0].quadruplets > 0
+        assert (tmp_path / "warm" / "day-001").is_dir()
+
+    def test_corrupted_checkpoint_is_rejected(self, tmp_path):
+        self._run(tmp_path, 2, "corrupt")
+        day_dir = tmp_path / "corrupt" / "day-000"
+        shard_files = sorted(day_dir.glob("shard-*.json"))
+        assert shard_files
+        victim = shard_files[0]
+        victim.write_text(victim.read_text().replace('"', "'", 1))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_spatial_checkpoint(day_dir)
