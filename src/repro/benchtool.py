@@ -10,6 +10,7 @@ importable and leaves an artifact behind::
     repro-bench --kernel python        # force the pure-Python kernel
     repro-bench --profile              # cProfile the run, print the top-N
     repro-bench --compare BENCH_x.json # per-bench speedups vs a baseline
+    repro-bench --history              # markdown trend over BENCH_*.json
 
 The report covers:
 
@@ -20,7 +21,9 @@ The report covers:
   paper's complexity metrics (``N_calc`` per admission test, average
   inter-BS messages);
 * ``state_io`` — durable checkpoint write/read throughput (MB/s and
-  wall time) against an L=200 warm state, plus the state's size.
+  wall time) against an L=200 warm state, plus the state's size;
+* ``sampling`` — the streaming time-series sampler's throughput cost
+  (events/s with sampling on vs off), gated at 5% by ``--compare``.
 
 ``--compare`` prints the per-bench throughput delta against a previous
 report and exits non-zero when any bench regressed by more than the
@@ -562,6 +565,67 @@ def bench_state_io(smoke: bool) -> dict:
     }
 
 
+def bench_sampling_overhead(smoke: bool) -> dict:
+    """Streaming-sampler cost: AC3 events/s with sampling on vs off.
+
+    Runs the representative AC3 scenario with and without a 5 s
+    time-series cadence — *interleaved* pairs, best-of-N each side, so
+    transient machine interference (which dwarfs the sampler's actual
+    per-event cost) hits both configurations alike and the two minima
+    converge to the same no-interference speed.  Reports the resulting
+    throughput ratio as ``overhead_fraction``.  The two runs must
+    produce bit-identical ``metrics_key()``s (observation must not
+    perturb the simulation); a mismatch fails the benchmark loudly.
+    ``--compare`` gates the fraction at 5% regardless of the throughput
+    threshold: sampling is supposed to be cheap enough to leave on.
+    """
+    config = stationary(
+        "AC3",
+        offered_load=200.0,
+        voice_ratio=0.8,
+        high_mobility=True,
+        duration=200.0 if smoke else 600.0,
+        seed=3,
+    )
+    sampled_config = replace(config, series_interval=5.0)
+    repeats = 3 if smoke else 7
+    plain = sampled = None
+    for _ in range(repeats):
+        result = CellularSimulator(config).run()
+        if plain is None or result.wall_seconds < plain.wall_seconds:
+            plain = result
+        result = CellularSimulator(sampled_config).run()
+        if sampled is None or result.wall_seconds < sampled.wall_seconds:
+            sampled = result
+    if sampled.metrics_key() != plain.metrics_key():
+        raise RuntimeError(
+            "time-series sampling perturbed the simulation: metrics"
+            " differ between the sampled and the plain run"
+        )
+
+    def rate(result):
+        return (
+            result.events_processed / result.wall_seconds
+            if result.wall_seconds > 0
+            else float("inf")
+        )
+
+    plain_rate = rate(plain)
+    sampled_rate = rate(sampled)
+    return {
+        "duration": config.duration,
+        "series_interval": sampled_config.series_interval,
+        "repeats": repeats,
+        "samples": len(sampled.timeseries or []),
+        "events_per_sec_plain": plain_rate,
+        "events_per_sec_sampled": sampled_rate,
+        "overhead_fraction": (
+            1.0 - sampled_rate / plain_rate if plain_rate > 0 else 0.0
+        ),
+        "metrics_identical": True,
+    }
+
+
 def _rate(hits: float, misses: float) -> float:
     total = hits + misses
     return hits / total if total else 0.0
@@ -657,6 +721,7 @@ def run_benchmarks(
     report["memory"] = {"columnar_store": bench_columnar_memory()}
     report["state_io"] = bench_state_io(smoke)
     report["telemetry"] = bench_ac3_telemetry(smoke)
+    report["sampling"] = bench_sampling_overhead(smoke)
     return report
 
 
@@ -689,6 +754,11 @@ def _throughputs(report: dict) -> dict[str, float]:
 #: fast path stopped covering the work it used to cover.
 _TRACKED_FRACTIONS = ("eq4_numpy_row_fraction", "tick_grouped_fraction")
 
+#: Hard ceiling on the streaming sampler's throughput cost, gated by
+#: ``--compare`` independently of ``--regression-threshold``: sampling
+#: is meant to be cheap enough to leave on in production runs.
+_SAMPLING_OVERHEAD_LIMIT = 0.05
+
 
 def _fractions(report: dict) -> dict[str, float]:
     telemetry = report.get("telemetry", {})
@@ -709,7 +779,10 @@ def compare_reports(
     are listed but never counted as regressions (the harness itself
     evolves — e.g. ``handoff_probability`` became batched).  Tracked
     telemetry fractions regress on an *absolute* drop larger than the
-    threshold (they are already normalized to [0, 1]).
+    threshold (they are already normalized to [0, 1]).  The streaming
+    sampler's ``overhead_fraction`` is gated against the fixed
+    :data:`_SAMPLING_OVERHEAD_LIMIT` (no baseline needed: the ceiling
+    is absolute).
     """
     base = _throughputs(baseline)
     now = _throughputs(current)
@@ -750,7 +823,96 @@ def compare_reports(
             f"{name:<28} {base_fractions[name]:>13.1%} "
             f"{now_fractions[name]:>13.1%}{flag}"
         )
+    overhead = current.get("sampling", {}).get("overhead_fraction")
+    if isinstance(overhead, (int, float)):
+        flag = ""
+        if overhead > _SAMPLING_OVERHEAD_LIMIT:
+            regressions.append("sampling_overhead")
+            flag = "  ** REGRESSION"
+        print(
+            f"{'sampling_overhead':<28} "
+            f"{_SAMPLING_OVERHEAD_LIMIT:>12.1%}* {overhead:>13.1%}{flag}"
+        )
     return regressions
+
+
+# ----------------------------------------------------------------------
+# history: trend table over committed reports
+# ----------------------------------------------------------------------
+def _history_cell(value: float | None, fmt: str = ",.0f") -> str:
+    return format(value, fmt) if isinstance(value, (int, float)) else "-"
+
+
+def _history_row(report: dict) -> dict:
+    """Extract the trend-table columns from one report."""
+    micro = report.get("micro", {})
+    simulation = report.get("simulation", {})
+    ac3 = simulation.get("ac3_load200", {})
+    spatial_rate = None
+    for run in simulation.get("ac3_spatial", {}).get("runs", ()):
+        if not run.get("oversubscribed"):
+            rate = run.get("events_per_sec")
+            if rate is not None and (
+                spatial_rate is None or rate > spatial_rate
+            ):
+                spatial_rate = rate
+    replicated = simulation.get("ac3_replicated", {})
+    return {
+        "date": report.get("date", "?"),
+        "kernel": report.get("kernel", "?"),
+        "smoke": bool(report.get("smoke")),
+        "ac3_events_per_sec": ac3.get("events_per_sec"),
+        "event_loop": micro.get("event_loop", {}).get("events_per_sec"),
+        "eq4_batch": micro.get("handoff_probability", {}).get(
+            "ops_per_sec"
+        ),
+        "spatial_events_per_sec": spatial_rate,
+        "replicated_speedup": replicated.get("speedup"),
+        "sampling_overhead": report.get("sampling", {}).get(
+            "overhead_fraction"
+        ),
+    }
+
+
+def print_history(paths: Sequence[Path], out=print) -> int:
+    """Markdown trend table over committed ``BENCH_*.json`` reports.
+
+    One row per report, oldest first (reports sort by their dated file
+    names).  Smoke reports are flagged — their numbers use tiny
+    measuring windows and a short simulation, so comparing them against
+    full runs is meaningless.  Returns 0, or 2 when no report loads.
+    """
+    rows = []
+    for path in sorted(paths):
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            out(f"WARNING: skipping {path}: {error}")
+            continue
+        rows.append(_history_row(report))
+    if not rows:
+        out("no readable benchmark reports")
+        return 2
+    out(
+        "| date | kernel | ac3 ev/s | loop ev/s | eq4 ops/s"
+        " | spatial ev/s | repl speedup | sampler ovh |"
+    )
+    out("|---|---|---:|---:|---:|---:|---:|---:|")
+    for row in rows:
+        date_cell = row["date"] + (" (smoke)" if row["smoke"] else "")
+        speedup = row["replicated_speedup"]
+        overhead = row["sampling_overhead"]
+        out(
+            f"| {date_cell} | {row['kernel']}"
+            f" | {_history_cell(row['ac3_events_per_sec'])}"
+            f" | {_history_cell(row['event_loop'])}"
+            f" | {_history_cell(row['eq4_batch'])}"
+            f" | {_history_cell(row['spatial_events_per_sec'])}"
+            f" | {_history_cell(speedup, '.2f')}"
+            f"{'x' if isinstance(speedup, (int, float)) else ''}"
+            f" | {_history_cell(overhead, '.1%')} |"
+        )
+    return 0
 
 
 def _print_report(report: dict, output: Path) -> None:
@@ -818,6 +980,15 @@ def _print_report(report: dict, output: Path) -> None:
             f" eq4_numpy_rows={telemetry['eq4_numpy_row_fraction']:.1%}"
             f" tick_grouped={telemetry['tick_grouped_fraction']:.1%}"
         )
+    sampling = report.get("sampling")
+    if sampling:
+        print(
+            f"{'sampling_overhead':<28} "
+            f"plain={sampling['events_per_sec_plain']:,.0f} ev/s"
+            f"  sampled={sampling['events_per_sec_sampled']:,.0f} ev/s"
+            f"  overhead={sampling['overhead_fraction']:.1%}"
+            f" ({sampling['samples']} samples)"
+        )
     print(f"wrote {output}")
 
 
@@ -846,6 +1017,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print per-bench speedups against a previous report and"
         " exit non-zero on regression; a missing baseline file is"
         " skipped with a warning",
+    )
+    parser.add_argument(
+        "--history", nargs="?", type=Path, const=Path("."), default=None,
+        metavar="DIR",
+        help="print a markdown trend table over the BENCH_*.json"
+        " reports in DIR (default: current directory) and exit,"
+        " without running any benchmark",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -878,6 +1056,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="emit logs as JSON lines (also: REPRO_LOG_JSON=1)",
     )
     args = parser.parse_args(argv)
+    if args.history is not None:
+        return print_history(sorted(args.history.glob("BENCH_*.json")))
     if args.log_level is not None or args.log_json:
         configure_logging(spec=args.log_level, json_lines=args.log_json)
     else:

@@ -6,6 +6,7 @@ from typing import Callable, Iterator
 
 from repro._kernel import flush_batch_or_none
 from repro.cellular.base_station import BaseStation
+from repro.obs.trace import get_tracer
 from repro.core.reservation import aggregate_reservation
 from repro.cellular.cell import Cell
 from repro.cellular.topology import Topology
@@ -64,6 +65,9 @@ class CellularNetwork:
         self.topology = topology
         self.coalesced_tick = coalesced_tick
         self.grouped_flush = grouped_flush
+        #: The run's span tracer (a shared no-op when tracing is off);
+        #: grabbed at construction like the telemetry handles are.
+        self.tracer = get_tracer()
         #: Cells whose ``B_r`` must be refreshed at the next tick flush.
         self._reservation_dirty: list[int] = []
         #: Tick flushes performed / targets refreshed across them
@@ -156,6 +160,14 @@ class CellularNetwork:
         dirty = self._reservation_dirty
         if not dirty:
             return
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._flush_tick(now, dirty)
+            return
+        with tracer.span("kernel.flush_tick", targets=len(dirty)):
+            self._flush_tick(now, dirty)
+
+    def _flush_tick(self, now: float, dirty: list[int]) -> None:
         self._reservation_dirty = []
         # Plan phase: count the protocol messages in the exact sequential
         # order (announce then reply, per target then per neighbour) and

@@ -156,6 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
         " carrying their position across days",
     )
 
+    dash_parser = commands.add_parser(
+        "dash",
+        help="live terminal dashboard tailing a --series-out JSONL stream",
+    )
+    dash_parser.add_argument(
+        "path", help="series JSONL path ('-' reads a pipe on stdin)"
+    )
+    dash_parser.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="redraw cadence while following (default 1.0)",
+    )
+    dash_parser.add_argument(
+        "--once", action="store_true",
+        help="render the stream's current contents once and exit",
+    )
+    dash_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="stop following after SECONDS of wall time",
+    )
+
     state_parser = commands.add_parser(
         "state", help="inspect durable state checkpoints"
     )
@@ -263,12 +283,76 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--telemetry-json", default=None, metavar="PATH",
                        help="write the telemetry snapshot as JSON"
                        " (implies --telemetry)")
+    group.add_argument("--series", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="sample an in-run time series every SECONDS"
+                       " of virtual time (0 disables)")
+    group.add_argument("--series-wall", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="sample the time series every SECONDS of wall"
+                       " time (0 disables; combinable with --series)")
+    group.add_argument("--series-out", default=None, metavar="PATH",
+                       help="stream samples to an append-only JSONL file"
+                       " as they are taken ('repro dash PATH' tails it);"
+                       " implies --series-wall 1 when no cadence is set")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record wall-clock spans (epoch barriers,"
+                       " flush ticks, checkpoint publishes) and write"
+                       " them as Chrome trace JSON loadable in"
+                       " https://ui.perfetto.dev (implies tracing)")
 
 
 def _wants_telemetry(args: argparse.Namespace) -> bool:
     return bool(
         args.telemetry or args.prom_out or args.telemetry_json
     )
+
+
+def _series_overrides(args: argparse.Namespace) -> dict:
+    """Streaming-observability config fields from the CLI flags."""
+    interval = args.series
+    wall = args.series_wall
+    if args.series_out and interval == 0 and wall == 0:
+        wall = 1.0
+    return {
+        "series_interval": interval,
+        "series_wall_interval": wall,
+        "series_path": args.series_out or "",
+        "trace": bool(args.trace_out),
+    }
+
+
+def _export_streams(
+    timeseries,
+    trace_events,
+    args: argparse.Namespace,
+    lane_names: dict[int, str] | None = None,
+) -> None:
+    """Write the trace file and summarise the series stream."""
+    from repro.obs.timeseries import series_summary
+    from repro.obs.trace import span_names, write_trace
+
+    if args.trace_out:
+        write_trace(args.trace_out, trace_events or [], lane_names)
+        names = sorted(span_names(trace_events))
+        print(
+            f"trace: {len(trace_events or [])} spans"
+            f" ({', '.join(names) if names else 'none'})"
+            f" -> {args.trace_out}  (load in https://ui.perfetto.dev)"
+        )
+    summary = series_summary(timeseries)
+    if summary is not None:
+        shards = summary["shards"]
+        lanes = f"{len(shards)} shard lanes" if shards else "1 lane"
+        print(
+            f"series: {summary['samples']} samples ({lanes}),"
+            f" peak {summary['peak_events_per_s']:,.0f} events/s"
+        )
+    if args.series_out:
+        print(
+            f"series stream: {args.series_out}"
+            f"  (tail with: repro dash {args.series_out})"
+        )
 
 
 def _configure_observability(args: argparse.Namespace) -> None:
@@ -314,6 +398,7 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
         "kernel": args.kernel,
         "telemetry": _wants_telemetry(args),
         "progress_interval": args.progress,
+        **_series_overrides(args),
     }
     if args.one_way:
         overrides["directions"] = TravelDirections.ONE_WAY
@@ -345,6 +430,8 @@ def _build_spatial_config(args: argparse.Namespace):
         soft_handoff_window=args.soft_handoff,
         kernel=args.kernel,
         telemetry=_wants_telemetry(args),
+        progress_interval=args.progress,
+        **_series_overrides(args),
     )
 
 
@@ -402,6 +489,14 @@ def _command_run_spatial(args: argparse.Namespace) -> int:
     if len(result.statuses) > cap:
         print(f"... ({len(result.statuses) - cap} more cells)")
     _export_telemetry(result.telemetry, args)
+    _export_streams(
+        result.timeseries,
+        result.trace_events,
+        args,
+        lane_names={
+            index: f"shard {index}" for index in range(args.shards)
+        },
+    )
     return 0
 
 
@@ -452,6 +547,10 @@ def _command_run(args: argparse.Namespace) -> int:
 
         saved = save_checkpoint(simulator, args.save_state)
         print(f"state saved: {saved}")
+        if simulator.tracer.enabled:
+            # Pick up the checkpoint.publish span recorded after the
+            # result harvested its events.
+            result.trace_events = simulator.tracer.events()
     if tracer is not None:
         tracer.write_jsonl(args.trace_jsonl)
         log = get_logger("trace")
@@ -489,6 +588,7 @@ def _command_run(args: argparse.Namespace) -> int:
     print()
     print(Table(["Cell", "PCB", "PHD", "Test", "Br", "Bu"], rows).render())
     _export_telemetry(result.telemetry, args)
+    _export_streams(result.timeseries, result.trace_events, args)
     return 0
 
 
@@ -542,6 +642,15 @@ def _command_run_replicated(args: argparse.Namespace) -> int:
         f" {replicated.wall_seconds:.2f}s wall"
     )
     _export_telemetry(replicated.telemetry, args)
+    _export_streams(
+        replicated.timeseries,
+        replicated.trace_events,
+        args,
+        lane_names={
+            index: f"rep {index}"
+            for index in range(replicated.replications)
+        },
+    )
     return 0
 
 
@@ -566,6 +675,22 @@ def _command_sweep(args: argparse.Namespace) -> int:
     # merged view is what gets exported.
     _export_telemetry(
         merge_snapshots(result.telemetry for result in results), args
+    )
+    from repro.obs.timeseries import merge_series
+    from repro.obs.trace import merge_traces
+
+    _export_streams(
+        merge_series(result.timeseries for result in results),
+        merge_traces(
+            [{**event, "pid": index} for event in result.trace_events]
+            if result.trace_events
+            else None
+            for index, result in enumerate(results)
+        ),
+        args,
+        lane_names={
+            index: f"L={load:g}" for index, load in enumerate(loads)
+        },
     )
     return 0
 
@@ -664,6 +789,17 @@ def _command_campaign_spatial(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dash import run_dash
+
+    return run_dash(
+        args.path,
+        refresh=args.refresh,
+        follow=not args.once,
+        timeout=args.timeout,
+    )
+
+
 def _command_state(args: argparse.Namespace) -> int:
     from repro.state import inspect_state
 
@@ -681,6 +817,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "list-experiments": _command_list,
         "campaign": _command_campaign,
+        "dash": _command_dash,
         "state": _command_state,
     }
     try:

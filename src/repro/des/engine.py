@@ -227,6 +227,8 @@ class Engine:
         max_events: int | None = None,
         heartbeat: Callable[[], None] | None = None,
         heartbeat_events: int = 4096,
+        observer: Callable[[], None] | None = None,
+        observer_events: int = 512,
     ) -> None:
         """Run until the queue drains, ``until`` is reached, or ``stop()``.
 
@@ -246,15 +248,27 @@ class Engine:
         heartbeat_events:
             Firing cadence of ``heartbeat`` (the hook throttles itself
             further on wall time; this only bounds hook-call overhead).
+        observer:
+            Optional finer-cadence hook invoked every ``observer_events``
+            fired events (time-series sampling).  Same contract as
+            ``heartbeat`` — pure observation, must not schedule or
+            cancel events.
+        observer_events:
+            Firing cadence of ``observer`` (the sampler throttles
+            itself further on virtual/wall intervals; this only bounds
+            hook-call overhead).
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
         if heartbeat_events < 1:
             raise SimulationError("heartbeat_events must be >= 1")
+        if observer_events < 1:
+            raise SimulationError("observer_events must be >= 1")
         self._running = True
         self._stopped = False
         fired = 0
         next_beat = heartbeat_events if heartbeat is not None else None
+        next_obs = observer_events if observer is not None else None
         heappop = heapq.heappop
         recycle = self._recycle
         try:
@@ -297,6 +311,9 @@ class Engine:
                     head.fire()
                     recycle(head)
                     fired += 1
+                    if next_obs is not None and fired >= next_obs:
+                        observer()
+                        next_obs = fired + observer_events
                     if next_beat is not None and fired >= next_beat:
                         heartbeat()
                         next_beat = fired + heartbeat_events

@@ -1,4 +1,4 @@
-"""Run-wide observability: telemetry, structured logging, progress.
+"""Run-wide observability: telemetry, logging, progress, streaming.
 
 * :mod:`repro.obs.telemetry` — counters/gauges/histograms/timers in a
   per-run registry, with a no-op twin selected when telemetry is off.
@@ -8,12 +8,22 @@
   DES engine, safe under process-pool sweeps.
 * :mod:`repro.obs.export` — Prometheus text exposition and JSON forms
   of a snapshot, plus a parser for round-trips and CI assertions.
+* :mod:`repro.obs.timeseries` — in-run time-series sampling driven by
+  the engine's observer hook, ring-buffered and optionally streamed to
+  an append-only JSONL file as the run executes.
+* :mod:`repro.obs.trace` — wall-clock span recording (epoch barriers,
+  flush ticks, checkpoint publishes) as Perfetto-loadable Chrome
+  trace-event JSON.
+* :mod:`repro.obs.dash` — a stdlib ANSI terminal dashboard tailing a
+  live series stream (``repro dash``).
 
-None of it perturbs the simulation: instruments only count, heartbeats
-piggyback on events the run was firing anyway, and ``metrics_key()``
-equality between telemetry-on and -off runs is enforced by tests.
+None of it perturbs the simulation: instruments only count, samplers
+and spans only read state and the wall clock, heartbeats piggyback on
+events the run was firing anyway, and ``metrics_key()`` equality
+between observed and unobserved runs is enforced by tests.
 """
 
+from repro.obs.dash import DashState, render, run_dash
 from repro.obs.export import parse_prometheus, snapshot_to_json, to_prometheus
 from repro.obs.logs import (
     configure_logging,
@@ -36,26 +46,63 @@ from repro.obs.telemetry import (
     set_telemetry_enabled,
     telemetry_enabled,
 )
+from repro.obs.timeseries import (
+    TimeSeriesSampler,
+    iter_series,
+    merge_series,
+    read_series,
+    series_summary,
+    write_series,
+)
+from repro.obs.trace import (
+    NullTraceCollector,
+    TraceCollector,
+    begin_trace,
+    get_tracer,
+    merge_traces,
+    set_tracing_enabled,
+    span_names,
+    tracing_enabled,
+    write_trace,
+)
 
 __all__ = [
     "Counter",
+    "DashState",
     "Gauge",
     "Histogram",
     "NullTelemetry",
+    "NullTraceCollector",
     "ProgressReporter",
     "SectionTimer",
     "Telemetry",
+    "TimeSeriesSampler",
+    "TraceCollector",
     "begin_run",
+    "begin_trace",
     "configure_logging",
     "ensure_configured",
     "get_logger",
     "get_telemetry",
+    "get_tracer",
+    "iter_series",
+    "merge_series",
     "merge_snapshots",
+    "merge_traces",
     "new_run_id",
     "parse_prometheus",
+    "read_series",
+    "render",
+    "run_dash",
+    "series_summary",
     "set_run_id",
     "set_telemetry_enabled",
+    "set_tracing_enabled",
     "snapshot_to_json",
+    "span_names",
     "telemetry_enabled",
     "to_prometheus",
+    "tracing_enabled",
+    "write_series",
+    "write_trace",
 ]

@@ -124,6 +124,25 @@ class SimulationConfig:
     #: Run identifier stamped into logs and telemetry; auto-generated
     #: when empty.
     run_id: str = ""
+    #: Streaming time-series sampling cadence in *virtual* seconds
+    #: (0 disables).  Samples are taken from the engine's observer hook
+    #: — pure reads, never scheduled events — so enabling them cannot
+    #: perturb the run (``metrics_key()`` parity is enforced by tests).
+    series_interval: float = 0.0
+    #: Streaming time-series sampling cadence in *wall* seconds
+    #: (0 disables).  Either cadence (or both) may be active.
+    series_wall_interval: float = 0.0
+    #: Append-only JSONL destination for live samples (``repro dash``
+    #: tails it); empty keeps samples only on the result.  Spatial
+    #: shard processes append their own tagged rows to the same path.
+    series_path: str = ""
+    #: Ring-buffer depth of the in-memory series (the JSONL stream
+    #: keeps everything).
+    series_max_samples: int = 4096
+    #: Record wall-clock spans (epoch barriers, flush ticks, checkpoint
+    #: publishes) as Chrome trace events attached to the result.  Also
+    #: enabled by ``REPRO_TRACE=1``.
+    trace: bool = False
 
     #: Pre-warmed estimator state to hydrate the network with before the
     #: run starts (an object with ``hydrate(network)``, e.g. a
@@ -165,6 +184,15 @@ class SimulationConfig:
             )
         if self.progress_interval < 0:
             raise ValueError("progress interval cannot be negative")
+        if self.series_interval < 0 or self.series_wall_interval < 0:
+            raise ValueError("series intervals cannot be negative")
+        if self.series_max_samples < 1:
+            raise ValueError("series_max_samples must be >= 1")
+
+    @property
+    def series_enabled(self) -> bool:
+        """Whether any time-series sampling cadence is active."""
+        return self.series_interval > 0 or self.series_wall_interval > 0
 
     @property
     def is_time_varying(self) -> bool:

@@ -113,12 +113,20 @@ class SimulationResult:
     #: Telemetry snapshot (:meth:`repro.obs.Telemetry.snapshot`), or
     #: ``None`` when telemetry was disabled.
     telemetry: dict | None = None
+    #: In-run time-series samples (:mod:`repro.obs.timeseries`), or
+    #: ``None`` when sampling was disabled.  Merged across replication
+    #: workers and spatial shards.
+    timeseries: list | None = None
+    #: Chrome trace events (:mod:`repro.obs.trace`), or ``None`` when
+    #: tracing was disabled.  Merged across workers and shards.
+    trace_events: list | None = None
 
     def metrics_key(self) -> dict:
         """Every simulation-determined field, as plain data.
 
         Excludes ``wall_seconds`` (host speed, not simulation output)
-        plus ``run_id`` and ``telemetry`` (random id, wall-clock timers),
+        plus ``run_id``, ``telemetry``, ``timeseries`` and
+        ``trace_events`` (random ids, wall-clock timers and samples),
         so two runs of the same scenario — cached vs uncached, parallel
         vs sequential, observed vs unobserved — compare equal iff their
         metrics are identical.
@@ -127,6 +135,8 @@ class SimulationResult:
         data.pop("wall_seconds", None)
         data.pop("run_id", None)
         data.pop("telemetry", None)
+        data.pop("timeseries", None)
+        data.pop("trace_events", None)
         return data
 
     # ------------------------------------------------------------------

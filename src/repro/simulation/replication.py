@@ -33,6 +33,8 @@ from repro.analysis.stats import (
 )
 from repro.des.random import RandomStreams
 from repro.obs.telemetry import merge_snapshots
+from repro.obs.timeseries import merge_series
+from repro.obs.trace import merge_traces
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.runner import SimulationPool, run_sweep
@@ -87,6 +89,12 @@ class ReplicatedResult:
     blocking_ci: BatchMeansEstimate
     dropping_ci: BatchMeansEstimate
     telemetry: dict | None = None
+    #: Merged per-replication time-series (rows distinguished by their
+    #: ``label``), or ``None`` when sampling was off.
+    timeseries: list | None = None
+    #: Merged trace events, one ``pid`` lane per replication, or
+    #: ``None`` when tracing was off.
+    trace_events: list | None = None
     wall_seconds: float = 0.0
     #: Shared warm-up bookkeeping (0 when sharing was off).
     warm_seconds: float = 0.0
@@ -236,6 +244,15 @@ def run_replicated(
             ci_level,
         ),
         telemetry=merge_snapshots(result.telemetry for result in results),
+        timeseries=merge_series(result.timeseries for result in results),
+        # Re-lane trace events per replication so Perfetto renders one
+        # track per shard even though every worker recorded pid=0.
+        trace_events=merge_traces(
+            [{**event, "pid": index} for event in result.trace_events]
+            if result.trace_events
+            else None
+            for index, result in enumerate(results)
+        ),
         wall_seconds=wall_clock.perf_counter() - started,
         warm_seconds=warm_seconds,
         shared_bytes=shared_bytes,

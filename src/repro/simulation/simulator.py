@@ -42,6 +42,8 @@ from repro.mobility.speed import ProfileSpeedSampler, UniformSpeedSampler
 from repro.obs.logs import ensure_configured, set_run_id
 from repro.obs.progress import ProgressReporter
 from repro.obs.telemetry import begin_run, new_run_id
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.trace import begin_trace
 from repro.simulation.config import SimulationConfig
 from repro.simulation.extensions import ExtensionChain
 from repro.simulation.metrics import (
@@ -103,6 +105,14 @@ class CellularSimulator:
             self.telemetry.run_id or config.run_id or new_run_id()
         )
         set_run_id(self.run_id)
+        # The span tracer follows the same per-run singleton pattern —
+        # installed before the network grabs its handle for the
+        # flush-tick span.  Spans read only the wall clock, so tracing
+        # can never perturb the simulation.
+        self.tracer = begin_trace(
+            run_id=self.run_id,
+            enabled=True if config.trace else None,
+        )
         self.engine = Engine()
         self.streams = RandomStreams(config.seed)
         # Hot-path stream handles, resolved once: checkpoint restore
@@ -226,6 +236,9 @@ class CellularSimulator:
         #: Optional mid-run checkpoint hook (``repro.state.Checkpointer``),
         #: composed into the engine heartbeat alongside progress.
         self.checkpointer = None
+        #: In-run time-series sampler, built lazily by :meth:`run` when
+        #: the config enables a cadence (checkpoints read it mid-run).
+        self.sampler: TimeSeriesSampler | None = None
 
     # ------------------------------------------------------------------
     # run control
@@ -274,12 +287,35 @@ class CellularSimulator:
             def heartbeat() -> None:
                 for beat in heartbeats:
                     beat()
-        self.engine.run(
-            until=self.config.duration,
-            heartbeat=heartbeat,
-        )
+        config = self.config
+        observer = None
+        if config.series_enabled:
+            self.sampler = TimeSeriesSampler(
+                self.engine,
+                metrics=self.metrics,
+                stations=self.network.stations,
+                capacity=config.capacity,
+                interval=config.series_interval,
+                wall_interval=config.series_wall_interval,
+                max_samples=config.series_max_samples,
+                stream=config.series_path or None,
+                run_id=self.run_id,
+                label=config.label or config.scheme,
+                telemetry=self.telemetry,
+            )
+            observer = self.sampler.maybe_sample
+        with self.tracer.span(
+            "run.engine", label=config.label or config.scheme
+        ):
+            self.engine.run(
+                until=config.duration,
+                heartbeat=heartbeat,
+                observer=observer,
+            )
         if reporter is not None:
             reporter.final()
+        if self.sampler is not None:
+            self.sampler.final()
         self._finished = True
         return self._build_result(wall_clock.perf_counter() - started)
 
@@ -683,6 +719,10 @@ class CellularSimulator:
             wall_seconds=wall_seconds,
             run_id=self.run_id,
             telemetry=self._harvest_telemetry(wall_seconds),
+            timeseries=(
+                self.sampler.series() if self.sampler is not None else None
+            ),
+            trace_events=self.tracer.events(),
         )
 
 

@@ -79,7 +79,10 @@ from repro.des.random import RandomStreams
 from repro.estimation.cache import CacheConfig
 from repro.mobility.models import DEFAULT_HEX_POPULATION, HexMobilityModel
 from repro.obs.logs import ensure_configured
+from repro.obs.progress import ProgressReporter
 from repro.obs.telemetry import begin_run, merge_snapshots, new_run_id
+from repro.obs.timeseries import TimeSeriesSampler, merge_series
+from repro.obs.trace import begin_trace, merge_traces
 from repro.simulation.columnar import (
     BANDWIDTH_TABLE,
     ConnectionStore,
@@ -234,6 +237,12 @@ class ShardResult:
     state: dict | None = None
     store_bytes: int = 0
     peak_live: int = 0
+    #: Per-shard time-series samples (tagged ``shard_id``), or ``None``
+    #: when sampling was off.
+    series: list | None = None
+    #: Per-shard Chrome trace events (``pid`` = shard index), or
+    #: ``None`` when tracing was off.
+    trace: list | None = None
 
 
 class ShardEngine:
@@ -263,6 +272,13 @@ class ShardEngine:
         self.telemetry = begin_run(
             run_id=f"{run_id}-s{index}",
             enabled=True if config.telemetry else None,
+        )
+        # Span tracer: one Perfetto ``pid`` lane per shard, installed
+        # before the network grabs its flush-tick handle.
+        self.tracer = begin_trace(
+            run_id=f"{run_id}-s{index}",
+            enabled=True if config.trace else None,
+            pid=index,
         )
         rows, cols, wrap = _hex_dimensions(config)
         self.topology = HexTopology(rows, cols, wrap=wrap)
@@ -324,6 +340,27 @@ class ShardEngine:
             hour_seconds=config.day_seconds / 24.0,
         )
         self.engine = Engine()
+        self.sampler: TimeSeriesSampler | None = None
+        if config.series_enabled:
+            self.sampler = TimeSeriesSampler(
+                self.engine,
+                metrics=self.metrics,
+                stations=[self.network.station(cell) for cell in self.owned],
+                capacity=config.capacity,
+                interval=config.series_interval,
+                wall_interval=config.series_wall_interval,
+                max_samples=config.series_max_samples,
+                stream=config.series_path or None,
+                shard_id=index,
+                run_id=f"{run_id}-s{index}",
+                label=config.label or config.scheme,
+                telemetry=self.telemetry,
+            )
+        #: Wall time spent inside ``engine.run`` vs total shard wall
+        #: time — their gap is the barrier-wait fraction the samples
+        #: and the dashboard report.
+        self._wall_started = wall_clock.perf_counter()
+        self._run_wall = 0.0
         self.store = ConnectionStore(self.topology.num_cells)
         self._handle_cls = handle_class(self.store)
         self._handles: dict[int, object] = {}
@@ -382,6 +419,15 @@ class ShardEngine:
         Returns ``(supplier, target, t_est)`` requests whose supplier
         lives in another shard.
         """
+        with self.tracer.span("barrier.begin", epoch=k, shard=self.index):
+            return self._barrier_begin(k, mirrors, migrations)
+
+    def _barrier_begin(
+        self,
+        k: int,
+        mirrors: list[tuple[int, bool, float]],
+        migrations: list[tuple],
+    ) -> list[tuple[int, int, float]]:
         barrier = k * self.epoch
         self._barrier_time = barrier
         self._remote_activity = {}
@@ -461,6 +507,14 @@ class ShardEngine:
         shard-count-independent.  Returns replies whose target lives in
         another shard.
         """
+        with self.tracer.span(
+            "barrier.evaluate", shard=self.index, requests=len(remote_requests)
+        ):
+            return self._evaluate(remote_requests)
+
+    def _evaluate(
+        self, remote_requests: list[tuple[int, int, float]]
+    ) -> list[tuple[int, int, float]]:
         merged = self._local_requests
         for supplier, target, t_est in remote_requests:
             merged.setdefault(supplier, []).append((target, t_est))
@@ -483,10 +537,13 @@ class ShardEngine:
 
     def run_epoch(
         self, k: int, replies: list[tuple[int, int, float]]
-    ) -> tuple[dict[int, list], dict[int, list]]:
+    ) -> tuple[dict[int, list], dict[int, list], tuple[float, int, int]]:
         """Install Eq. 6, run to the epoch end, ship boundary batches.
 
-        Returns ``(mirrors, migrations)`` keyed by destination shard.
+        Returns ``(mirrors, migrations, stats)``: the boundary batches
+        keyed by destination shard, plus ``(now, events_processed,
+        heap_len)`` so the coordinator can aggregate progress without
+        another round trip.
         """
         for supplier, target, value in replies:
             self._reply_values[(supplier, target)] = value
@@ -505,9 +562,35 @@ class ShardEngine:
         self._pending_install = []
         self._reply_values = {}
         until = min((k + 1) * self.epoch, self.duration)
-        self.engine.run(until=until)
+        sampler = self.sampler
+        observer = sampler.maybe_sample if sampler is not None else None
+        run_started = wall_clock.perf_counter()
+        with self.tracer.span("epoch.run", epoch=k, shard=self.index):
+            self.engine.run(until=until, observer=observer)
+        self._run_wall += wall_clock.perf_counter() - run_started
         if self.store.live > self.peak_live:
             self.peak_live = self.store.live
+        with self.tracer.span("barrier.ship", epoch=k, shard=self.index):
+            mirrors, migrations = self._ship(k, until)
+        if sampler is not None and sampler.due(until):
+            # Boundary sample (on the configured cadence, not every
+            # epoch): tags the epoch and the fraction of shard wall time
+            # spent waiting at barriers instead of running events.
+            elapsed = wall_clock.perf_counter() - self._wall_started
+            frac = 1.0 - self._run_wall / elapsed if elapsed > 0 else 0.0
+            sampler.sample(epoch=k, barrier_wait_frac=round(frac, 4))
+        stats = (
+            self.engine.now,
+            self.engine.events_processed,
+            self.engine.queue_len,
+        )
+        return mirrors, migrations, stats
+
+    def _ship(
+        self, k: int, until: float
+    ) -> tuple[dict[int, list], dict[int, list]]:
+        """Pop due boundary crossings and snapshot boundary mirrors."""
+        station = self.network.station
         # Ship every boundary crossing landing in the next epoch.  The
         # epoch <= MIN_NOTICE bound guarantees anything landing later
         # than that is still undrawn or already heaped for a later
@@ -828,6 +911,11 @@ class ShardEngine:
         return tel.snapshot()
 
     def finish(self, collect_state: bool = False) -> ShardResult:
+        series = None
+        if self.sampler is not None:
+            self.sampler.final()
+            series = self.sampler.series()
+        trace = self.tracer.events()
         metrics = self.metrics
         statuses = {}
         for cell_id in self.owned:
@@ -881,6 +969,8 @@ class ShardEngine:
             state=state,
             store_bytes=self.store.nbytes,
             peak_live=self.peak_live,
+            series=series,
+            trace=trace,
         )
 
 
@@ -996,6 +1086,23 @@ class ProcessShardHost:
 # ----------------------------------------------------------------------
 # coordinator
 # ----------------------------------------------------------------------
+class _EngineView:
+    """Coordinator-side engine facade for :class:`ProgressReporter`.
+
+    Aggregates the per-shard ``(now, events, heap)`` stats returned at
+    each barrier into the two attributes the reporter reads, so one
+    progress line covers the whole sharded run.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events_processed = 0
+
+    def update(self, stats_list) -> None:
+        self.now = min(stats[0] for stats in stats_list)
+        self.events_processed = sum(stats[1] for stats in stats_list)
+
+
 def _merge_results(
     config: SimulationConfig,
     plan: ShardPlan,
@@ -1075,6 +1182,8 @@ def _merge_results(
         wall_seconds=wall_seconds,
         run_id=config.run_id or new_run_id(),
         telemetry=merge_snapshots(snapshots) if snapshots else None,
+        timeseries=merge_series(result.series for result in results),
+        trace_events=merge_traces(result.trace for result in results),
     )
 
 
@@ -1127,11 +1236,21 @@ def run_spatial(
                 for index in range(shards)
             ]
         epochs = max(1, -int(-config.duration // epoch))
-        pending = [({}, {}) for _ in range(shards)]
+        reporter = None
+        view = None
+        if config.progress_interval > 0:
+            view = _EngineView()
+            reporter = ProgressReporter(
+                view,
+                config.duration,
+                interval=config.progress_interval,
+                label=f"{config.label or config.scheme} x{shards}sh",
+            )
+        pending = [({}, {}, None) for _ in range(shards)]
         for k in range(epochs):
             mirrors_for = [[] for _ in range(shards)]
             migrations_for = [[] for _ in range(shards)]
-            for shard_mirrors, shard_migrations in pending:
+            for shard_mirrors, shard_migrations, _ in pending:
                 for target, items in shard_mirrors.items():
                     mirrors_for[target].extend(items)
                 for target, items in shard_migrations.items():
@@ -1161,9 +1280,14 @@ def run_spatial(
             for index, host in enumerate(hosts):
                 host.send("epoch", k, replies_for[index])
             pending = [host.recv() for host in hosts]
+            if reporter is not None:
+                view.update([stats for _, _, stats in pending])
+                reporter.beat()
         for host in hosts:
             host.send("finish", collect_state)
         results = [host.recv() for host in hosts]
+        if reporter is not None:
+            reporter.final()
     finally:
         for host in hosts:
             host.close()

@@ -44,7 +44,7 @@ from repro.estimation.estimator import MobilityEstimator
 from repro.estimation.function import HandoffEstimationFunction, _Mass
 from repro.mobility.mobile import Mobile, peek_mobile_ids, reset_mobile_ids
 from repro.mobility.models import LinearMobilityModel, Transition
-from repro.obs import get_logger, get_telemetry
+from repro.obs import get_logger, get_telemetry, get_tracer
 from repro.simulation.metrics import HourlyBucket, TracePoint
 from repro.state.format import (
     FORMAT_NAME,
@@ -91,6 +91,11 @@ _FINGERPRINT_EXEMPT = {
     "run_id",
     "kernel",
     "warm_state",
+    "series_interval",
+    "series_wall_interval",
+    "series_path",
+    "series_max_samples",
+    "trace",
 }
 
 
@@ -472,6 +477,41 @@ def capture_state(sim: "CellularSimulator") -> dict[str, bytes]:
                 "pairs": sum(1 for _ in cache.pairs()),
             }
         )
+    # Observability sidecars: a telemetry snapshot and the series rows
+    # so far, when the run carries them.  Pure annotations — restore
+    # never reads them, but ``repro state inspect`` summarises them.
+    sidecar_entries = []
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None and telemetry.enabled:
+        blob = json.dumps(
+            telemetry.snapshot(), sort_keys=True, indent=1
+        ).encode("utf-8")
+        files["telemetry.json"] = blob
+        sidecar_entries.append(
+            {
+                "path": "telemetry.json",
+                "kind": "telemetry",
+                "bytes": len(blob),
+                "crc32": crc32_of(blob),
+            }
+        )
+    sampler = getattr(sim, "sampler", None)
+    if sampler is not None and sampler.series():
+        blob = (
+            "\n".join(
+                json.dumps(row, sort_keys=True) for row in sampler.series()
+            )
+            + "\n"
+        ).encode("utf-8")
+        files["series.jsonl"] = blob
+        sidecar_entries.append(
+            {
+                "path": "series.jsonl",
+                "kind": "series",
+                "bytes": len(blob),
+                "crc32": crc32_of(blob),
+            }
+        )
     runtime_bytes = json.dumps(runtime).encode("utf-8")
     manifest = {
         "format": FORMAT_NAME,
@@ -497,6 +537,7 @@ def capture_state(sim: "CellularSimulator") -> dict[str, bytes]:
                 "crc32": crc32_of(runtime_bytes),
             },
             *cell_entries,
+            *sidecar_entries,
         ],
     }
     files[RUNTIME_NAME] = runtime_bytes
@@ -507,9 +548,13 @@ def capture_state(sim: "CellularSimulator") -> dict[str, bytes]:
 def save_checkpoint(sim: "CellularSimulator", path: str | Path) -> Path:
     """Capture ``sim`` and atomically publish it as directory ``path``."""
     telemetry = get_telemetry()
+    tracer = get_tracer()
     started = wall_clock.perf_counter()
     files = capture_state(sim)
-    target = publish_state_dir(path, files)
+    with tracer.span(
+        "checkpoint.publish", files=len(files), t=round(sim.engine.now, 3)
+    ):
+        target = publish_state_dir(path, files)
     elapsed = wall_clock.perf_counter() - started
     total_bytes = sum(len(data) for data in files.values())
     if telemetry.enabled:

@@ -9,6 +9,7 @@ flips one blob byte and asserts a non-zero exit.
 
 from __future__ import annotations
 
+import json
 import time as wall_clock
 from pathlib import Path
 from typing import Callable
@@ -22,18 +23,92 @@ from repro.state.format import (
 __all__ = ["inspect_state"]
 
 
+def _summarise_series(path: Path, out: Callable[[str], None]) -> None:
+    """Print a one-block summary of a series.jsonl sidecar, if present."""
+    from repro.obs.timeseries import read_series, series_summary
+
+    series_path = path / "series.jsonl"
+    if not series_path.exists():
+        return
+    summary = series_summary(read_series(series_path))
+    if summary is None:
+        return
+    out("")
+    out(f"  time series:      {summary['samples']} samples,"
+        f" t={summary['t_first']:g}..{summary['t_last']:g}s")
+    shards = summary["shards"]
+    if shards:
+        out(f"    shards:         {', '.join(str(s) for s in shards)}")
+    out(f"    peak rate:      {summary['peak_events_per_s']:,.0f} events/s")
+    if summary["last_p_cb"] is not None:
+        out(f"    last P_CB/P_HD: {summary['last_p_cb']:.4f}"
+            f" / {summary['last_p_hd']:.4f}")
+
+
+def _summarise_telemetry(path: Path, out: Callable[[str], None]) -> None:
+    """Print the headline counters of a telemetry.json sidecar."""
+    telemetry_path = path / "telemetry.json"
+    if not telemetry_path.exists():
+        return
+    try:
+        snapshot = json.loads(telemetry_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return
+    counters = snapshot.get("counters", {})
+    out("")
+    out(f"  telemetry:        run_id={snapshot.get('run_id', '?')}"
+        f" ({len(counters)} counters,"
+        f" {len(snapshot.get('gauges', {}))} gauges)")
+    events = counters.get("des.events_fired")
+    if events is not None:
+        out(f"    events fired:   {events:,.0f}")
+
+
+def _inspect_campaign(path: Path, out: Callable[[str], None]) -> int:
+    """Summarise a campaign directory (per-day JSONL, no manifest)."""
+    from repro.obs.timeseries import iter_series
+
+    jsonl = path / "campaign.jsonl"
+    with jsonl.open("r", encoding="utf-8") as handle:
+        days = list(iter_series(handle))
+    out(f"Campaign: {path}")
+    out(f"  days:             {len(days)}")
+    if days:
+        last = days[-1]
+        out(f"  last day:         day={last.get('day', '?')}"
+            f"  P_CB={last.get('p_cb', 0.0):.4f}"
+            f"  P_HD={last.get('p_hd', 0.0):.4f}")
+        total = sum(int(day.get("events", 0)) for day in days)
+        out(f"  total events:     {total:,}")
+    checkpoints = sorted(
+        entry.name for entry in path.iterdir() if entry.is_dir()
+    )
+    if checkpoints:
+        out(f"  checkpoints:      {len(checkpoints)}"
+            f" ({checkpoints[0]} .. {checkpoints[-1]})")
+    _summarise_series(path, out)
+    return 0
+
+
 def inspect_state(
     path: str | Path, out: Callable[[str], None] = print
 ) -> int:
     """Describe and verify the checkpoint at ``path``; return exit code.
 
-    Raises :class:`~repro.state.format.StateFormatError` (or its
+    A campaign directory (``campaign.jsonl``, no manifest) gets a
+    per-day summary instead of CRC verification.  For checkpoints,
+    raises :class:`~repro.state.format.StateFormatError` (or its
     schema/corruption subclasses) when the manifest itself is missing,
     unparseable, or written by an incompatible schema — per-file
     corruption below the manifest is *reported* and turns the exit
     code non-zero instead.
     """
     path = Path(path)
+    if (
+        not (path / MANIFEST_NAME).exists()
+        and (path / "campaign.jsonl").exists()
+    ):
+        return _inspect_campaign(path, out)
     manifest = load_manifest(path)
     created = manifest.get("created_unix")
     counts = manifest.get("counts", {})
@@ -77,6 +152,8 @@ def inspect_state(
     out("")
     manifest_bytes = (path / MANIFEST_NAME).stat().st_size
     out(f"  {MANIFEST_NAME:<28} {'':>4} {'':>8} {manifest_bytes:>10}  -")
+    _summarise_telemetry(path, out)
+    _summarise_series(path, out)
     if failures:
         out(f"Integrity: FAILED ({failures}/{len(rows)} files corrupt)")
         return 1

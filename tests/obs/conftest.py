@@ -12,6 +12,7 @@ import pytest
 
 import repro.obs.logs as logs_module
 import repro.obs.telemetry as telemetry_module
+import repro.obs.trace as trace_module
 
 
 @pytest.fixture(autouse=True)
@@ -24,6 +25,7 @@ def _isolate_obs_state():
     )
     saved_root = (root.level, root.propagate, list(root.handlers))
     saved_telemetry = (telemetry_module._enabled, telemetry_module._active)
+    saved_trace = (trace_module._enabled, trace_module._active)
     manager = logging.Logger.manager
     saved_levels = {
         name: logger.level
@@ -45,3 +47,4 @@ def _isolate_obs_state():
     root.propagate = saved_root[1]
     root.handlers = saved_root[2]
     telemetry_module._enabled, telemetry_module._active = saved_telemetry
+    trace_module._enabled, trace_module._active = saved_trace

@@ -1,0 +1,114 @@
+"""Tests for the terminal dashboard: pure render + tail-follow loop."""
+
+import io
+
+from repro.obs.dash import DashState, render, run_dash
+
+
+def _rows():
+    return [
+        {
+            "t": 40.0,
+            "shard": 0,
+            "events": 1200,
+            "events_per_s": 350.0,
+            "heap": 42,
+            "p_cb": 0.02,
+            "p_hd": 0.001,
+            "util": 0.5,
+            "barrier_wait_frac": 0.25,
+        },
+        {
+            "t": 40.0,
+            "shard": 1,
+            "events": 1100,
+            "events_per_s": 300.0,
+            "heap": 40,
+        },
+    ]
+
+
+class TestDashState:
+    def test_lanes_keyed_by_shard(self):
+        state = DashState()
+        state.feed(_rows())
+        assert sorted(state.latest) == ["s0", "s1"]
+        assert state.rows_seen == 2
+
+    def test_unsharded_lane_uses_label_then_run_id(self):
+        state = DashState()
+        state.feed([{"shard": None, "label": "L=200"}])
+        state.feed([{"shard": None, "run_id": "cafe"}])
+        assert "L=200" in state.latest
+        assert "cafe" in state.latest
+
+    def test_latest_row_wins_and_rates_accumulate(self):
+        state = DashState()
+        state.feed([{"shard": 0, "t": 1.0, "events_per_s": 10.0}])
+        state.feed([{"shard": 0, "t": 2.0, "events_per_s": 20.0}])
+        assert state.latest["s0"]["t"] == 2.0
+        assert list(state.rates["s0"]) == [10.0, 20.0]
+
+
+class TestRender:
+    def test_frame_contains_lanes_and_totals(self):
+        state = DashState()
+        state.feed(_rows())
+        frame = render(state)
+        assert "s0" in frame and "s1" in frame
+        assert "0.0200" in frame  # P_CB
+        assert "25%" in frame  # barrier-wait fraction
+        assert "2 lane(s), 2 samples" in frame
+        assert "2,300 events" in frame
+
+    def test_missing_metrics_render_as_dashes(self):
+        state = DashState()
+        state.feed([{"shard": 1, "t": 1.0}])
+        lane_line = render(state).splitlines()[2]
+        assert lane_line.count("-") >= 3
+
+
+class TestRunDash:
+    def test_once_renders_file_and_exits(self, tmp_path):
+        stream = tmp_path / "series.jsonl"
+        stream.write_text(
+            '{"t": 1.0, "shard": 0, "events": 10, "events_per_s": 5.0}\n'
+            '{"t": 2.0, "shard": 0, "events": 20, "events_per_s": 7.0}\n'
+        )
+        out = io.StringIO()
+        code = run_dash(str(stream), follow=False, out=out, clear=False)
+        assert code == 0
+        assert "s0" in out.getvalue()
+        assert "2 samples" in out.getvalue()
+
+    def test_once_missing_file_is_an_error(self, tmp_path):
+        code = run_dash(
+            str(tmp_path / "nope.jsonl"),
+            follow=False,
+            out=io.StringIO(),
+            clear=False,
+        )
+        assert code == 2
+
+    def test_follow_timeout_bounds_the_loop(self, tmp_path):
+        stream = tmp_path / "series.jsonl"
+        stream.write_text('{"t": 1.0, "shard": 0}\n')
+        out = io.StringIO()
+        code = run_dash(
+            str(stream),
+            refresh=0.01,
+            follow=True,
+            timeout=0.05,
+            out=out,
+            clear=False,
+        )
+        assert code == 0
+        assert "1 lane(s)" in out.getvalue()
+
+    def test_tolerates_torn_last_line(self, tmp_path):
+        stream = tmp_path / "series.jsonl"
+        stream.write_text('{"t": 1.0, "shard": 0}\n{"t": 2.0, "sh')
+        out = io.StringIO()
+        code = run_dash(str(stream), follow=False, out=out, clear=False)
+        assert code == 0
+        assert "1 samples" in out.getvalue()

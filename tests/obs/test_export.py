@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.obs.export import parse_prometheus, snapshot_to_json, to_prometheus
-from repro.obs.telemetry import Telemetry
+from repro.obs.telemetry import Telemetry, merge_snapshots
 
 
 def _sample_snapshot():
@@ -70,6 +70,64 @@ class TestParsePrometheus:
         assert parse_prometheus("# a comment\n\nmetric 1\n") == {
             "metric": 1.0
         }
+
+
+def _shard_snapshot(shard: int, events: int):
+    """One spatial shard's registry, as the workers ship it home."""
+    telemetry = Telemetry(run_id=f"shard{shard:08d}")
+    telemetry.counter("des.events_fired").inc(events)
+    telemetry.counter("memo", outcome="hit").inc(10 * (shard + 1))
+    telemetry.gauge("des.heap_len").set(float(shard))
+    histogram = telemetry.histogram("batch.rows", buckets=(2.0, 8.0))
+    histogram.observe(shard + 1.0)
+    return telemetry.snapshot()
+
+
+class TestMergedMultiShardRoundTrip:
+    """Satellite of the streaming-telemetry PR: the merged snapshot of a
+    multi-shard run must survive ``to_prometheus``/``parse_prometheus``
+    with its summed counters intact."""
+
+    def test_counters_sum_across_shards(self):
+        merged = merge_snapshots(
+            [_shard_snapshot(0, 100), _shard_snapshot(1, 250)]
+        )
+        series = parse_prometheus(to_prometheus(merged))
+        assert series["repro_des_events_fired"] == 350
+        assert series['repro_memo{outcome="hit"}'] == 30
+
+    def test_histograms_fold_and_round_trip(self):
+        merged = merge_snapshots(
+            [_shard_snapshot(0, 1), _shard_snapshot(1, 1)]
+        )
+        series = parse_prometheus(to_prometheus(merged))
+        assert series['repro_batch_rows_bucket{le="+Inf"}'] == 2
+        assert series["repro_batch_rows_sum"] == 3.0
+
+    def test_merge_skips_disabled_contributors(self):
+        merged = merge_snapshots([None, _shard_snapshot(1, 42), None])
+        series = parse_prometheus(to_prometheus(merged))
+        assert series["repro_des_events_fired"] == 42
+
+    def test_merge_is_order_independent(self):
+        shards = [_shard_snapshot(index, 10 * index) for index in range(3)]
+        forward = merge_snapshots(shards)
+        backward = merge_snapshots(list(reversed(shards)))
+        # Gauges keep the last writer; counters/histograms must match
+        # exactly regardless of merge order.
+        forward_series = parse_prometheus(to_prometheus(forward))
+        backward_series = parse_prometheus(to_prometheus(backward))
+        assert (
+            forward_series["repro_des_events_fired"]
+            == backward_series["repro_des_events_fired"]
+        )
+        assert (
+            forward_series['repro_batch_rows_bucket{le="+Inf"}']
+            == backward_series['repro_batch_rows_bucket{le="+Inf"}']
+        )
+
+    def test_nothing_contributed_merges_to_none(self):
+        assert merge_snapshots([None, None]) is None
 
 
 class TestSnapshotJson:

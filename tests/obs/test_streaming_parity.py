@@ -1,0 +1,120 @@
+"""Streaming observation must not perturb the simulation.
+
+The PR-level invariant of the time-series sampler and the span tracer:
+``metrics_key()`` is bit-identical with sampling+tracing on versus off,
+for the sequential runner, the replicated runner, and the spatial
+runner.  Alongside parity, these tests pin the shape of what the
+streams contain: per-shard ``events_per_s`` rows and the barrier-phase
+span names.
+"""
+
+from dataclasses import replace
+
+from repro.obs.trace import span_names
+from repro.simulation.replication import run_replicated
+from repro.simulation.scenarios import hex_city, stationary
+from repro.simulation.simulator import simulate
+from repro.simulation.spatial import run_spatial
+
+
+def _scenario(**overrides):
+    overrides.setdefault("duration", 150.0)
+    return stationary("AC3", offered_load=180.0, seed=11, **overrides)
+
+
+def _observed(config):
+    return replace(config, series_interval=10.0, trace=True)
+
+
+def _city(**overrides):
+    return hex_city(
+        "AC3",
+        rows=6,
+        cols=6,
+        offered_load=150.0,
+        duration=30.0,
+        seed=5,
+        **overrides,
+    )
+
+
+class TestSequentialParity:
+    def test_metrics_identical_on_and_off(self):
+        off = simulate(_scenario())
+        on = simulate(_observed(_scenario()))
+        assert off.timeseries is None
+        assert off.trace_events is None
+        assert on.timeseries
+        assert on.trace_events
+        assert on.metrics_key() == off.metrics_key()
+
+    def test_streams_excluded_from_metrics_key(self):
+        key = simulate(_observed(_scenario())).metrics_key()
+        assert "timeseries" not in key
+        assert "trace_events" not in key
+
+    def test_sequential_trace_spans(self):
+        result = simulate(_observed(_scenario()))
+        names = span_names(result.trace_events)
+        assert "run.engine" in names
+        assert "kernel.flush_tick" in names
+
+
+class TestReplicatedParity:
+    def test_metrics_identical_on_and_off_with_two_workers(self):
+        config = _scenario(duration=300.0, warmup=100.0)
+        off = run_replicated(config, replications=2, workers=2)
+        on = run_replicated(
+            _observed(config), replications=2, workers=2
+        )
+        assert on.metrics_key() == off.metrics_key()
+        assert off.timeseries is None
+        assert on.timeseries
+
+    def test_worker_lanes_retagged_by_replication_index(self):
+        result = run_replicated(
+            _observed(_scenario(duration=300.0, warmup=100.0)),
+            replications=2,
+            workers=2,
+        )
+        assert {event["pid"] for event in result.trace_events} == {0, 1}
+
+
+class TestSpatialParity:
+    def test_metrics_identical_on_and_off_with_two_shards(self):
+        off = run_spatial(_city(), 2, processes=False)
+        on = run_spatial(_observed(_city()), 2, processes=False)
+        assert on.metrics_key() == off.metrics_key()
+
+    def test_observed_matches_single_shard_plain_run(self):
+        plain = run_spatial(_city(), 1, processes=False)
+        observed = run_spatial(_observed(_city()), 2, processes=False)
+        assert observed.metrics_key() == plain.metrics_key()
+
+    def test_per_shard_rows_with_rates(self):
+        result = run_spatial(_observed(_city()), 2, processes=False)
+        shards = {row["shard"] for row in result.timeseries}
+        assert shards == {0, 1}
+        assert all("events_per_s" in row for row in result.timeseries)
+        assert any(
+            "barrier_wait_frac" in row for row in result.timeseries
+        )
+
+    def test_barrier_phase_spans(self):
+        result = run_spatial(_observed(_city()), 2, processes=False)
+        names = span_names(result.trace_events)
+        assert {
+            "barrier.begin",
+            "barrier.evaluate",
+            "barrier.ship",
+            "epoch.run",
+        } <= names
+        assert {event["pid"] for event in result.trace_events} == {0, 1}
+
+    def test_merged_series_sorted_deterministically(self):
+        result = run_spatial(_observed(_city()), 2, processes=False)
+        keys = [
+            (row.get("t", 0.0), row.get("shard", -1))
+            for row in result.timeseries
+        ]
+        assert keys == sorted(keys)
