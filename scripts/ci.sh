@@ -14,7 +14,8 @@ echo "== kernel matrix =="
 # re-run under each forced backend.  numba is optional: when absent
 # its leg is skipped with a notice (requesting it would error).
 KERNEL_TESTS="tests/properties/test_kernel_backend_parity.py \
-    tests/cellular/test_reservation_cache.py tests/estimation"
+    tests/cellular/test_reservation_cache.py tests/estimation \
+    tests/simulation/test_columnar.py tests/simulation/test_spatial.py"
 for KERNEL in python numpy; do
     echo "-- REPRO_KERNEL=$KERNEL --"
     REPRO_KERNEL=$KERNEL PYTHONPATH=src python -m pytest -x -q $KERNEL_TESTS

@@ -37,6 +37,8 @@ seconds (0.5 if unset), so CI can shrink it without flag plumbing.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import platform
@@ -358,6 +360,35 @@ def bench_ac3_replicated(
     }
 
 
+def _shard_imbalance(shard_events) -> float:
+    """Peak-to-mean ratio of per-shard event counts (1.0 = perfect)."""
+    if not shard_events:
+        return 1.0
+    mean = sum(shard_events) / len(shard_events)
+    return max(shard_events) / mean if mean > 0 else 1.0
+
+
+@contextlib.contextmanager
+def _quiet_gc():
+    """Silence the cyclic collector around a timed leg.
+
+    By the time the spatial benches run, the report process has built
+    and dropped several whole simulations; every gen-2 collection
+    during a timed run rescans that accumulated heap, depressing the
+    measured events/s by 30-40% versus the same call in a fresh
+    process.  Collect once up front, then let pure refcounting carry
+    the leg — the DES hot path allocates no cycles.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def bench_ac3_spatial(smoke: bool) -> dict:
     """Spatially sharded hex city: events/s versus shard count (AC3).
 
@@ -382,7 +413,7 @@ def bench_ac3_spatial(smoke: bool) -> dict:
         # scaling.
         rows = cols = 30
         duration, load = 20.0, 700.0
-        shard_counts = (1, 2, 4)
+        shard_counts = (1, 2, 4, 8)
     config = hex_city(
         "AC3",
         rows=rows,
@@ -394,16 +425,27 @@ def bench_ac3_spatial(smoke: bool) -> dict:
     )
     runs = []
     reference_key = None
+    # Best-of-3 per leg (best-of-1 in smoke): a single 4-6 s run on a
+    # shared box is too noisy for the 20% --compare gate; the minimum
+    # wall time estimates the undisturbed cost, and every repeat must
+    # merge to the same metrics_key().
+    repeats = 1 if smoke else 3
     for shards in shard_counts:
-        result = run_spatial(config, shards, processes=shards > 1)
-        key = result.metrics_key()
-        if reference_key is None:
-            reference_key = key
-        elif key != reference_key:
-            raise RuntimeError(
-                f"spatial merge is not shard-independent: {shards} shards"
-                " produced different merged metrics than 1 shard"
-            )
+        result = None
+        for _ in range(repeats):
+            with _quiet_gc():
+                attempt = run_spatial(config, shards, processes=shards > 1)
+            key = attempt.metrics_key()
+            if reference_key is None:
+                reference_key = key
+            elif key != reference_key:
+                raise RuntimeError(
+                    f"spatial merge is not shard-independent: {shards}"
+                    " shards produced different merged metrics than 1 shard"
+                )
+            if result is None or attempt.wall_seconds < result.wall_seconds:
+                result = attempt
+        shard_events = list(result.shard_events or ())
         runs.append({
             "shards": shards,
             "wall_seconds": result.wall_seconds,
@@ -413,7 +455,10 @@ def bench_ac3_spatial(smoke: bool) -> dict:
                 if result.wall_seconds > 0
                 else 0.0
             ),
+            "shard_events": shard_events,
+            "imbalance": _shard_imbalance(shard_events),
             "oversubscribed": shards > cpu_count,
+            "repeats": repeats,
         })
     base = runs[0]["wall_seconds"]
     for run in runs:
@@ -430,6 +475,191 @@ def bench_ac3_spatial(smoke: bool) -> dict:
         "p_hd": result.dropping_probability,
         "runs": runs,
         "merge_deterministic": True,
+    }
+
+
+def bench_ac3_spatial_balanced(smoke: bool) -> dict:
+    """City-scale spatial runs on the columnar hot loop (AC3).
+
+    Three legs:
+
+    * ``throughput`` — a uniform hex city (100x100 at L=500 in the
+      full run) swept over shard counts on the default plan.  These
+      events/s rows are the headline the ``--compare`` gate tracks
+      (non-oversubscribed only, like ``ac3_spatial``).  Each shard
+      count is timed best-of-3 (best-of-1 in smoke): like the
+      ``sampling`` section, the minimum wall time estimates the
+      undisturbed cost on a shared box, and every repeat must merge
+      to the same ``metrics_key()``.
+    * ``plans`` — the same city with traffic hot spots, one run per
+      shard-plan kind at a fixed shard count: events/s plus the
+      peak-to-mean shard imbalance the load-balanced plans exist to
+      shrink.
+    * ``campaign`` — a small hot-spot city run as a 2-day warm-started
+      campaign once per plan kind; day 1 restores from day 0's written
+      checkpoint, so matching per-day results across kinds prove the
+      restore path is plan-independent.
+
+    Every merged run of the same scenario must agree on
+    ``metrics_key()`` regardless of shard count or plan kind; any
+    mismatch raises.
+    """
+    import shutil
+    import tempfile
+
+    from repro.simulation.scenarios import hex_city
+    from repro.simulation.spatial import (
+        PLAN_KINDS,
+        run_spatial,
+        run_spatial_campaign,
+    )
+
+    cpu_count = os.cpu_count() or 1
+    if smoke:
+        rows = cols = 6
+        duration, load = 30.0, 150.0
+        shard_counts = (1, 2)
+        plan_shards = 2
+    else:
+        rows = cols = 100
+        duration, load = 5.0, 500.0
+        shard_counts = (1, 2, 4)
+        plan_shards = 4
+    hotspots = (
+        (rows // 5, cols // 3, 4.0, 6.0),
+        (7 * rows // 10, 3 * cols // 5, 3.0, 5.0),
+    )
+    uniform = hex_city(
+        "AC3",
+        rows=rows,
+        cols=cols,
+        offered_load=load,
+        duration=duration,
+        seed=11,
+    )
+    hotspot = hex_city(
+        "AC3",
+        rows=rows,
+        cols=cols,
+        offered_load=load,
+        duration=duration,
+        seed=11,
+        hotspots=hotspots,
+    )
+    throughput = []
+    reference_key = None
+    repeats = 1 if smoke else 3
+    for shards in shard_counts:
+        result = None
+        for _ in range(repeats):
+            with _quiet_gc():
+                attempt = run_spatial(uniform, shards, processes=shards > 1)
+            key = attempt.metrics_key()
+            if reference_key is None:
+                reference_key = key
+            elif key != reference_key:
+                raise RuntimeError(
+                    "balanced spatial merge is not shard-independent:"
+                    f" {shards} shards diverged"
+                )
+            if result is None or attempt.wall_seconds < result.wall_seconds:
+                result = attempt
+        shard_events = list(result.shard_events or ())
+        throughput.append({
+            "shards": shards,
+            "wall_seconds": result.wall_seconds,
+            "events_processed": result.events_processed,
+            "events_per_sec": (
+                result.events_processed / result.wall_seconds
+                if result.wall_seconds > 0
+                else 0.0
+            ),
+            "shard_events": shard_events,
+            "imbalance": _shard_imbalance(shard_events),
+            "oversubscribed": shards > cpu_count,
+            "repeats": repeats,
+        })
+    plans = []
+    plan_key = None
+    for kind in PLAN_KINDS:
+        with _quiet_gc():
+            result = run_spatial(
+                hotspot, plan_shards, processes=True, plan_kind=kind
+            )
+        key = result.metrics_key()
+        if plan_key is None:
+            plan_key = key
+        elif key != plan_key:
+            raise RuntimeError(
+                "spatial merge is not plan-independent:"
+                f" kind={kind!r} diverged"
+            )
+        shard_events = list(result.shard_events or ())
+        plans.append({
+            "plan": kind,
+            "shards": plan_shards,
+            "wall_seconds": result.wall_seconds,
+            "events_per_sec": (
+                result.events_processed / result.wall_seconds
+                if result.wall_seconds > 0
+                else 0.0
+            ),
+            "shard_events": shard_events,
+            "imbalance": _shard_imbalance(shard_events),
+        })
+    # Checkpoint-restore invariance on a campaign-sized city: day 1 of
+    # each campaign warm-starts from day 0's *written* checkpoint.
+    campaign_city = hex_city(
+        "AC3",
+        rows=8,
+        cols=6,
+        offered_load=150.0,
+        duration=30.0,
+        seed=7,
+        hotspots=((2, 2, 3.0),),
+    )
+    campaign_days = None
+    for kind in PLAN_KINDS:
+        state_dir = tempfile.mkdtemp(prefix="bench-spatial-ckpt-")
+        try:
+            reports = run_spatial_campaign(
+                campaign_city,
+                2,
+                days=2,
+                state_dir=state_dir,
+                processes=False,
+                plan_kind=kind,
+            )
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        days = [
+            {
+                "day": report.day,
+                "p_cb": report.blocking_probability,
+                "p_hd": report.dropping_probability,
+                "events": report.events,
+                "quadruplets": report.quadruplets,
+            }
+            for report in reports
+        ]
+        if campaign_days is None:
+            campaign_days = days
+        elif days != campaign_days:
+            raise RuntimeError(
+                "warm-started campaign diverged across plan kinds:"
+                f" kind={kind!r}"
+            )
+    return {
+        "grid": f"{rows}x{cols}",
+        "offered_load": load,
+        "duration": duration,
+        "cpu_count": cpu_count,
+        "hotspots": [list(spot) for spot in hotspots],
+        "throughput": throughput,
+        "plans": plans,
+        "campaign_days": campaign_days,
+        "merge_deterministic": True,
+        "restore_plan_invariant": True,
     }
 
 
@@ -717,7 +947,17 @@ def run_benchmarks(
     report["simulation"]["ac3_replicated"] = bench_ac3_replicated(
         smoke, workers=workers, replications=replications, ci_level=ci_level
     )
+    # The replicated bench leaves its persistent sweep pool warm for
+    # the rest of the process.  The spatial benches fork their own
+    # shard workers; retire the idle pool first so its processes do
+    # not sit on memory (and the run queue) under the timed legs.
+    from repro.simulation.runner import _close_shared_pools
+
+    _close_shared_pools()
     report["simulation"]["ac3_spatial"] = bench_ac3_spatial(smoke)
+    report["simulation"]["ac3_spatial_balanced"] = bench_ac3_spatial_balanced(
+        smoke
+    )
     report["memory"] = {"columnar_store": bench_columnar_memory()}
     report["state_io"] = bench_state_io(smoke)
     report["telemetry"] = bench_ac3_telemetry(smoke)
@@ -744,6 +984,13 @@ def _throughputs(report: dict) -> dict[str, float]:
         for run in spatial.get("runs", ()):
             if not run.get("oversubscribed"):
                 flat[f"ac3_spatial_s{run['shards']}"] = (
+                    run["events_per_sec"]
+                )
+    balanced = report.get("simulation", {}).get("ac3_spatial_balanced")
+    if balanced:
+        for run in balanced.get("throughput", ()):
+            if not run.get("oversubscribed"):
+                flat[f"ac3_spatial_balanced_s{run['shards']}"] = (
                     run["events_per_sec"]
                 )
     return flat
@@ -856,6 +1103,16 @@ def _history_row(report: dict) -> dict:
                 spatial_rate is None or rate > spatial_rate
             ):
                 spatial_rate = rate
+    balanced_rate = None
+    for run in simulation.get("ac3_spatial_balanced", {}).get(
+        "throughput", ()
+    ):
+        if not run.get("oversubscribed"):
+            rate = run.get("events_per_sec")
+            if rate is not None and (
+                balanced_rate is None or rate > balanced_rate
+            ):
+                balanced_rate = rate
     replicated = simulation.get("ac3_replicated", {})
     return {
         "date": report.get("date", "?"),
@@ -867,6 +1124,7 @@ def _history_row(report: dict) -> dict:
             "ops_per_sec"
         ),
         "spatial_events_per_sec": spatial_rate,
+        "balanced_events_per_sec": balanced_rate,
         "replicated_speedup": replicated.get("speedup"),
         "sampling_overhead": report.get("sampling", {}).get(
             "overhead_fraction"
@@ -895,9 +1153,9 @@ def print_history(paths: Sequence[Path], out=print) -> int:
         return 2
     out(
         "| date | kernel | ac3 ev/s | loop ev/s | eq4 ops/s"
-        " | spatial ev/s | repl speedup | sampler ovh |"
+        " | spatial ev/s | balanced ev/s | repl speedup | sampler ovh |"
     )
-    out("|---|---|---:|---:|---:|---:|---:|---:|")
+    out("|---|---|---:|---:|---:|---:|---:|---:|---:|")
     for row in rows:
         date_cell = row["date"] + (" (smoke)" if row["smoke"] else "")
         speedup = row["replicated_speedup"]
@@ -908,6 +1166,7 @@ def print_history(paths: Sequence[Path], out=print) -> int:
             f" | {_history_cell(row['event_loop'])}"
             f" | {_history_cell(row['eq4_batch'])}"
             f" | {_history_cell(row['spatial_events_per_sec'])}"
+            f" | {_history_cell(row.get('balanced_events_per_sec'))}"
             f" | {_history_cell(speedup, '.2f')}"
             f"{'x' if isinstance(speedup, (int, float)) else ''}"
             f" | {_history_cell(overhead, '.1%')} |"
@@ -950,6 +1209,26 @@ def _print_report(report: dict, output: Path) -> None:
                 f"{label:<28} {run['wall_seconds']:>10.2f} s    "
                 f"{run['events_per_sec']:>14,.0f} events/s  "
                 f"speedup={run['speedup_vs_1']:.2f}x{over}"
+            )
+    balanced = report["simulation"].get("ac3_spatial_balanced")
+    if balanced:
+        for run in balanced["throughput"]:
+            label = (
+                f"ac3_balanced ({balanced['grid']}, s={run['shards']})"
+            )
+            over = "  [oversubscribed]" if run["oversubscribed"] else ""
+            print(
+                f"{label:<28} {run['wall_seconds']:>10.2f} s    "
+                f"{run['events_per_sec']:>14,.0f} events/s  "
+                f"imbalance={run['imbalance']:.3f}{over}"
+            )
+        for run in balanced["plans"]:
+            label = f"ac3_balanced plan={run['plan']}"
+            print(
+                f"{label:<28} {run['wall_seconds']:>10.2f} s    "
+                f"{run['events_per_sec']:>14,.0f} events/s  "
+                f"imbalance={run['imbalance']:.3f}"
+                f" (s={run['shards']}, hotspots)"
             )
     memory = report.get("memory", {}).get("columnar_store")
     if memory:

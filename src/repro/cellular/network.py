@@ -31,6 +31,12 @@ class CellularNetwork:
         Window-controller parameters shared by all stations.
     estimator_factory:
         Override to plug a custom estimator (e.g. ``KnownPathEstimator``).
+    cell_factory:
+        Override to plug a custom :class:`Cell` subclass — called as
+        ``cell_factory(cell_id, capacity, handoff_overload)``.  The
+        spatial runner uses this to build
+        :class:`~repro.simulation.columnar.ColumnarCell` cells whose
+        attached sets live in a shared connection store.
     reservation_cache:
         Whether base stations evaluate Eq. 5 over their incremental
         columnar buckets (see
@@ -57,6 +63,7 @@ class CellularNetwork:
         cache_config: CacheConfig | None = None,
         window_config: WindowControllerConfig | None = None,
         estimator_factory: Callable[[int], MobilityEstimator] | None = None,
+        cell_factory: Callable[[int, float, float], Cell] | None = None,
         handoff_overload: float = 1.0,
         reservation_cache: bool = True,
         coalesced_tick: bool = False,
@@ -90,9 +97,12 @@ class CellularNetwork:
                 cell_capacity = capacity(cell_id)
             else:
                 cell_capacity = float(capacity)
-            cell = Cell(
-                cell_id, cell_capacity, handoff_overload=handoff_overload
-            )
+            if cell_factory is not None:
+                cell = cell_factory(cell_id, cell_capacity, handoff_overload)
+            else:
+                cell = Cell(
+                    cell_id, cell_capacity, handoff_overload=handoff_overload
+                )
             if estimator_factory is not None:
                 estimator = estimator_factory(cell_id)
             else:

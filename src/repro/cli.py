@@ -249,6 +249,21 @@ def _add_spatial_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the shards sequentially in this process instead of"
         " one worker process each (same metrics, no parallelism)",
     )
+    group.add_argument(
+        "--shard-plan", default="rows", choices=("rows", "load", "tiles"),
+        dest="shard_plan",
+        help="partition strategy: equal row bands (rows), row bands"
+        " sized by per-cell offered load (load), or 2-D tiles with"
+        " load-balanced cuts (tiles); metrics are identical for every"
+        " choice — only the balance changes (default rows)",
+    )
+    group.add_argument(
+        "--hotspots", default=None, metavar="R,C,GAIN[,RADIUS];...",
+        help="semicolon-separated traffic hot spots, each"
+        " row,col,gain[,radius] — scales per-cell arrival rates"
+        " (mean-normalised, network load unchanged); this is what"
+        " makes --shard-plan load/tiles differ from rows",
+    )
 
 
 def _parse_hex(spec: str) -> tuple[int, int]:
@@ -414,12 +429,32 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
     )
 
 
+def _parse_hotspots(spec: str | None) -> tuple[tuple[float, ...], ...]:
+    """Parse ``row,col,gain[,radius];...`` into hotspot tuples."""
+    if not spec:
+        return ()
+    hotspots = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        fields = [float(value) for value in part.split(",")]
+        if len(fields) not in (3, 4):
+            raise ValueError(
+                "--hotspots wants row,col,gain[,radius] per entry,"
+                f" got {part!r}"
+            )
+        hotspots.append(tuple(fields))
+    return tuple(hotspots)
+
+
 def _build_spatial_config(args: argparse.Namespace):
     rows, cols = _parse_hex(args.hex_grid)
     return hex_city(
         args.scheme,
         rows=rows,
         cols=cols,
+        hotspots=_parse_hotspots(getattr(args, "hotspots", None)),
         offered_load=args.load,
         voice_ratio=args.rvo,
         duration=args.duration,
@@ -456,6 +491,7 @@ def _command_run_spatial(args: argparse.Namespace) -> int:
         args.shards,
         processes=False if args.inline_shards else None,
         epoch=args.epoch,
+        plan_kind=args.shard_plan,
     )
     rate = (
         result.events_processed / result.wall_seconds
@@ -464,7 +500,16 @@ def _command_run_spatial(args: argparse.Namespace) -> int:
     )
     print(f"scheme={result.scheme}  L={result.offered_load:g}"
           f"  duration={result.duration:g}s"
-          f"  grid={args.hex_grid}  shards={args.shards}")
+          f"  grid={args.hex_grid}  shards={args.shards}"
+          f"  plan={args.shard_plan}")
+    if result.shard_events and len(result.shard_events) > 1:
+        mean = sum(result.shard_events) / len(result.shard_events)
+        imbalance = max(result.shard_events) / mean if mean else 1.0
+        print(
+            "shard events = "
+            + "/".join(f"{count:,}" for count in result.shard_events)
+            + f"  (imbalance {imbalance:.3f})"
+        )
     print(f"P_CB = {result.blocking_probability:.4f}")
     print(f"P_HD = {result.dropping_probability:.4f}")
     print(f"avg B_r = {result.average_reservation:.2f} BUs,"
@@ -768,6 +813,7 @@ def _command_campaign_spatial(args: argparse.Namespace) -> int:
         processes=False if args.inline_shards else None,
         epoch=args.epoch,
         jsonl_path=jsonl,
+        plan_kind=args.shard_plan,
     )
     rows = [
         [

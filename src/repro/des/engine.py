@@ -48,7 +48,11 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        #: Binary heap of ``(time, priority, sequence, event)`` entries.
+        #: Tuples keep every heap comparison in C — sequence is unique,
+        #: so a comparison never reaches the event object itself (which
+        #: would fall back to a Python-level ``__lt__``).
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._running = False
         self._stopped = False
@@ -115,7 +119,7 @@ class Engine:
             and self._cancelled_pending * 2 > len(self._queue)
         ):
             self._queue = [
-                event for event in self._queue if not event.cancelled
+                entry for entry in self._queue if not entry[3].cancelled
             ]
             heapq.heapify(self._queue)
             self._cancelled_pending = 0
@@ -134,13 +138,15 @@ class Engine:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         pool = self._pool
+        sequence = self._sequence
+        priority = int(priority)
         if pool:
             self.pool_hits += 1
             event = pool.pop()
             event._reset(
                 time,
-                int(priority),
-                self._sequence,
+                priority,
+                sequence,
                 callback,
                 args,
                 self._note_cancellation,
@@ -149,14 +155,14 @@ class Engine:
             self.pool_misses += 1
             event = Event(
                 time,
-                int(priority),
-                self._sequence,
+                priority,
+                sequence,
                 callback,
                 args,
                 _cancel_hook=self._note_cancellation,
             )
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        self._sequence = sequence + 1
+        heapq.heappush(self._queue, (time, priority, sequence, event))
         return event
 
     def call_in(
@@ -177,26 +183,35 @@ class Engine:
 
     def peek(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is drained."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
             self._cancelled_pending -= 1
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
+
+    def queued_events(self):
+        """The queued :class:`Event` objects, heap order, corpses included.
+
+        Checkpoint capture filters cancelled entries itself; nothing
+        else should rely on the raw heap layout.
+        """
+        for entry in self._queue:
+            yield entry[3]
 
     def step(self) -> bool:
         """Fire the next live event.  Returns ``False`` if none remained."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            if event.time < self._now:
+            if time < self._now:
                 raise SimulationError("event queue corrupted: time went backwards")
             # The event left the heap: a late cancel() must not count it
             # as a dead heap entry.
             event._cancel_hook = None
-            self._now = event.time
+            self._now = time
             self.events_processed += 1
             event.fire()
             self._recycle(event)
@@ -288,12 +303,12 @@ class Engine:
             # the exact one-at-a-time firing order.
             while not self._stopped:
                 queue = self._queue
-                while queue and queue[0].cancelled:
+                while queue and queue[0][3].cancelled:
                     heappop(queue)
                     self._cancelled_pending -= 1
                 if not queue:
                     break
-                head = queue[0]
+                head = queue[0][3]
                 time = head.time
                 if until is not None and time > until:
                     break
@@ -322,14 +337,14 @@ class Engine:
                     if max_events is not None and fired >= max_events:
                         break
                     queue = self._queue
-                    while queue and queue[0].cancelled:
+                    while queue and queue[0][3].cancelled:
                         heappop(queue)
                         self._cancelled_pending -= 1
                     if not queue:
                         break
-                    head = queue[0]
-                    if head.time != time:
+                    if queue[0][0] != time:
                         break
+                    head = queue[0][3]
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

@@ -9,7 +9,8 @@ redraws a compact per-shard table a few times a second:
 * instantaneous events/s (with a sparkline of the recent rate),
 * heap depth and cancellation count,
 * running P_CB / P_HD and bandwidth utilization,
-* barrier-wait fraction for spatial shards.
+* barrier-wait fraction and event-count imbalance (this shard over the
+  mean of all shard lanes) for spatial shards.
 
 Everything is pure stdlib: ANSI cursor-home + clear-to-end redraws, no
 curses.  ``render`` is a pure function of the accumulated rows so the
@@ -87,11 +88,23 @@ def render(state: DashState, width: int = 100) -> str:
     header = (
         f"{'lane':<8} {'t':>9} {'events':>12} {'ev/s':>8} "
         f"{'heap':>8} {'P_CB':>7} {'P_HD':>7} {'util':>6} "
-        f"{'barrier':>8}  rate"
+        f"{'barrier':>8} {'imbal':>6}  rate"
     )
     lines = [header, "-" * min(width, len(header) + _SPARK_WIDTH)]
     total_events = 0
     total_rate = 0.0
+    # Per-shard imbalance: this shard's event count over the mean of
+    # all shard lanes (1.00 = perfectly balanced plan).  Non-shard
+    # lanes (plain runs, replication workers) show no value.
+    shard_events = [
+        int(row.get("events") or 0)
+        for row in state.latest.values()
+        if row.get("shard") is not None
+    ]
+    shard_mean = (
+        sum(shard_events) / len(shard_events) if len(shard_events) > 1
+        else 0.0
+    )
     for lane in sorted(state.latest):
         row = state.latest[lane]
         rate = float(row.get("events_per_s") or 0.0)
@@ -102,6 +115,11 @@ def render(state: DashState, width: int = 100) -> str:
         p_cb = row.get("p_cb")
         p_hd = row.get("p_hd")
         util = row.get("util")
+        imbalance = (
+            events / shard_mean
+            if shard_mean > 0 and row.get("shard") is not None
+            else None
+        )
         shown = lane if len(lane) <= 8 else lane[:7] + "…"
         lines.append(
             f"{shown:<8} {row.get('t', 0.0):>9.1f} {events:>12,} "
@@ -109,7 +127,8 @@ def render(state: DashState, width: int = 100) -> str:
             f"{'-' if p_cb is None else format(p_cb, '.4f'):>7} "
             f"{'-' if p_hd is None else format(p_hd, '.4f'):>7} "
             f"{'-' if util is None else format(util, '.0%'):>6} "
-            f"{'-' if barrier is None else format(barrier, '.0%'):>8}  "
+            f"{'-' if barrier is None else format(barrier, '.0%'):>8} "
+            f"{'-' if imbalance is None else format(imbalance, '.2f'):>6}  "
             f"{_sparkline(state.rates.get(lane, ()))}"
         )
     lines.append("-" * min(width, len(header) + _SPARK_WIDTH))

@@ -11,12 +11,18 @@ available, stdlib ``array`` otherwise) indexed by a small integer row
 id, with free-list recycling so long runs reuse rows instead of
 growing.
 
-The spatial simulator works on row ids directly; the only per-object
-shim is :func:`handle_class`, a two-word handle exposing the attribute
-set :meth:`repro.cellular.cell.Cell.attach` duck-types against
-(``connection_id``, ``bandwidth``, ``reservation_basis``,
-``prev_cell``, ``cell_entry_time``, ...).  The store itself is bound
-at the *class* level so each live handle carries nothing but its row.
+The spatial simulator works on row ids directly: its cells are
+:class:`ColumnarCell` instances whose :meth:`~ColumnarCell.attach_row`
+/ :meth:`~ColumnarCell.detach_row` read the store columns in place, so
+the DES hot loop allocates no per-event objects at all.  The only
+remaining per-object shim is :func:`handle_class`, a two-word handle
+exposing the attribute set :meth:`repro.cellular.cell.Cell.attach`
+duck-types against (``connection_id``, ``bandwidth``,
+``reservation_basis``, ``prev_cell``, ``cell_entry_time``, ...); it is
+materialised ephemerally on the rare fallback paths that still iterate
+connection objects (the pure-python Eq. 5 kernel, disabled reservation
+caches).  The store itself is bound at the *class* level so each live
+handle carries nothing but its row.
 
 Rows are guarded by a monotone ``serial`` column: every allocation
 stamps the row with a fresh serial, so stale references (e.g. a
@@ -35,6 +41,8 @@ except Exception:  # pragma: no cover
 
 import array as _array
 
+from repro.cellular.cell import CapacityError, Cell, ReservationGroup
+
 #: column typecode -> (numpy dtype name, stdlib array typecode)
 _CODES = {
     "f8": ("float64", "d"),
@@ -48,15 +56,15 @@ _CODES = {
 BANDWIDTH_TABLE = (1.0, 4.0)
 
 
-def _new_column(code: str, capacity: int):
+def _new_column(code: str, capacity: int, scalar_hot: bool = False):
     dtype, typecode = _CODES[code]
-    if _np is not None:
+    if _np is not None and not scalar_hot:
         return _np.zeros(capacity, dtype=dtype)
     return _array.array(typecode, bytes(_array.array(typecode).itemsize * capacity))
 
 
 def _grow_column(column, code: str, capacity: int):
-    if _np is not None:
+    if _np is not None and not isinstance(column, _array.array):
         grown = _np.zeros(capacity, dtype=column.dtype)
         grown[: len(column)] = column
         return grown
@@ -76,6 +84,13 @@ class ColumnStore:
 
     COLUMNS: tuple[tuple[str, str], ...] = ()
 
+    #: When ``True``, columns use stdlib ``array`` backing even if numpy
+    #: is installed.  The DES hot loop reads and writes *single elements*
+    #: (row-at-a-time), where ``array.array`` indexing is ~1.4-1.6x
+    #: faster than numpy's scalar boxing; vectorised consumers should
+    #: leave this off.
+    SCALAR_HOT = False
+
     __slots__ = ("columns", "serial", "capacity", "_free", "_next_row",
                  "_next_serial", "live")
 
@@ -83,10 +98,12 @@ class ColumnStore:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        scalar_hot = self.SCALAR_HOT
         self.columns: dict[str, Any] = {
-            name: _new_column(code, capacity) for name, code in self.COLUMNS
+            name: _new_column(code, capacity, scalar_hot)
+            for name, code in self.COLUMNS
         }
-        self.serial = _new_column("i8", capacity)
+        self.serial = _new_column("i8", capacity, scalar_hot)
         self._free: list[int] = []
         self._next_row = 0
         self._next_serial = 1
@@ -178,6 +195,11 @@ class ConnectionStore(ColumnStore):
         ("heading", "i1"),
     )
 
+    #: Every consumer is row-at-a-time (admission, crossings, hand-off
+    #: migration); nothing slices these columns, so scalar-fast backing
+    #: wins even with numpy installed.
+    SCALAR_HOT = True
+
     __slots__ = ("num_cells",)
 
     def __init__(self, num_cells: int, capacity: int = 256) -> None:
@@ -246,3 +268,132 @@ def handle_class(store: ConnectionStore) -> type:
         "__slots__": (),
         "store": store,
     })
+
+
+class ColumnarCell(Cell):
+    """A :class:`~repro.cellular.cell.Cell` backed by store rows.
+
+    The classic attach path costs one handle object per connection plus
+    a property call per field read; at city scale that object churn is
+    a leading hot-loop term.  A columnar cell keeps the same accounting
+    (``used_bandwidth``, ``version``, the per-``prev``
+    :class:`~repro.cellular.cell.ReservationGroup` buckets the Eq. 5
+    kernels batch over) but reads every field straight out of the
+    :class:`ConnectionStore` columns, so admission, reservation flush,
+    and hand-off migration touch no per-connection Python objects.
+
+    Attach order is tracked by the same cell-wide sequence counter as
+    the base class, so ``argsort`` over the bucket ``seqs`` still
+    reproduces connection-iteration order — the grouped
+    ``FlushBatch`` plan is unchanged.  :meth:`connections` materialises
+    ephemeral handles for the object-iterating fallback paths only.
+    """
+
+    def __init__(
+        self,
+        cell_id: int,
+        capacity: float,
+        store: ConnectionStore,
+        handoff_overload: float = 1.0,
+        handle_cls: type | None = None,
+    ) -> None:
+        super().__init__(cell_id, capacity, handoff_overload)
+        self.store = store
+        #: ``connection_id -> row`` in attach order (dict preserves it).
+        self._rows: dict[int, int] = {}
+        self._handle_cls = handle_cls
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._rows)
+
+    def connections(self):
+        """Ephemeral handle views, in attach order (fallback paths only)."""
+        cls = self._handle_cls
+        if cls is None:
+            cls = self._handle_cls = handle_class(self.store)
+        return [cls(row) for row in self._rows.values()]
+
+    def attach_row(self, row: int) -> None:
+        """Account a store row into this cell (admission already decided)."""
+        store = self.store
+        columns = store.columns
+        # ``SCALAR_HOT`` columns hand back native ints/floats, so no
+        # per-field conversions are needed on this path.
+        key = (
+            columns["birth_seq"][row] * store.num_cells
+            + columns["birth_cell"][row]
+        )
+        rows = self._rows
+        if key in rows:
+            raise CapacityError(
+                f"connection {key} already in cell {self.cell_id}"
+            )
+        bandwidth = BANDWIDTH_TABLE[columns["bw_code"][row]]
+        if self.used_bandwidth + bandwidth > self.handoff_capacity + 1e-9:
+            raise CapacityError(
+                f"cell {self.cell_id}: attaching {bandwidth} BU"
+                f" exceeds capacity ({self.used_bandwidth}/"
+                f"{self.handoff_capacity})"
+            )
+        rows[key] = row
+        self.used_bandwidth += bandwidth
+        prev = columns["prev"][row]
+        group = self._by_prev.get(prev_key := (None if prev < 0 else prev))
+        if group is None:
+            group = self._by_prev[prev_key] = ReservationGroup()
+        group.add(
+            key, columns["entry_time"][row], bandwidth,
+            self._attach_seq,
+        )
+        self._attach_seq += 1
+        self.version += 1
+
+    def detach_row(self, row: int) -> None:
+        """Release a store row's bandwidth.
+
+        Must run while the row's ``prev`` / ``entry_time`` columns still
+        hold their attach-time values (i.e. before a hand-off rewrites
+        them for the next cell).
+        """
+        store = self.store
+        columns = store.columns
+        key = (
+            columns["birth_seq"][row] * store.num_cells
+            + columns["birth_cell"][row]
+        )
+        if self._rows.pop(key, None) is None:
+            raise CapacityError(
+                f"connection {key} not in cell {self.cell_id}"
+            )
+        prev = columns["prev"][row]
+        prev_key = None if prev < 0 else prev
+        group = self._by_prev.get(prev_key)
+        if group is None or not group.remove(
+            key, columns["entry_time"][row]
+        ):
+            raise CapacityError(
+                f"connection {key} missing from the prev={prev_key} bucket"
+                f" of cell {self.cell_id}"
+            )
+        if not group:
+            self._retired_rebuilds += group.rebuilds
+            del self._by_prev[prev_key]
+        self.version += 1
+        self.used_bandwidth -= BANDWIDTH_TABLE[columns["bw_code"][row]]
+        if self.used_bandwidth < -1e-9:
+            raise CapacityError(
+                f"cell {self.cell_id}: used bandwidth went negative"
+            )
+        if self.used_bandwidth < 0:
+            self.used_bandwidth = 0.0
+
+    def attach(self, connection) -> None:  # pragma: no cover - misuse guard
+        raise TypeError(
+            "ColumnarCell tracks store rows; use attach_row(row)"
+        )
+
+    def detach(self, connection) -> None:  # pragma: no cover - misuse guard
+        raise TypeError(
+            "ColumnarCell tracks store rows; use detach_row(row)"
+        )

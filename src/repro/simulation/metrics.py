@@ -120,16 +120,22 @@ class SimulationResult:
     #: Chrome trace events (:mod:`repro.obs.trace`), or ``None`` when
     #: tracing was disabled.  Merged across workers and shards.
     trace_events: list | None = None
+    #: Semantic events executed per spatial shard (index = shard id),
+    #: or ``None`` outside spatial runs.  Balance observability only:
+    #: the split depends on the shard plan, so it is excluded from
+    #: :meth:`metrics_key` (the *merged* metrics stay plan-invariant).
+    shard_events: tuple | None = None
 
     def metrics_key(self) -> dict:
         """Every simulation-determined field, as plain data.
 
         Excludes ``wall_seconds`` (host speed, not simulation output)
-        plus ``run_id``, ``telemetry``, ``timeseries`` and
-        ``trace_events`` (random ids, wall-clock timers and samples),
+        plus ``run_id``, ``telemetry``, ``timeseries``,
+        ``trace_events`` and ``shard_events`` (random ids, wall-clock
+        timers, samples, and the plan-dependent per-shard event split),
         so two runs of the same scenario — cached vs uncached, parallel
-        vs sequential, observed vs unobserved — compare equal iff their
-        metrics are identical.
+        vs sequential, observed vs unobserved, any shard plan — compare
+        equal iff their metrics are identical.
         """
         data = asdict(self)
         data.pop("wall_seconds", None)
@@ -137,6 +143,7 @@ class SimulationResult:
         data.pop("telemetry", None)
         data.pop("timeseries", None)
         data.pop("trace_events", None)
+        data.pop("shard_events", None)
         return data
 
     # ------------------------------------------------------------------

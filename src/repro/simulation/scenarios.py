@@ -121,6 +121,48 @@ def time_varying(
     return replace(config, **overrides) if overrides else config
 
 
+def _hex_distance(row_a: int, col_a: int, row_b: int, col_b: int) -> int:
+    """Hex-grid distance between two odd-row offset coordinates."""
+    x_a = col_a - (row_a - (row_a & 1)) // 2
+    x_b = col_b - (row_b - (row_b & 1)) // 2
+    dx = x_a - x_b
+    dz = row_a - row_b
+    return (abs(dx) + abs(dx + dz) + abs(dz)) // 2
+
+
+def hotspot_weights(
+    rows: int,
+    cols: int,
+    hotspots: tuple[tuple[float, ...], ...],
+) -> tuple[float, ...]:
+    """Per-cell load weights for a city with traffic hot spots.
+
+    Each hot spot is ``(row, col, gain)`` or ``(row, col, gain, radius)``
+    (default radius 2 cells): cells gain ``gain * exp(-d / radius)``
+    extra weight with ``d`` the hex distance to the spot.  The result is
+    normalised to mean 1.0, so the *network-wide* offered load of the
+    scenario is unchanged — only its spatial distribution shifts.  This
+    is the knob that makes load-balanced shard plans
+    (``partition_hex(kind="load")``) differ from plain row counting.
+    """
+    from math import exp
+
+    weights = []
+    for row in range(rows):
+        for col in range(cols):
+            weight = 1.0
+            for spot in hotspots:
+                s_row, s_col, gain = int(spot[0]), int(spot[1]), float(spot[2])
+                radius = float(spot[3]) if len(spot) > 3 else 2.0
+                if radius <= 0:
+                    raise ValueError("hotspot radius must be positive")
+                distance = _hex_distance(row, col, s_row, s_col)
+                weight += gain * exp(-distance / radius)
+            weights.append(weight)
+    mean = sum(weights) / len(weights)
+    return tuple(weight / mean for weight in weights)
+
+
 def hex_city(
     scheme: str,
     rows: int = 12,
@@ -131,6 +173,8 @@ def hex_city(
     duration: float = 600.0,
     warmup: float = 0.0,
     seed: int = 1,
+    hotspots: tuple[tuple[float, ...], ...] = (),
+    cell_weights: tuple[float, ...] | None = None,
     **overrides: object,
 ) -> SimulationConfig:
     """A 2-D hex-city scenario for the spatial sharding runner.
@@ -139,7 +183,26 @@ def hex_city(
     stays topology-agnostic); :func:`repro.simulation.spatial.run_spatial`
     reads them back.  ``T_int`` is infinite like the stationary runs —
     spatial mode refreshes ``B_r`` at epoch barriers instead of ticks.
+
+    ``hotspots`` (``(row, col, gain[, radius])`` tuples, see
+    :func:`hotspot_weights`) or an explicit per-cell ``cell_weights``
+    vector make the offered load spatially non-uniform; the weights
+    ride in ``config.extra["cell_weights"]`` and scale each cell's
+    arrival rate (mean-1.0 normalised hot spots keep the network-wide
+    load equal to ``offered_load``).
     """
+    extra: dict = {"hex_rows": rows, "hex_cols": cols, "hex_wrap": wrap}
+    if hotspots and cell_weights is not None:
+        raise ValueError("pass hotspots or cell_weights, not both")
+    if hotspots:
+        cell_weights = hotspot_weights(rows, cols, hotspots)
+    if cell_weights is not None:
+        if len(cell_weights) != rows * cols:
+            raise ValueError(
+                f"cell_weights needs {rows * cols} entries,"
+                f" got {len(cell_weights)}"
+            )
+        extra["cell_weights"] = tuple(float(w) for w in cell_weights)
     config = SimulationConfig(
         scheme=scheme,
         offered_load=offered_load,
@@ -150,6 +213,6 @@ def hex_city(
         warmup=warmup,
         seed=seed,
         label=f"{scheme} hex {rows}x{cols} L={offered_load:g}",
-        extra={"hex_rows": rows, "hex_cols": cols, "hex_wrap": wrap},
+        extra=extra,
     )
     return replace(config, **overrides) if overrides else config

@@ -46,6 +46,7 @@ from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.trace import begin_trace
 from repro.simulation.config import SimulationConfig
 from repro.simulation.extensions import ExtensionChain
+from repro.simulation.spatial import cell_load_weights
 from repro.simulation.metrics import (
     CellStatus,
     MetricsCollector,
@@ -203,6 +204,30 @@ class CellularSimulator:
                 config.offered_load, config.mean_lifetime
             )
             self.arrivals = PoissonArrivals(rate)
+        #: Per-cell arrival processes.  Uniform scenarios share one
+        #: process object across all cells; a scenario with
+        #: ``extra["cell_weights"]`` (hot spots) gets one weighted
+        #: process per cell, matching the spatial runner's treatment.
+        weights = cell_load_weights(config)
+        if weights is None:
+            self._cell_arrivals = [self.arrivals] * self.topology.num_cells
+        elif config.load_profile is not None:
+            self._cell_arrivals = [
+                ModulatedPoissonArrivals(
+                    config.load_profile,
+                    self.mix.mean_bandwidth,
+                    config.mean_lifetime,
+                    weight=weight,
+                )
+                for weight in weights
+            ]
+        else:
+            rate = self.mix.arrival_rate_for_load(
+                config.offered_load, config.mean_lifetime
+            )
+            self._cell_arrivals = [
+                PoissonArrivals(weight * rate) for weight in weights
+            ]
 
         self.retry = RetryPolicy(
             delay=config.retry_delay,
@@ -251,7 +276,9 @@ class CellularSimulator:
         if not self._resumed:
             arrival_rng = self._arrival_rng
             for cell_id in range(self.topology.num_cells):
-                first = self.arrivals.next_arrival(0.0, arrival_rng)
+                first = self._cell_arrivals[cell_id].next_arrival(
+                    0.0, arrival_rng
+                )
                 if first is not None:
                     self.engine.call_at(
                         first,
@@ -328,7 +355,9 @@ class CellularSimulator:
         if attempt == 1:
             # Schedule the next fresh request of this cell's Poisson
             # process (retries are extra events, not process renewals).
-            next_time = self.arrivals.next_arrival(now, arrival_rng)
+            next_time = self._cell_arrivals[cell_id].next_arrival(
+                now, arrival_rng
+            )
             if next_time is not None:
                 if next_time <= self.config.duration:
                     self.engine.call_at(

@@ -1,11 +1,17 @@
-"""City-scale spatial sharding: one DES engine per hex row-band.
+"""City-scale spatial sharding: one DES engine per partition shard.
 
 The paper's scheme is strictly local — every base station talks only to
 its ``A_0`` neighbours — so a :class:`~repro.cellular.topology.HexTopology`
-city partitions cleanly into contiguous row-bands with a one-cell-deep
-boundary.  Each shard runs its own engine over the cells it *owns* and
-exchanges three kinds of boundary traffic as message batches at epoch
-barriers:
+city partitions cleanly into contiguous regions with a one-cell-deep
+boundary.  :func:`partition_hex` offers three plan kinds: ``"rows"``
+(equal row-band split), ``"load"`` (row bands cut so each shard carries
+an equal share of the *offered load*, from per-cell arrival-rate
+weights), and ``"tiles"`` (a 2-D grid of row x column tiles for shard
+counts that would otherwise produce needle-thin bands).  The barrier
+protocol below is generic over the ownership map, so all plan kinds
+merge to bit-identical metrics.  Each shard runs its own engine over
+the cells it *owns* and exchanges three kinds of boundary traffic as
+message batches at epoch barriers:
 
 * **mirrors** — per boundary cell: its activity flag and its
   estimator's ``max_sojourn`` at the barrier instant (feeds the
@@ -31,9 +37,9 @@ protocol variant with identical semantics at every N, including N=1:
   call per supplier.  Suppliers and requests are processed in cell-id
   order, and Eq. 6 installs in target-id order, so float addition
   order is shard-independent.
-* Every random draw comes from an sha256-derived stream keyed by
-  *simulation* coordinates (cell, arrival index, hop count), never by
-  scheduling history, so shards draw identical values no matter who
+* Every random draw comes from a counter-based SplitMix64 stream keyed
+  by *simulation* coordinates (cell, arrival index, hop count), never
+  by scheduling history, so shards draw identical values no matter who
   owns the cell.  Connection ids are likewise deterministic:
   ``birth_seq * num_cells + birth_cell``.
 * The epoch length must not exceed the minimum hand-off notice
@@ -52,22 +58,25 @@ Crossing/lifetime instants are continuous exponential draws, so
 coincidences between distinct connections have measure zero.
 
 Hot state lives in the struct-of-arrays stores of
-:mod:`repro.simulation.columnar`; the per-connection footprint is the
-column row plus a two-word handle.
+:mod:`repro.simulation.columnar`, and the cells are
+:class:`~repro.simulation.columnar.ColumnarCell` instances that attach
+and detach store *rows* directly — the DES inner loop allocates no
+per-connection objects, and barrier-time Eq. 5 refreshes run through
+the cross-cell ``FlushBatch`` kernels.
 """
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import json
-import random
+import math
 import time as wall_clock
 import zlib
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from repro._kernel import kernel_name, set_kernel
+from repro._kernel import flush_batch_or_none, kernel_name, set_kernel
+from repro.cellular.cell import Cell
 from repro.cellular.network import CellularNetwork
 from repro.cellular.topology import HexTopology
 from repro.core.admission import make_policy
@@ -85,6 +94,7 @@ from repro.obs.timeseries import TimeSeriesSampler, merge_series
 from repro.obs.trace import begin_trace, merge_traces
 from repro.simulation.columnar import (
     BANDWIDTH_TABLE,
+    ColumnarCell,
     ConnectionStore,
     handle_class,
 )
@@ -112,41 +122,187 @@ _SCHEMES = ("static", "ac1", "ac2", "ac3")
 # ----------------------------------------------------------------------
 # partitioning
 # ----------------------------------------------------------------------
+#: Partition strategies :func:`partition_hex` understands.
+PLAN_KINDS = ("rows", "load", "tiles")
+
+
 @dataclass(frozen=True)
 class ShardPlan:
-    """A row-band partition of a hex city.
+    """A partition of a hex city into shard-owned regions.
 
     ``owner[cell]`` is the shard owning each cell; ``cells[s]`` the
     ascending cell ids owned by shard ``s``; ``boundary[s][t]`` the
     ascending cells of ``s`` with at least one neighbour owned by
     ``t`` (the mirror set shipped from ``s`` to ``t`` every barrier).
+    ``kind`` names the strategy that produced the plan and ``loads[s]``
+    is the offered-load weight shard ``s`` carries (cell count under
+    uniform weights) — the balance observable the bench and dashboard
+    report against.
     """
 
     shards: int
     owner: tuple[int, ...]
     cells: tuple[tuple[int, ...], ...]
     boundary: tuple[dict[int, tuple[int, ...]], ...]
+    kind: str = "rows"
+    loads: tuple[float, ...] = ()
 
 
-def partition_hex(topology: HexTopology, shards: int) -> ShardPlan:
-    """Partition ``topology`` into contiguous row-band shards.
+def _weighted_bands(
+    weights: list[float], bands: int
+) -> list[tuple[int, int]]:
+    """Cut ``len(weights)`` consecutive slots into contiguous bands.
 
-    Hex neighbours span at most one row up/down (wrap included), so a
-    row-band cut has a one-cell-deep boundary and every cross-cut edge
-    connects adjacent bands (or the first/last band under wrap).
+    Greedy equal-share cuts: each band ends at the slot whose cumulative
+    weight lands closest to an equal split of what remains, while always
+    leaving at least one slot per later band.  Deterministic, and with
+    uniform weights it degenerates to near-equal slot counts.
     """
-    bands = topology.row_bands(shards)
+    count = len(weights)
+    if bands < 1:
+        raise ValueError("need at least one band")
+    if bands > count:
+        raise ValueError(f"cannot cut {count} slots into {bands} bands")
+    if min(weights) < 0:
+        raise ValueError("weights must be >= 0")
+    prefix = [0.0]
+    for weight in weights:
+        prefix.append(prefix[-1] + weight)
+    if prefix[-1] <= 0:
+        prefix = list(range(count + 1))
+    ranges = []
+    start = 0
+    for band in range(bands):
+        remaining = bands - band
+        if remaining == 1:
+            ranges.append((start, count))
+            break
+        target = prefix[start] + (prefix[count] - prefix[start]) / remaining
+        low = start + 1
+        high = count - (remaining - 1)
+        end = low
+        while end < high and prefix[end] < target:
+            end += 1
+        if end > low and target - prefix[end - 1] <= prefix[end] - target:
+            end -= 1
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def _tile_factors(shards: int, rows: int, cols: int) -> tuple[int, int]:
+    """Factor ``shards`` into a near-square ``(row bands, col bands)``."""
+    best = None
+    for row_bands in range(1, shards + 1):
+        if shards % row_bands:
+            continue
+        col_bands = shards // row_bands
+        if row_bands > rows or col_bands > cols:
+            continue
+        score = (abs(row_bands - col_bands), row_bands)
+        if best is None or score < best[0]:
+            best = (score, row_bands, col_bands)
+    if best is None:
+        raise ValueError(
+            f"cannot tile {shards} shards onto a {rows}x{cols} grid"
+        )
+    return best[1], best[2]
+
+
+def partition_hex(
+    topology: HexTopology,
+    shards: int,
+    *,
+    kind: str = "rows",
+    weights: list[float] | None = None,
+) -> ShardPlan:
+    """Partition ``topology`` into ``shards`` contiguous regions.
+
+    ``kind="rows"`` keeps the classic equal-row-count bands.
+    ``kind="load"`` sizes row bands by per-cell offered-load
+    ``weights`` (uniform when ``None``) so each shard carries a near
+    equal share of the arrival work.  ``kind="tiles"`` factorises the
+    shard count into a near-square grid of row x column tiles (each
+    dimension cut load-balanced), for shard counts where plain bands
+    degenerate into thin strips.
+
+    Hex neighbours span at most one row and one column (wrap included),
+    so every plan's cut is one cell deep; the boundary computation is
+    generic over the ownership map, which is exactly why all plan kinds
+    run the same barrier protocol.
+    """
+    if kind not in PLAN_KINDS:
+        raise ValueError(
+            f"unknown shard-plan kind {kind!r}; pick one of {PLAN_KINDS}"
+        )
+    if weights is not None and len(weights) != topology.num_cells:
+        raise ValueError(
+            f"need one weight per cell ({topology.num_cells}),"
+            f" got {len(weights)}"
+        )
+    cell_weight = (
+        (lambda cell: 1.0) if weights is None
+        else (lambda cell: float(weights[cell]))
+    )
     owner = [0] * topology.num_cells
-    cells: list[tuple[int, ...]] = []
-    for shard, (start_row, end_row) in enumerate(bands):
-        owned = [
-            topology.cell_id(row, col)
-            for row in range(start_row, end_row)
-            for col in range(topology.cols)
+    if kind == "rows":
+        bands = topology.row_bands(shards)
+        for shard, (start_row, end_row) in enumerate(bands):
+            for row in range(start_row, end_row):
+                for col in range(topology.cols):
+                    owner[topology.cell_id(row, col)] = shard
+    elif kind == "load":
+        row_weights = [
+            sum(
+                cell_weight(topology.cell_id(row, col))
+                for col in range(topology.cols)
+            )
+            for row in range(topology.rows)
         ]
-        for cell in owned:
-            owner[cell] = shard
-        cells.append(tuple(owned))
+        for shard, (start_row, end_row) in enumerate(
+            _weighted_bands(row_weights, shards)
+        ):
+            for row in range(start_row, end_row):
+                for col in range(topology.cols):
+                    owner[topology.cell_id(row, col)] = shard
+    else:  # tiles
+        row_bands, col_bands = _tile_factors(
+            shards, topology.rows, topology.cols
+        )
+        row_weights = [
+            sum(
+                cell_weight(topology.cell_id(row, col))
+                for col in range(topology.cols)
+            )
+            for row in range(topology.rows)
+        ]
+        for band, (start_row, end_row) in enumerate(
+            _weighted_bands(row_weights, row_bands)
+        ):
+            col_weights = [
+                sum(
+                    cell_weight(topology.cell_id(row, col))
+                    for row in range(start_row, end_row)
+                )
+                for col in range(topology.cols)
+            ]
+            for tile, (start_col, end_col) in enumerate(
+                _weighted_bands(col_weights, col_bands)
+            ):
+                shard = band * col_bands + tile
+                for row in range(start_row, end_row):
+                    for col in range(start_col, end_col):
+                        owner[topology.cell_id(row, col)] = shard
+    cells: list[tuple[int, ...]] = []
+    loads: list[float] = []
+    for shard in range(shards):
+        owned = tuple(
+            cell for cell in range(topology.num_cells) if owner[cell] == shard
+        )
+        if not owned:
+            raise ValueError(f"shard {shard} owns no cells")
+        cells.append(owned)
+        loads.append(sum(cell_weight(cell) for cell in owned))
     boundary: list[dict[int, tuple[int, ...]]] = []
     for shard in range(shards):
         per_target: dict[int, list[int]] = {}
@@ -165,20 +321,101 @@ def partition_hex(topology: HexTopology, shards: int) -> ShardPlan:
         owner=tuple(owner),
         cells=tuple(cells),
         boundary=tuple(boundary),
+        kind=kind,
+        loads=tuple(loads),
     )
 
 
-def _derived_rng(seed: int, *parts) -> random.Random:
-    """A deterministic stream keyed by simulation coordinates.
+def cell_load_weights(config: SimulationConfig) -> list[float] | None:
+    """Per-cell offered-load weights from the scenario, or ``None``.
 
-    Same derivation style as :meth:`repro.des.random.RandomStreams.get`
-    (sha256 of a string key), but built on demand from stable keys —
-    per-request and per-transition streams never depend on which shard
-    draws them or in what order.
+    Scenario builders (``hex_city(hotspots=...)``) stash the vector in
+    ``config.extra["cell_weights"]``; it scales each cell's arrival
+    rate and feeds load-balanced partitioning.
     """
-    key = ":".join(str(part) for part in ("spatial", seed, *parts))
-    digest = hashlib.sha256(key.encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    raw = (config.extra or {}).get("cell_weights")
+    if raw is None:
+        return None
+    weights = [float(value) for value in raw]
+    if len(weights) != config.num_cells:
+        raise ValueError(
+            f"config.extra['cell_weights'] needs {config.num_cells}"
+            f" entries, got {len(weights)}"
+        )
+    if min(weights) < 0:
+        raise ValueError("cell weights must be >= 0")
+    return weights
+
+
+_MASK64 = (1 << 64) - 1
+#: Per-draw counter increment (the SplitMix64 golden gamma) and one
+#: distinct odd multiplier per stream coordinate.  All five constants
+#: differ, so no combination of small coordinate deltas can reproduce a
+#: small multiple of the draw gamma — distinct coordinates never land
+#: on overlapping counter windows.
+_GAMMA = 0x9E3779B97F4A7C15
+_GAMMA_TAG = 0xD1B54A32D192ED03
+_GAMMA_A = 0x8CB92BA72F3D8DD7
+_GAMMA_B = 0xABC98388FB8FAC03
+_GAMMA_C = 0x2545F4914F6CDD1D
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finaliser: bijective 64-bit avalanche mix."""
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class _CoordStream:
+    """A counter-based SplitMix64 stream keyed by simulation coordinates.
+
+    Replaces the original sha256 + ``random.Random`` construction: at
+    one stream per request and per hop, hashing and Mersenne-Twister
+    seeding dominated the event loop.  The counter base is a plain
+    linear combination of ``(seed, tag, a, b, c)`` — no mixing at
+    construction, because every draw advances the counter by the golden
+    gamma and runs the SplitMix64 finaliser, which does all the
+    avalanching.  Distinct coordinates give independent streams
+    regardless of draw order, so shards see identical values no matter
+    who owns a cell — the shard-invariance property the barrier
+    protocol rests on.  Only the duck-typed subset the spatial handlers
+    use (``random`` / ``expovariate`` / ``randrange`` / ``choice``) is
+    implemented.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int, tag: int, a: int, b: int, c: int) -> None:
+        self._state = (
+            seed
+            + tag * _GAMMA_TAG
+            + a * _GAMMA_A
+            + b * _GAMMA_B
+            + c * _GAMMA_C
+        ) & _MASK64
+
+    def random(self) -> float:
+        # _mix64 inlined: one Python call per draw is measurable at
+        # half a million draws per simulated minute.
+        self._state = value = (self._state + _GAMMA) & _MASK64
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return ((value ^ (value >> 31)) >> 11) * (1.0 / (1 << 53))
+
+    def expovariate(self, lambd: float) -> float:
+        return -math.log(1.0 - self.random()) / lambd
+
+    def randrange(self, n: int) -> int:
+        return min(n - 1, int(self.random() * n))
+
+    def choice(self, seq):
+        return seq[min(len(seq) - 1, int(self.random() * len(seq)))]
+
+
+#: Stream tags: one namespace per draw site (request vs hop).
+_TAG_REQUEST = 1
+_TAG_HOP = 2
 
 
 def _hex_dimensions(config: SimulationConfig) -> tuple[int, int, bool]:
@@ -282,12 +519,25 @@ class ShardEngine:
         )
         rows, cols, wrap = _hex_dimensions(config)
         self.topology = HexTopology(rows, cols, wrap=wrap)
+        #: Struct-of-arrays store backing every connection this shard
+        #: hosts — built before the network so the cell factory below
+        #: can bind each cell to it.
+        self.store = ConnectionStore(self.topology.num_cells)
+        store = self.store
+        handle_cls = handle_class(store)
+
+        def columnar_cell(cell_id: int, cap: float, overload: float) -> Cell:
+            return ColumnarCell(cell_id, cap, store, overload, handle_cls)
+
         # Every shard builds the full-topology network so cell ids,
         # neighbour sets, and Eq. 5/6 semantics are exactly the global
-        # ones; unowned cells simply never see an event.
+        # ones; unowned cells simply never see an event.  Cells are
+        # columnar: the hot loop attaches/detaches store rows directly
+        # instead of churning per-event handle objects.
         self.network = CellularNetwork(
             self.topology,
             capacity=config.capacity,
+            cell_factory=columnar_cell,
             cache_config=CacheConfig(
                 interval=config.t_int,
                 max_per_pair=config.n_quad,
@@ -313,18 +563,32 @@ class ShardEngine:
                 self.network.cell(cell).reserved_target = config.static_guard
         self.population = DEFAULT_HEX_POPULATION
         self.mix = TrafficMix(config.voice_ratio)
-        if config.load_profile is not None:
-            self.arrivals = ModulatedPoissonArrivals(
-                config.load_profile,
-                self.mix.mean_bandwidth,
-                config.mean_lifetime,
-            )
-        else:
-            self.arrivals = PoissonArrivals(
-                self.mix.arrival_rate_for_load(
+        weights = cell_load_weights(config)
+
+        def arrival_process(weight: float):
+            if config.load_profile is not None:
+                return ModulatedPoissonArrivals(
+                    config.load_profile,
+                    self.mix.mean_bandwidth,
+                    config.mean_lifetime,
+                    weight=weight,
+                )
+            return PoissonArrivals(
+                weight
+                * self.mix.arrival_rate_for_load(
                     config.offered_load, config.mean_lifetime
                 )
             )
+
+        if weights is None:
+            shared = arrival_process(1.0)
+            self._arrivals = {cell: shared for cell in self.owned}
+        else:
+            # Hot-spot scenarios: each owned cell runs its own weighted
+            # arrival process (a zero weight means a silent cell).
+            self._arrivals = {
+                cell: arrival_process(weights[cell]) for cell in self.owned
+            }
         self.retry = RetryPolicy(
             delay=config.retry_delay,
             giveup_step=config.retry_giveup_step,
@@ -361,9 +625,6 @@ class ShardEngine:
         #: and the dashboard report.
         self._wall_started = wall_clock.perf_counter()
         self._run_wall = 0.0
-        self.store = ConnectionStore(self.topology.num_cells)
-        self._handle_cls = handle_class(self.store)
-        self._handles: dict[int, object] = {}
         self._end_events: dict[int, Event] = {}
         self._crossing_events: dict[int, Event] = {}
         #: Boundary crossings awaiting shipment: (ctime, row, serial, dest).
@@ -391,8 +652,19 @@ class ShardEngine:
         #: sample-tick count once.
         self.semantic_events = 0
         self.peak_live = 0
+        #: Hot-loop accessor caches: the handlers below run millions of
+        #: times; direct list indexing beats the network's accessor
+        #: methods, and the neighbor tuples never change after build.
+        self._cells = self.network.cells
+        self._stations = self.network.stations
+        self._neighbors = [
+            self.topology.neighbors(cell)
+            for cell in range(self.topology.num_cells)
+        ]
         for cell in self.owned:
-            first = self.arrivals.next_arrival(0.0, self._arrival_rngs[cell])
+            first = self._arrivals[cell].next_arrival(
+                0.0, self._arrival_rngs[cell]
+            )
             if first is not None and first <= self.duration:
                 self.engine.call_at(
                     first,
@@ -519,15 +791,56 @@ class ShardEngine:
         for supplier, target, t_est in remote_requests:
             merged.setdefault(supplier, []).append((target, t_est))
         owner = self.plan.owner
-        replies_out: list[tuple[int, int, float]] = []
-        for supplier in sorted(merged):
+        station_of = self.network.station
+        now = self._barrier_time
+        suppliers = sorted(merged)
+        by_supplier: dict[int, list[tuple[int, float]]] = {}
+        for supplier in suppliers:
             requests = sorted(merged[supplier])
-            station = self.network.station(supplier)
-            station.messages_sent += len(requests)
-            values = station.outgoing_reservation_multi(
-                self._barrier_time, requests
-            )
-            for (target, _), value in zip(requests, values):
+            by_supplier[supplier] = requests
+            station_of(supplier).messages_sent += len(requests)
+        # Supply phase, cross-cell batched like
+        # :meth:`repro.cellular.network.CellularNetwork._flush_tick`:
+        # every supplier's Eq. 5 rows are gathered into one columnar
+        # :class:`repro._kernel.FlushBatch` pass; suppliers that cannot
+        # join fall back to the per-supplier batched call, which is
+        # bit-identical by construction.
+        supplies: dict[int, list[float]] = {}
+        batch = flush_batch_or_none() if self.config.grouped_flush else None
+        if batch is not None:
+            np = batch.np
+            deferred: list[tuple[int, list]] = []
+            for supplier in suppliers:
+                requests = by_supplier[supplier]
+                station = station_of(supplier)
+                slots = station.grouped_contribution_eval(
+                    np, now, requests, batch
+                )
+                if slots is None:
+                    supplies[supplier] = station.outgoing_reservation_multi(
+                        now, requests
+                    )
+                else:
+                    deferred.append((supplier, slots))
+            if deferred:
+                batch.resolve()
+                for supplier, slots in deferred:
+                    supplies[supplier] = [
+                        0.0
+                        if slot is None
+                        else (slot if type(slot) is float else slot.total)
+                        for slot in slots
+                    ]
+        else:
+            for supplier in suppliers:
+                supplies[supplier] = station_of(
+                    supplier
+                ).outgoing_reservation_multi(now, by_supplier[supplier])
+        replies_out: list[tuple[int, int, float]] = []
+        for supplier in suppliers:
+            for (target, _), value in zip(
+                by_supplier[supplier], supplies[supplier]
+            ):
                 if owner[target] == self.index:
                     self._reply_values[(supplier, target)] = value
                 else:
@@ -613,8 +926,9 @@ class ShardEngine:
             crossing = self._crossing_events.get(row)
             if crossing is None or crossing.cancelled or crossing.time != ctime:
                 continue
-            end_event = self._end_events.pop(row)
-            end_event.cancel()
+            end_event = self._end_events.pop(row, None)
+            if end_event is not None:
+                end_event.cancel()
             payload = (
                 ctime,
                 dest,
@@ -645,7 +959,9 @@ class ShardEngine:
     # -- event handlers --------------------------------------------------
     def _on_arrival(self, cell_id: int) -> None:
         now = self.engine.now
-        next_time = self.arrivals.next_arrival(now, self._arrival_rngs[cell_id])
+        next_time = self._arrivals[cell_id].next_arrival(
+            now, self._arrival_rngs[cell_id]
+        )
         if next_time is not None and next_time <= self.duration:
             self.engine.call_at(
                 next_time,
@@ -660,12 +976,15 @@ class ShardEngine:
     def _handle_request(self, cell_id: int, arr_index: int, attempt: int) -> None:
         now = self.engine.now
         self.semantic_events += 1
-        rng = _derived_rng(self.seed, "req", cell_id, arr_index, attempt)
+        rng = _CoordStream(self.seed, _TAG_REQUEST, cell_id, arr_index, attempt)
         traffic_class = self.mix.sample(rng)
-        cell = self.network.cell(cell_id)
+        cell = self._cells[cell_id]
         admitted = cell.fits_new_connection(traffic_class.bandwidth)
-        self.metrics.record_admission_test(0, 0)
-        self.metrics.record_request(cell_id, now, blocked=not admitted)
+        metrics = self.metrics
+        # record_admission_test(0, 0) inlined: the local test costs no
+        # Eq. 6 calculations and no messages, only the counter moves.
+        metrics.total_admission_tests += 1
+        metrics.record_request(cell_id, now, blocked=not admitted)
         if not admitted:
             if self.retry.should_retry(attempt, rng):
                 self.engine.call_in(
@@ -703,16 +1022,19 @@ class ShardEngine:
         columns["bw_code"][row] = 0 if traffic_class is VOICE else 1
         columns["pop"][row] = pop_index
         columns["heading"][row] = heading
-        handle = self._handle_cls(row)
-        self._handles[row] = handle
-        cell.attach(handle)
+        cell.attach_row(row)
         self._activity[cell_id] = True
-        self._end_events[row] = self.engine.call_at(
-            now + lifetime,
-            self._on_lifetime_end,
-            row,
-            priority=EventPriority.DEPARTURE,
-        )
+        # Horizon clamp: the engine never fires an event past
+        # ``duration``, so scheduling one only grows the heap.  A
+        # connection outliving the run simply stays attached to the end
+        # — exactly what the unclamped schedule would produce.
+        if now + lifetime <= self.duration:
+            self._end_events[row] = self.engine.call_at(
+                now + lifetime,
+                self._on_lifetime_end,
+                row,
+                priority=EventPriority.DEPARTURE,
+            )
         self._schedule_crossing(row)
 
     def _schedule_crossing(self, row: int) -> None:
@@ -721,27 +1043,32 @@ class ShardEngine:
         member = self.population[columns["pop"][row]]
         if member.mean_sojourn <= 0:
             return
-        cell_id = int(columns["cell"][row])
+        cell_id = columns["cell"][row]
         # Same draw order as HexMobilityModel.next_transition, keyed by
         # birth coordinates + hop count so the stream is identical no
         # matter which shard executes the hop.
-        rng = _derived_rng(
+        rng = _CoordStream(
             self.seed,
-            "hop",
-            int(columns["birth_cell"][row]),
-            int(columns["birth_seq"][row]),
-            int(columns["hops"][row]),
+            _TAG_HOP,
+            columns["birth_cell"][row],
+            columns["birth_seq"][row],
+            columns["hops"][row],
         )
         sojourn = rng.expovariate(1.0 / member.mean_sojourn)
-        heading = int(columns["heading"][row]) % 6
+        heading = columns["heading"][row] % 6
         if rng.random() < member.heading_persistence:
             index = heading
         else:
             index = (heading + rng.choice((-1, 1))) % 6
         columns["heading"][row] = index
-        neighbors = self.topology.neighbors(cell_id)
+        neighbors = self._neighbors[cell_id]
         next_cell = neighbors[index % len(neighbors)]
         ctime = self.engine.now + max(sojourn, HexMobilityModel.MIN_NOTICE)
+        if ctime > self.duration:
+            # Horizon clamp (same as the lifetime end): a crossing past
+            # the run end never fires locally and its shipped half would
+            # never fire on the destination either.
+            return
         serial = store.serial_of(row)
         self._crossing_events[row] = self.engine.call_at(
             ctime,
@@ -761,28 +1088,29 @@ class ShardEngine:
         self._crossing_events.pop(row, None)
         now = self.engine.now
         columns = store.columns
-        old_cell = int(columns["cell"][row])
-        prev = int(columns["prev"][row])
-        self.network.station(old_cell).record_departure(
+        old_cell = columns["cell"][row]
+        prev = columns["prev"][row]
+        self._stations[old_cell].record_departure(
             now,
             None if prev < 0 else prev,
             next_cell,
-            float(columns["entry_time"][row]),
+            columns["entry_time"][row],
         )
-        handle = self._handles[row]
-        self.network.cell(old_cell).detach(handle)
+        # Detach while the prev/entry_time columns still hold their
+        # attach-time values (detach_row locates the reservation bucket
+        # through them).
+        self._cells[old_cell].detach_row(row)
         self._activity[old_cell] = True
         if self.plan.owner[next_cell] != self.index:
             # Departure half only: the arrival half was shipped at the
             # previous barrier and runs on the destination's owner.
-            del self._handles[row]
             store.free(row)
             return
         self.semantic_events += 1
-        dropped = not self.network.cell(next_cell).fits_handoff(
+        dropped = not self._cells[next_cell].fits_handoff(
             BANDWIDTH_TABLE[columns["bw_code"][row]]
         )
-        self.network.station(next_cell).window.on_handoff(
+        self._stations[next_cell].window.on_handoff(
             dropped, self._nms[next_cell], now
         )
         self.metrics.record_handoff(next_cell, now, dropped=dropped)
@@ -791,14 +1119,13 @@ class ShardEngine:
             end_event = self._end_events.pop(row, None)
             if end_event is not None:
                 end_event.cancel()
-            del self._handles[row]
             store.free(row)
             return
         columns["prev"][row] = old_cell
         columns["entry_time"][row] = now
         columns["cell"][row] = next_cell
         columns["hops"][row] += 1
-        self.network.cell(next_cell).attach(handle)
+        self._cells[next_cell].attach_row(row)
         self._schedule_crossing(row)
 
     def _on_migration(self, payload: tuple) -> None:
@@ -816,10 +1143,10 @@ class ShardEngine:
         ) = payload
         now = self.engine.now
         self.semantic_events += 1
-        dropped = not self.network.cell(dest).fits_handoff(
+        dropped = not self._cells[dest].fits_handoff(
             BANDWIDTH_TABLE[bw_code]
         )
-        self.network.station(dest).window.on_handoff(
+        self._stations[dest].window.on_handoff(
             dropped, self._nms[dest], now
         )
         self.metrics.record_handoff(dest, now, dropped=dropped)
@@ -839,15 +1166,14 @@ class ShardEngine:
         columns["bw_code"][row] = bw_code
         columns["pop"][row] = pop_index
         columns["heading"][row] = heading
-        handle = self._handle_cls(row)
-        self._handles[row] = handle
-        self.network.cell(dest).attach(handle)
-        self._end_events[row] = self.engine.call_at(
-            end_time,
-            self._on_lifetime_end,
-            row,
-            priority=EventPriority.DEPARTURE,
-        )
+        self._cells[dest].attach_row(row)
+        if end_time <= self.duration:
+            self._end_events[row] = self.engine.call_at(
+                end_time,
+                self._on_lifetime_end,
+                row,
+                priority=EventPriority.DEPARTURE,
+            )
         self._schedule_crossing(row)
 
     def _on_lifetime_end(self, row: int) -> None:
@@ -858,8 +1184,8 @@ class ShardEngine:
         if crossing is not None:
             crossing.cancel()
         store = self.store
-        cell_id = int(store.columns["cell"][row])
-        self.network.cell(cell_id).detach(self._handles.pop(row))
+        cell_id = store.columns["cell"][row]
+        self._cells[cell_id].detach_row(row)
         self.metrics.record_completion(cell_id, now)
         self._activity[cell_id] = True
         store.free(row)
@@ -898,6 +1224,25 @@ class ShardEngine:
         tel.counter("spatial.semantic_events").inc(self.semantic_events)
         tel.gauge("spatial.store_bytes").set(self.store.nbytes)
         tel.gauge("spatial.peak_live_connections").set(self.peak_live)
+        # Balance observables: this shard's executed events and its
+        # planned load share, plus the fraction of wall time spent at
+        # barriers instead of running events — the dashboard and the
+        # `ac3_spatial` benches read imbalance off these.
+        shard = str(self.index)
+        tel.gauge("spatial.shard_events", shard=shard).set(
+            self.semantic_events
+        )
+        loads = self.plan.loads
+        total_load = sum(loads) if loads else 0.0
+        if total_load > 0:
+            tel.gauge("spatial.load_share", shard=shard).set(
+                round(loads[self.index] / total_load, 6)
+            )
+        elapsed = wall_clock.perf_counter() - self._wall_started
+        if elapsed > 0:
+            tel.gauge("spatial.barrier_wait_frac", shard=shard).set(
+                round(max(0.0, 1.0 - self._run_wall / elapsed), 4)
+            )
         messages = updates = 0
         for cell_id in self.owned:
             station = self.network.station(cell_id)
@@ -1012,6 +1357,7 @@ class LocalShardHost:
 
 def _shard_worker(conn, config, plan, index, epoch) -> None:
     """Persistent worker process: one ShardEngine driven over a pipe."""
+    import gc
     import traceback
 
     try:
@@ -1019,6 +1365,13 @@ def _shard_worker(conn, config, plan, index, epoch) -> None:
     except Exception:
         conn.send(("error", traceback.format_exc()))
         return
+    # The network, topology, and estimator caches built above live for
+    # the whole worker lifetime.  Freezing them keeps every later gen-2
+    # collection from rescanning tens of thousands of immortal cell and
+    # estimator objects each epoch, and (under fork) stops the collector
+    # from touching inherited pages, preserving copy-on-write sharing.
+    gc.collect()
+    gc.freeze()
     while True:
         try:
             op, args = conn.recv()
@@ -1150,7 +1503,9 @@ def _merge_results(
         t_est_traces.update(result.t_est_traces)
         reservation_traces.update(result.reservation_traces)
         phd_traces.update(result.phd_traces)
-    events = sum(result.events for result in results)
+    by_shard = sorted(results, key=lambda result: result.index)
+    shard_events = tuple(result.events for result in by_shard)
+    events = sum(shard_events)
     if config.sample_interval > 0:
         events += int(config.duration / config.sample_interval + 1e-9)
     snapshots = [
@@ -1184,7 +1539,24 @@ def _merge_results(
         telemetry=merge_snapshots(snapshots) if snapshots else None,
         timeseries=merge_series(result.series for result in results),
         trace_events=merge_traces(result.trace for result in results),
+        shard_events=shard_events,
     )
+
+
+def _resolve_plan(
+    config: SimulationConfig, shards: int, plan_kind: str | None
+) -> ShardPlan:
+    """Build the shard plan a run asked for.
+
+    ``plan_kind=None`` falls back to ``config.extra["shard_plan"]``
+    (scenario default), then ``"rows"``.  ``"load"`` and ``"tiles"``
+    balance by the scenario's per-cell weights when present.
+    """
+    rows, cols, wrap = _hex_dimensions(config)
+    topology = HexTopology(rows, cols, wrap=wrap)
+    kind = plan_kind or (config.extra or {}).get("shard_plan") or "rows"
+    weights = cell_load_weights(config)
+    return partition_hex(topology, shards, kind=kind, weights=weights)
 
 
 def run_spatial(
@@ -1194,21 +1566,23 @@ def run_spatial(
     processes: bool | None = None,
     epoch: float = 1.0,
     collect_state: bool = False,
+    plan_kind: str | None = None,
 ):
-    """Run a hex city across ``shards`` row-band shards.
+    """Run a hex city across ``shards`` shard regions.
 
+    ``plan_kind`` picks the partition strategy (``"rows"``, ``"load"``,
+    ``"tiles"``; default from ``config.extra["shard_plan"]`` or rows).
     ``processes=None`` uses worker processes whenever ``shards > 1``;
     ``False`` forces the in-process sequential hosts (tests, or
     core-starved machines); ``True`` forces one process per shard.
     Returns the merged :class:`SimulationResult` — bit-identical in
-    :meth:`~SimulationResult.metrics_key` for every shard count — or a
-    ``(result, state)`` pair when ``collect_state`` is set, where
-    ``state`` maps every cell to its exported quadruplet columns.
+    :meth:`~SimulationResult.metrics_key` for every shard count and
+    plan kind — or a ``(result, state)`` pair when ``collect_state`` is
+    set, where ``state`` maps every cell to its exported quadruplet
+    columns.
     """
     check_spatial_config(config, epoch)
-    rows, cols, wrap = _hex_dimensions(config)
-    topology = HexTopology(rows, cols, wrap=wrap)
-    plan = partition_hex(topology, shards)
+    plan = _resolve_plan(config, shards, plan_kind)
     if processes is None:
         processes = shards > 1
     started = wall_clock.perf_counter()
@@ -1344,7 +1718,13 @@ def write_spatial_checkpoint(
             }
         )
     manifest = dict(meta)
+    #: Manifest schema: v1 (implicit — no field) carried row-band plans
+    #: only; v2 stamps the version plus the plan kind that produced the
+    #: shard files.  The payload format is unchanged, so v1 manifests
+    #: still load.
+    manifest["schema"] = 2
     manifest["shards"] = plan.shards
+    manifest["plan_kind"] = plan.kind
     manifest["files"] = entries
     (day_dir / "manifest.json").write_text(
         json.dumps(manifest, indent=2, sort_keys=True)
@@ -1353,9 +1733,21 @@ def write_spatial_checkpoint(
 
 
 def load_spatial_checkpoint(day_dir) -> dict:
-    """Load and CRC-verify a day checkpoint back into export form."""
+    """Load and CRC-verify a day checkpoint back into export form.
+
+    Accepts schema v1 (pre-plan-kind manifests without a ``schema``
+    field) and v2; anything newer fails loudly rather than guessing.
+    The exports are keyed by cell id, so a checkpoint written under one
+    shard plan warm-starts a run under any other.
+    """
     day_dir = Path(day_dir)
     manifest = json.loads((day_dir / "manifest.json").read_text())
+    schema = manifest.get("schema", 1)
+    if schema not in (1, 2):
+        raise ValueError(
+            f"spatial checkpoint schema {schema} is newer than this "
+            f"reader (understands 1-2): {day_dir / 'manifest.json'}"
+        )
     exports: dict = {}
     for entry in manifest["files"]:
         path = day_dir / entry["file"]
@@ -1399,6 +1791,7 @@ def run_spatial_campaign(
     processes: bool | None = None,
     epoch: float = 1.0,
     jsonl_path=None,
+    plan_kind: str | None = None,
 ) -> list[SpatialDayResult]:
     """Run ``days`` chained spatial days, warm-starting each from disk.
 
@@ -1412,7 +1805,7 @@ def run_spatial_campaign(
         raise ValueError("days must be >= 1")
     check_spatial_config(config, epoch)
     rows, cols, wrap = _hex_dimensions(config)
-    plan = partition_hex(HexTopology(rows, cols, wrap=wrap), shards)
+    plan = _resolve_plan(config, shards, plan_kind)
     state_dir = Path(state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
     streams = RandomStreams(config.seed)
@@ -1435,6 +1828,7 @@ def run_spatial_campaign(
                 processes=processes,
                 epoch=epoch,
                 collect_state=True,
+                plan_kind=plan.kind,
             )
             day_dir = state_dir / f"day-{day:03d}"
             write_spatial_checkpoint(

@@ -211,7 +211,7 @@ def _capture_connection(connection: Connection) -> dict:
 
 def _capture_queue(sim: "CellularSimulator") -> list[dict]:
     records = []
-    for event in sim.engine._queue:
+    for event in sim.engine.queued_events():
         if event.cancelled:
             continue
         callback = event.callback

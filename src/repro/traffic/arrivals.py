@@ -57,6 +57,10 @@ class ModulatedPoissonArrivals:
         ``E[b]`` of the traffic mix.
     mean_lifetime:
         Average connection lifetime in seconds (A5: 120).
+    weight:
+        Per-cell load multiplier (hot-spot scenarios): the profile is
+        network-shaped, the weight scales this cell's share of it.  A
+        zero weight yields no arrivals.
     """
 
     def __init__(
@@ -64,13 +68,16 @@ class ModulatedPoissonArrivals:
         load_profile: DayProfile,
         mean_bandwidth: float,
         mean_lifetime: float = 120.0,
+        weight: float = 1.0,
     ) -> None:
         if mean_bandwidth <= 0 or mean_lifetime <= 0:
             raise ValueError("mean bandwidth and lifetime must be positive")
+        if weight < 0:
+            raise ValueError(f"weight cannot be negative, got {weight}")
         self.load_profile = load_profile
-        self.scale = 1.0 / (mean_bandwidth * mean_lifetime)
+        self.scale = weight / (mean_bandwidth * mean_lifetime)
         self.max_rate = load_profile.maximum() * self.scale
-        if self.max_rate <= 0:
+        if self.max_rate <= 0 and weight > 0:
             raise ValueError("profile must have positive load somewhere")
 
     def rate_at(self, time_seconds: float) -> float:
@@ -79,6 +86,8 @@ class ModulatedPoissonArrivals:
 
     def next_arrival(self, now: float, rng: random.Random) -> float | None:
         """Exact next-arrival sampling via thinning."""
+        if self.max_rate <= 0:
+            return None
         time = now
         while True:
             time += rng.expovariate(self.max_rate)

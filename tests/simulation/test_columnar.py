@@ -126,3 +126,136 @@ class TestHandle:
         store = ConnectionStore(num_cells=10, capacity=64)
         # 2 f8 + 5 i4 + 3 i1 data columns plus the i8 serial column.
         assert store.nbytes == 64 * (2 * 8 + 5 * 4 + 3 * 1 + 8)
+
+
+class TestScalarHotBacking:
+    def test_connection_store_uses_stdlib_arrays(self):
+        """The DES hot loop is scalar row-at-a-time access, where
+        ``array.array`` indexing avoids numpy's per-element boxing; the
+        store must keep that backing even with numpy installed."""
+        import array
+
+        store = ConnectionStore(num_cells=4, capacity=8)
+        assert ConnectionStore.SCALAR_HOT
+        for column in store.columns.values():
+            assert isinstance(column, array.array)
+        assert isinstance(store.serial, array.array)
+
+    def test_growth_preserves_backing_and_contents(self):
+        import array
+
+        store = ConnectionStore(num_cells=4, capacity=2)
+        rows = [store.alloc() for _ in range(5)]
+        for index, row in enumerate(rows):
+            store.columns["birth_seq"][row] = index
+        assert store.capacity >= 5
+        for column in store.columns.values():
+            assert isinstance(column, array.array)
+        for index, row in enumerate(rows):
+            assert store.columns["birth_seq"][row] == index
+
+    def test_scalar_reads_return_native_types(self):
+        store = ConnectionStore(num_cells=4, capacity=4)
+        row = store.alloc()
+        store.columns["entry_time"][row] = 1.5
+        store.columns["cell"][row] = 3
+        assert type(store.columns["entry_time"][row]) is float
+        assert type(store.columns["cell"][row]) is int
+
+
+def _columnar_cell(capacity=10.0, num_cells=6):
+    from repro.simulation.columnar import ColumnarCell
+
+    store = ConnectionStore(num_cells=num_cells, capacity=8)
+    cell = ColumnarCell(0, capacity, store)
+    return store, cell
+
+
+def _fill_row(store, row, *, cell=0, prev=-1, birth_cell=0, birth_seq=0,
+              entry_time=0.0, bw_code=0):
+    columns = store.columns
+    columns["entry_time"][row] = entry_time
+    columns["end_time"][row] = entry_time + 100.0
+    columns["cell"][row] = cell
+    columns["prev"][row] = prev
+    columns["birth_cell"][row] = birth_cell
+    columns["birth_seq"][row] = birth_seq
+    columns["hops"][row] = 0
+    columns["bw_code"][row] = bw_code
+    columns["pop"][row] = 0
+    columns["heading"][row] = 0
+    return row
+
+
+class TestColumnarCell:
+    def test_attach_detach_round_trip_accounting(self):
+        store, cell = _columnar_cell()
+        row = _fill_row(store, store.alloc(), bw_code=1)
+        cell.attach_row(row)
+        assert cell.used_bandwidth == BANDWIDTH_TABLE[1]
+        assert cell.connection_count == 1
+        version = cell.version
+        cell.detach_row(row)
+        assert cell.used_bandwidth == 0.0
+        assert cell.connection_count == 0
+        assert cell.version > version
+
+    def test_groups_bucket_by_prev_cell(self):
+        store, cell = _columnar_cell()
+        born_here = _fill_row(store, store.alloc(), prev=-1, birth_seq=0)
+        handed_off = _fill_row(
+            store, store.alloc(), prev=3, birth_seq=1, entry_time=5.0
+        )
+        cell.attach_row(born_here)
+        cell.attach_row(handed_off)
+        assert set(cell._by_prev) == {None, 3}
+        cell.detach_row(handed_off)
+        assert set(cell._by_prev) == {None}
+
+    def test_double_attach_raises(self):
+        from repro.cellular.cell import CapacityError
+
+        store, cell = _columnar_cell()
+        row = _fill_row(store, store.alloc())
+        cell.attach_row(row)
+        with pytest.raises(CapacityError):
+            cell.attach_row(row)
+
+    def test_detach_of_unknown_row_raises(self):
+        from repro.cellular.cell import CapacityError
+
+        store, cell = _columnar_cell()
+        row = _fill_row(store, store.alloc())
+        with pytest.raises(CapacityError):
+            cell.detach_row(row)
+
+    def test_attach_past_handoff_capacity_raises(self):
+        from repro.cellular.cell import CapacityError
+
+        store, cell = _columnar_cell(capacity=1.0)
+        first = _fill_row(store, store.alloc(), birth_seq=0)
+        second = _fill_row(store, store.alloc(), birth_seq=1, bw_code=1)
+        cell.attach_row(first)
+        with pytest.raises(CapacityError):
+            cell.attach_row(second)
+
+    def test_object_attach_api_is_rejected(self):
+        store, cell = _columnar_cell()
+        with pytest.raises(TypeError):
+            cell.attach(object())
+        with pytest.raises(TypeError):
+            cell.detach(object())
+
+    def test_connections_materialises_handles_in_attach_order(self):
+        store, cell = _columnar_cell()
+        rows = [
+            _fill_row(store, store.alloc(), birth_seq=index)
+            for index in range(3)
+        ]
+        for row in rows:
+            cell.attach_row(row)
+        handles = cell.connections()
+        assert [handle.row for handle in handles] == rows
+        assert [handle.connection_id for handle in handles] == [
+            store.connection_id(row) for row in rows
+        ]

@@ -118,3 +118,81 @@ class TestRunner:
         )
         assert [load for load, _result in pairs] == [60.0, 100.0]
         assert all(result.duration == 60.0 for _load, result in pairs)
+
+
+class TestHotspotWeights:
+    def test_weights_are_mean_normalised(self):
+        from repro.simulation.scenarios import hotspot_weights
+
+        weights = hotspot_weights(8, 6, ((2, 2, 3.0), (6, 4, 2.0, 1.5)))
+        assert len(weights) == 48
+        assert abs(sum(weights) / len(weights) - 1.0) < 1e-12
+        assert min(weights) > 0
+
+    def test_gain_decays_with_hex_distance(self):
+        from repro.simulation.scenarios import hotspot_weights
+
+        weights = hotspot_weights(8, 6, ((3, 3, 5.0),))
+        centre = weights[3 * 6 + 3]
+        corner = weights[0]
+        assert centre > corner
+
+    def test_zero_radius_is_rejected(self):
+        import pytest
+
+        from repro.simulation.scenarios import hotspot_weights
+
+        with pytest.raises(ValueError, match="radius"):
+            hotspot_weights(4, 4, ((1, 1, 2.0, 0.0),))
+
+    def test_hex_city_stores_weights_in_extra(self):
+        from repro.simulation.scenarios import hex_city
+
+        config = hex_city("AC3", rows=4, cols=4, hotspots=((1, 1, 2.0),))
+        weights = config.extra["cell_weights"]
+        assert len(weights) == 16
+        assert abs(sum(weights) / len(weights) - 1.0) < 1e-12
+
+    def test_hex_city_rejects_both_weight_sources(self):
+        import pytest
+
+        from repro.simulation.scenarios import hex_city
+
+        with pytest.raises(ValueError, match="not both"):
+            hex_city(
+                "AC3",
+                rows=4,
+                cols=4,
+                hotspots=((1, 1, 2.0),),
+                cell_weights=(1.0,) * 16,
+            )
+
+    def test_hex_city_rejects_wrong_weight_length(self):
+        import pytest
+
+        from repro.simulation.scenarios import hex_city
+
+        with pytest.raises(ValueError, match="entries"):
+            hex_city("AC3", rows=4, cols=4, cell_weights=(1.0,) * 15)
+
+    def test_sequential_simulator_honours_cell_weights(self):
+        """The 1-D road simulator gets the same per-cell weighting the
+        spatial runner applies (hot cells see more fresh requests)."""
+        from repro.simulation.scenarios import stationary
+        from repro.simulation.simulator import CellularSimulator
+
+        weights = [0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 0.0]
+        mean = sum(weights) / len(weights)
+        weights = [w / mean for w in weights]
+        config = stationary(
+            "AC3",
+            offered_load=200.0,
+            duration=200.0,
+            extra={"cell_weights": tuple(weights)},
+        )
+        result = CellularSimulator(config).run()
+        for cell_id, counters in enumerate(result.cells):
+            if weights[cell_id] == 0.0:
+                assert counters.new_requests == 0
+            else:
+                assert counters.new_requests > 0

@@ -52,6 +52,68 @@ class TestShardInvariance:
         forked = run_spatial(config, 2, processes=True)
         assert inline.metrics_key() == forked.metrics_key()
 
+    def test_shard_events_cover_total_but_stay_out_of_the_key(self):
+        result = run_spatial(_city(duration=40.0), 2, processes=False)
+        assert result.shard_events is not None
+        assert len(result.shard_events) == 2
+        assert sum(result.shard_events) <= result.events_processed
+        assert "shard_events" not in result.metrics_key()
+
+
+class TestPlanInvariance:
+    """Merged metrics are identical for every plan kind and shard count."""
+
+    def _tall_city(self, **overrides):
+        return _city(rows=8, cols=6, duration=40.0, **overrides)
+
+    @pytest.mark.parametrize("kind", ["rows", "load", "tiles"])
+    def test_uniform_city_invariant_up_to_8_shards(self, kind):
+        reference = run_spatial(self._tall_city(), 1, processes=False)
+        for shards in (2, 4, 8):
+            result = run_spatial(
+                self._tall_city(), shards, processes=False, plan_kind=kind
+            )
+            assert result.metrics_key() == reference.metrics_key(), (
+                f"kind={kind} shards={shards} diverged"
+            )
+
+    @pytest.mark.parametrize("kind", ["rows", "load", "tiles"])
+    def test_hotspot_city_invariant_across_kinds(self, kind):
+        hotspots = ((2, 2, 3.0), (6, 4, 2.0, 1.5))
+        reference = run_spatial(
+            self._tall_city(hotspots=hotspots), 1, processes=False
+        )
+        result = run_spatial(
+            self._tall_city(hotspots=hotspots),
+            4,
+            processes=False,
+            plan_kind=kind,
+        )
+        assert result.metrics_key() == reference.metrics_key()
+
+    def test_scenario_default_plan_comes_from_extra(self):
+        config = self._tall_city()
+        config.extra["shard_plan"] = "tiles"
+        explicit = run_spatial(
+            self._tall_city(), 4, processes=False, plan_kind="tiles"
+        )
+        defaulted = run_spatial(config, 4, processes=False)
+        assert defaulted.metrics_key() == explicit.metrics_key()
+
+    def test_weighted_arrivals_shift_load_toward_hotspots(self):
+        hotspots = ((2, 2, 6.0, 1.5),)
+        result = run_spatial(
+            self._tall_city(hotspots=hotspots), 1, processes=False
+        )
+        from repro.cellular.topology import HexTopology
+
+        topology = HexTopology(8, 6, wrap=True)
+        hot_cell = topology.cell_id(2, 2)
+        hot = result.cells[hot_cell].new_requests
+        far_cell = topology.cell_id(6, 5)
+        far = result.cells[far_cell].new_requests
+        assert hot > far
+
 
 class TestValidation:
     def test_rejects_adaptive_qos(self):
