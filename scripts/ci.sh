@@ -53,6 +53,12 @@ echo "== state smoke =="
 # save -> load -> run must be bit-identical to the straight run.
 PYTHONPATH=src python scripts/state_smoke.py
 
+echo "== serve smoke =="
+# Live admission service: WebSocket decision round-trip, 500 load-
+# generator decisions, a well-formed streamed series frame, and a
+# clean shutdown.
+PYTHONPATH=src python scripts/serve_smoke.py
+
 echo "== spatial smoke =="
 # City-scale spatial sharding: a 2-shard process run must merge to the
 # same metrics_key() as the single-shard in-process run.

@@ -1,0 +1,88 @@
+"""CI smoke for the live admission service.
+
+Starts an :class:`AdmissionService` with its WebSocket gateway, drives
+500 decisions through the bundled load generator while a WebSocket
+subscriber listens, then asserts:
+
+* the decision API answers (an ``admit`` round-trip over the socket
+  returns a decision frame carrying the reserved/used snapshot);
+* the state stream produces a well-formed frame — it must parse as a
+  JSON series row with the fields ``repro dash`` renders;
+* shutdown is clean (worker drained, clients closed, no stray tasks).
+
+Run from the repository root:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import asyncio
+import sys
+
+from repro.serve import AdmissionService
+from repro.serve.loadgen import run_load
+from repro.serve.ws import AsyncWsClient, WebSocketGateway
+from repro.simulation.scenarios import stationary
+
+DECISIONS = 500
+
+
+async def main() -> int:
+    config = stationary(
+        "AC3", offered_load=100.0, duration=3600.0, seed=5, num_cells=6
+    )
+    service = AdmissionService(config, series_wall_interval=0.05)
+    await service.start()
+    gateway = WebSocketGateway(service, port=0)
+    await gateway.start()
+    print(f"serve smoke: service up on {gateway.url}")
+
+    subscriber = await AsyncWsClient.connect(gateway.url)
+    await subscriber.send_json({"op": "subscribe"})
+
+    client = await AsyncWsClient.connect(gateway.url)
+    decision = await client.request({"op": "admit", "cell": 2, "id": 7})
+    assert decision is not None and decision["op"] == "decision", decision
+    assert decision["id"] == 7 and decision["kind"] == "arrival", decision
+    for field in ("t", "cell", "admitted", "reserved", "used"):
+        assert field in decision, f"decision frame missing {field!r}"
+    print(f"serve smoke: decision round-trip ok ({decision['cell']=})")
+
+    report = await run_load(
+        service, decisions=DECISIONS, concurrency=8, pipeline=16
+    )
+    assert report.decisions >= DECISIONS, report
+    print(
+        f"serve smoke: {report.decisions} decisions at"
+        f" {report.decisions_per_s:,.0f}/s"
+        f" (P50 {report.p50_ms:.2f} ms, P99 {report.p99_ms:.2f} ms)"
+    )
+
+    # The subscriber must have received at least one well-formed series
+    # frame by now (wall cadence 0.05 s, and the load took longer).
+    row = await asyncio.wait_for(subscriber.recv_json(), timeout=5.0)
+    assert isinstance(row, dict) and "op" not in row, row
+    for field in ("t", "events", "events_per_s", "heap"):
+        assert field in row, f"series frame missing {field!r}: {row}"
+    print(
+        f"serve smoke: series frame ok"
+        f" (t={row['t']}, events={row['events']})"
+    )
+
+    stats = await client.request({"op": "stats"})
+    assert stats["op"] == "stats" and stats["decisions"] > DECISIONS, stats
+
+    await client.close()
+    await subscriber.close()
+    await gateway.stop()
+    await service.stop()
+    assert service._queue.empty(), "queue not drained at shutdown"
+    pending = [
+        task
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task() and not task.done()
+    ]
+    assert not pending, f"stray tasks after shutdown: {pending}"
+    print("serve smoke: clean shutdown OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

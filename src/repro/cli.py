@@ -176,6 +176,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop following after SECONDS of wall time",
     )
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the live admission-control service: wall-clock engine,"
+        " async decision API, WebSocket state streaming",
+    )
+    _add_scenario_arguments(serve_parser)
+    _add_observability_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8766,
+        help="WebSocket port (0 picks a free one; default 8766)",
+    )
+    serve_parser.add_argument(
+        "--budget-ms", type=float, default=5.0, metavar="MS",
+        help="per-decision latency budget; overruns count into the"
+        " serve.budget_miss telemetry counter (default 5.0)",
+    )
+    serve_parser.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="X",
+        help="stream seconds per wall second (default 1.0: real time)",
+    )
+    serve_parser.add_argument(
+        "--run-for", type=float, default=None, metavar="SECONDS",
+        help="serve for SECONDS of wall time then shut down cleanly"
+        " (default: until interrupted)",
+    )
+    serve_state = serve_parser.add_argument_group("durable state")
+    serve_state.add_argument(
+        "--load-state", default=None, metavar="PATH",
+        help="warm-start from a checkpoint: the learned hand-off"
+        " history and window state seed the live estimators",
+    )
+    serve_state.add_argument(
+        "--checkpoint-every", type=float, default=0.0, metavar="SECONDS",
+        help="periodic checkpoints every SECONDS of wall time"
+        " (0 disables)",
+    )
+    serve_state.add_argument(
+        "--checkpoint-dir", default="serve-state", metavar="DIR",
+        help="directory for periodic checkpoints (default 'serve-state')",
+    )
+    serve_state.add_argument(
+        "--checkpoint-keep", type=int, default=2, metavar="K",
+        help="keep only the newest K periodic checkpoints (default 2)",
+    )
+
+    serve_bench_parser = commands.add_parser(
+        "serve-bench",
+        help="drive the live service with the bundled load generator and"
+        " report decisions/s with P50/P99 decision latency",
+    )
+    _add_scenario_arguments(serve_bench_parser)
+    serve_bench_parser.add_argument(
+        "--decisions", type=int, default=20_000, metavar="N",
+        help="admission decisions to drive (default 20000)",
+    )
+    serve_bench_parser.add_argument(
+        "--concurrency", type=int, default=32, metavar="N",
+        help="concurrent load-generator workers (default 32)",
+    )
+    serve_bench_parser.add_argument(
+        "--pipeline", type=int, default=64, metavar="K",
+        help="events each worker keeps in flight (default 64)",
+    )
+    serve_bench_parser.add_argument(
+        "--budget-ms", type=float, default=5.0, metavar="MS",
+        help="per-decision latency budget (default 5.0)",
+    )
+    serve_bench_parser.add_argument(
+        "--json", action="store_true",
+        help="print the report as one JSON object instead of text",
+    )
+
     state_parser = commands.add_parser(
         "state", help="inspect durable state checkpoints"
     )
@@ -318,22 +393,27 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _wants_telemetry(args: argparse.Namespace) -> bool:
+    # getattr: commands without the observability group (serve-bench)
+    # still build configs through the same helper.
     return bool(
-        args.telemetry or args.prom_out or args.telemetry_json
+        getattr(args, "telemetry", False)
+        or getattr(args, "prom_out", None)
+        or getattr(args, "telemetry_json", None)
     )
 
 
 def _series_overrides(args: argparse.Namespace) -> dict:
     """Streaming-observability config fields from the CLI flags."""
-    interval = args.series
-    wall = args.series_wall
-    if args.series_out and interval == 0 and wall == 0:
+    interval = getattr(args, "series", 0.0)
+    wall = getattr(args, "series_wall", 0.0)
+    series_out = getattr(args, "series_out", None)
+    if series_out and interval == 0 and wall == 0:
         wall = 1.0
     return {
         "series_interval": interval,
         "series_wall_interval": wall,
-        "series_path": args.series_out or "",
-        "trace": bool(args.trace_out),
+        "series_path": series_out or "",
+        "trace": bool(getattr(args, "trace_out", None)),
     }
 
 
@@ -412,7 +492,7 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
         "handoff_overload": args.overload,
         "kernel": args.kernel,
         "telemetry": _wants_telemetry(args),
-        "progress_interval": args.progress,
+        "progress_interval": getattr(args, "progress", 0.0),
         **_series_overrides(args),
     }
     if args.one_way:
@@ -429,8 +509,15 @@ def _build_config(args: argparse.Namespace, load: float | None = None):
     )
 
 
-def _parse_hotspots(spec: str | None) -> tuple[tuple[float, ...], ...]:
-    """Parse ``row,col,gain[,radius];...`` into hotspot tuples."""
+def _parse_hotspots(
+    spec: str | None, grid: tuple[int, int] | None = None
+) -> tuple[tuple[float, ...], ...]:
+    """Parse ``row,col,gain[,radius];...`` into hotspot tuples.
+
+    Every malformed or out-of-range segment is rejected with an error
+    naming the offending segment — a hot spot silently landing outside
+    the grid would just quietly not skew the load.
+    """
     if not spec:
         return ()
     hotspots = []
@@ -438,12 +525,35 @@ def _parse_hotspots(spec: str | None) -> tuple[tuple[float, ...], ...]:
         part = part.strip()
         if not part:
             continue
-        fields = [float(value) for value in part.split(",")]
+        try:
+            fields = [float(value) for value in part.split(",")]
+        except ValueError:
+            raise ValueError(
+                "--hotspots wants numeric row,col,gain[,radius]"
+                f" entries; {part!r} does not parse"
+            ) from None
         if len(fields) not in (3, 4):
             raise ValueError(
                 "--hotspots wants row,col,gain[,radius] per entry,"
                 f" got {part!r}"
             )
+        row, col, gain = fields[0], fields[1], fields[2]
+        if gain <= 0:
+            raise ValueError(
+                f"--hotspots gain must be positive in {part!r}"
+            )
+        if len(fields) == 4 and fields[3] <= 0:
+            raise ValueError(
+                f"--hotspots radius must be positive in {part!r}"
+            )
+        if grid is not None:
+            rows, cols = grid
+            if not (0 <= row < rows and 0 <= col < cols):
+                raise ValueError(
+                    f"--hotspots cell ({row:g},{col:g}) in {part!r} is"
+                    f" outside the {rows}x{cols} grid"
+                    f" (rows 0..{rows - 1}, cols 0..{cols - 1})"
+                )
         hotspots.append(tuple(fields))
     return tuple(hotspots)
 
@@ -454,7 +564,9 @@ def _build_spatial_config(args: argparse.Namespace):
         args.scheme,
         rows=rows,
         cols=cols,
-        hotspots=_parse_hotspots(getattr(args, "hotspots", None)),
+        hotspots=_parse_hotspots(
+            getattr(args, "hotspots", None), grid=(rows, cols)
+        ),
         offered_load=args.load,
         voice_ratio=args.rvo,
         duration=args.duration,
@@ -846,6 +958,120 @@ def _command_dash(args: argparse.Namespace) -> int:
     )
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from dataclasses import replace
+
+    from repro.serve import AdmissionService, WallClock
+    from repro.serve.driver import warm_start
+    from repro.serve.ws import WebSocketGateway
+
+    _configure_observability(args)
+    config = _build_config(args)
+    if args.load_state:
+        config = replace(config, warm_state=warm_start(args.load_state))
+    overrides = _series_overrides(args)
+    # A live service streams a wall-cadence series by default so an
+    # attached dashboard always has rows to render.
+    series_wall = overrides["series_wall_interval"] or 1.0
+
+    async def serve() -> dict:
+        service = AdmissionService(
+            config,
+            clock=WallClock(time_scale=args.time_scale),
+            budget_ms=args.budget_ms,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep,
+            series_interval=overrides["series_interval"],
+            series_wall_interval=series_wall,
+        )
+        await service.start()
+        gateway = WebSocketGateway(service, host=args.host, port=args.port)
+        await gateway.start()
+        print(f"serving {config.scheme} admission control on {gateway.url}")
+        print(f"  dashboard: repro dash {gateway.url}")
+        if args.load_state:
+            print(f"  warm-started from: {args.load_state}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, OSError):  # pragma: no cover
+            pass
+        try:
+            if args.run_for is not None:
+                await asyncio.wait_for(stop.wait(), timeout=args.run_for)
+            else:
+                await stop.wait()
+        except asyncio.TimeoutError:
+            pass
+        await gateway.stop()
+        await service.stop()
+        stats = service.stats()
+        result = service.driver.result()
+        _export_telemetry(result.telemetry, args)
+        _export_streams(result.timeseries, result.trace_events, args)
+        return stats
+
+    stats = asyncio.run(serve())
+    print(
+        f"served {stats['decisions']} decisions"
+        f" ({stats['decisions_per_s']:,.0f}/s,"
+        f" P50 {stats['p50_ms']:.2f} ms, P99 {stats['p99_ms']:.2f} ms),"
+        f" {stats['checkpoints']} checkpoints"
+    )
+    return 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import AdmissionService
+    from repro.serve.loadgen import run_load
+
+    config = _build_config(args)
+
+    async def bench():
+        service = AdmissionService(
+            config, budget_ms=args.budget_ms, series_wall_interval=0.0
+        )
+        await service.start()
+        report = await run_load(
+            service,
+            decisions=args.decisions,
+            concurrency=args.concurrency,
+            pipeline=args.pipeline,
+            seed=args.seed,
+        )
+        await service.stop()
+        return report
+
+    report = asyncio.run(bench())
+    if args.json:
+        print(json.dumps({"scheme": config.scheme, **report.to_json()}))
+        return 0
+    print(
+        f"scheme={config.scheme}  decisions={report.decisions}"
+        f"  concurrency={args.concurrency}  pipeline={args.pipeline}"
+    )
+    print(
+        f"{report.decisions_per_s:,.0f} decisions/s"
+        f"  (P50 {report.p50_ms:.2f} ms, P99 {report.p99_ms:.2f} ms)"
+    )
+    print(
+        f"admitted {report.admitted_fraction:.1%}"
+        f" ({report.admitted} of {report.admitted + report.rejected}"
+        f" queries), {report.handoffs} hand-offs,"
+        f" {report.completes} completes, {report.ignored} ignored"
+    )
+    return 0
+
+
 def _command_state(args: argparse.Namespace) -> int:
     from repro.state import inspect_state
 
@@ -864,6 +1090,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "list-experiments": _command_list,
         "campaign": _command_campaign,
         "dash": _command_dash,
+        "serve": _command_serve,
+        "serve-bench": _command_serve_bench,
         "state": _command_state,
     }
     try:

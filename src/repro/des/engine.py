@@ -236,6 +236,32 @@ class Engine:
         if len(pool) < _POOL_MAX:
             pool.append(event)
 
+    def advance_to(self, time: float) -> int:
+        """Drive the clock to ``time`` from an *external* source.
+
+        This is the streaming-mode entry point (:mod:`repro.serve`): a
+        wall-clock driver injects timestamped events with
+        :meth:`call_at` and then advances the engine to each event's
+        timestamp, firing everything due on the way — internal events
+        (monitor samples, retries) interleave with the injected ones in
+        exactly the order a virtual-time :meth:`run` would have fired
+        them, because both paths drain the same heap with the same
+        ``(time, priority, sequence)`` ordering.  Returns the number of
+        events fired.
+
+        Unlike :meth:`run`, a ``time`` in the past is an error rather
+        than a no-op: an external clock must be monotonic, and silently
+        reordering its timestamps would desynchronise the streamed
+        decisions from their DES replay.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"external clock went backwards: t={time} < now={self._now}"
+            )
+        before = self.events_processed
+        self.run(until=time)
+        return self.events_processed - before
+
     def run(
         self,
         until: float | None = None,

@@ -150,7 +150,9 @@ def run_dash(
 ) -> int:
     """Tail a JSONL time-series stream and redraw the dashboard.
 
-    ``path`` may be ``-`` for stdin (pipe mode: render per batch).
+    ``path`` may be ``-`` for stdin (pipe mode: render per batch), a
+    ``ws://host:port`` URL (subscribe to a live ``repro serve``
+    endpoint and render its streamed rows), or a JSONL file to tail.
     ``follow=False`` renders the current file contents once and exits
     (the ``--once`` flag).  ``timeout`` bounds the follow loop in wall
     seconds (tests and unattended use); ``None`` runs until EOF-on-pipe
@@ -168,6 +170,11 @@ def run_dash(
         else:
             out.write(frame + "\n")
         out.flush()
+
+    if path.startswith("ws://"):
+        return _run_ws_dash(
+            path, state, emit, refresh=refresh, timeout=timeout
+        )
 
     if path == "-":
         batch: list[dict] = []
@@ -206,3 +213,50 @@ def run_dash(
             time.sleep(refresh)
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             return 0
+
+
+def _run_ws_dash(url, state, emit, *, refresh, timeout) -> int:
+    """Dashboard over a live ``repro serve`` WebSocket stream.
+
+    Subscribes and feeds every streamed series row (frames without an
+    ``op`` key — op-carrying frames are protocol replies) into the
+    same render loop the file tail uses.  The socket read timeout
+    doubles as the redraw cadence when the stream is quiet.
+    """
+    import json
+
+    from repro.serve.ws import SyncWsClient
+
+    try:
+        client = SyncWsClient(url, timeout=max(refresh, 0.05))
+    except (OSError, ConnectionError, ValueError) as error:
+        print(f"error: cannot subscribe to {url}: {error}", file=sys.stderr)
+        return 2
+    client.send_json({"op": "subscribe"})
+    started = time.monotonic()
+    try:
+        while True:
+            try:
+                text = client.recv_text()
+            except TimeoutError:
+                text = ""
+            except ConnectionError:
+                emit()
+                return 0
+            if text is None:  # server closed the stream
+                emit()
+                return 0
+            if text:
+                try:
+                    row = json.loads(text)
+                except ValueError:
+                    row = None
+                if isinstance(row, dict) and "op" not in row:
+                    state.feed([row])
+            emit()
+            if timeout is not None and time.monotonic() - started >= timeout:
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    finally:
+        client.close()

@@ -1,0 +1,411 @@
+"""The synchronous streaming core: DES decisions from external events.
+
+A :class:`StreamDriver` builds the exact substrate a
+:class:`~repro.simulation.simulator.CellularSimulator` would build —
+same network, same admission policy, same coalesced-tick flush path,
+same metrics collector, same (optional) warm start — but never runs the
+simulator's random processes.  Instead, timestamped
+:class:`~repro.serve.events.StreamEvent`\\ s are injected into the DES
+heap with the priorities their simulated counterparts carry
+(``DEPARTURE < HANDOFF < ARRIVAL < ... < MONITOR``) and the engine is
+advanced to each frontier (:meth:`~repro.des.Engine.advance_to`).
+Internal events — the periodic monitor samples — therefore interleave
+with the stream in exactly the order a virtual-time run fires them,
+which is what makes replay parity *exact* rather than approximate: the
+handler bodies below mirror the simulator's, minus every RNG draw (the
+stream supplies what the RNG used to decide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.cellular.base_station import EXIT_CELL
+from repro.des.events import EventPriority
+from repro.serve.clock import StreamClock, VirtualClock
+from repro.serve.events import ARRIVAL, COMPLETE, EXIT, HANDOFF, StreamEvent
+from repro.traffic.classes import VOICE
+from repro.traffic.connection import Connection, ConnectionState
+
+__all__ = ["Decision", "DecisionSlot", "StreamDriver", "comparable_counters", "warm_start"]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """Outcome of one streamed admission/hand-off query.
+
+    ``reserved``/``used`` snapshot the decided cell *after* the
+    decision was applied — the live answer to "how much is set aside
+    for hand-offs here right now".
+    """
+
+    t: float
+    kind: str
+    cell: int
+    admitted: bool
+    conn: int | None
+    reserved: float
+    used: float
+
+    def to_json(self) -> dict:
+        return {
+            "t": round(self.t, 6),
+            "kind": self.kind,
+            "cell": self.cell,
+            "admitted": self.admitted,
+            "conn": self.conn,
+            "reserved": round(self.reserved, 6),
+            "used": round(self.used, 6),
+        }
+
+
+class DecisionSlot:
+    """Filled when the submitted event fires (after :meth:`flush`)."""
+
+    __slots__ = ("decision",)
+
+    def __init__(self) -> None:
+        self.decision: Decision | None = None
+
+
+#: Heap priority of each stream event kind — identical to the priority
+#: the simulator schedules the corresponding internal event with, so
+#: same-timestamp ties resolve the same way on both paths.
+_PRIORITY = {
+    ARRIVAL: EventPriority.ARRIVAL,
+    HANDOFF: EventPriority.HANDOFF,
+    COMPLETE: EventPriority.DEPARTURE,
+    EXIT: EventPriority.HANDOFF,
+}
+
+
+class StreamDriver:
+    """Applies a timestamped event stream to a live admission core.
+
+    Parameters
+    ----------
+    config:
+        The scenario (capacity, scheme, estimator windows, warm state).
+        ``retry_enabled`` and ``soft_handoff_window`` must be off: both
+        are DES-internal random processes with no stream counterpart.
+    clock:
+        Time source (default: a strict :class:`VirtualClock` — replay
+        mode).  Live services pass a :class:`~repro.serve.clock.WallClock`,
+        which stamps unstamped events and folds racing timestamps
+        forward instead of erroring.
+    horizon:
+        Monitor-sampling horizon in stream seconds.  Defaults to
+        ``config.duration`` (replay parity); pass ``None`` for an
+        open-ended live service.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        clock: StreamClock | None = None,
+        horizon: float | object = "config",
+    ) -> None:
+        if config.retry_enabled:
+            raise ValueError(
+                "streaming mode cannot replay retry draws; disable"
+                " retry_enabled (blocked clients re-query instead)"
+            )
+        if config.soft_handoff_window > 0:
+            raise ValueError(
+                "streaming mode resolves hand-offs at their event time;"
+                " soft_handoff_window must be 0"
+            )
+        from repro.simulation.simulator import CellularSimulator
+
+        # Construction only: the simulator wires kernel selection,
+        # telemetry, network, policy, metrics and warm-state hydration
+        # exactly as a DES run would.  Its random processes are never
+        # started — run() is not called.
+        self.sim = CellularSimulator(config)
+        self.config = config
+        self.engine = self.sim.engine
+        self.network = self.sim.network
+        self.policy = self.sim.policy
+        self.metrics = self.sim.metrics
+        self.clock = clock if clock is not None else VirtualClock(self.engine)
+        self.horizon = config.duration if horizon == "config" else horizon
+        self._traffic = {VOICE.name: VOICE}
+        video = self.sim.mix.video_class
+        self._traffic[video.name] = video
+        #: Live connections keyed by *stream* id (decoupled from the
+        #: process-global connection-id counter).
+        self._connections: dict[int, Connection] = {}
+        self._next_conn = 0
+        self._frontier = self.engine.now
+        self._sample_event = None
+        self._started = perf_counter()
+        self.decisions = 0
+        #: Events naming an unknown/finished connection (live clients
+        #: race departures; replay streams never hit this).
+        self.ignored = 0
+        self._dispatch = {
+            ARRIVAL: self._fire_arrival,
+            HANDOFF: self._fire_handoff,
+            COMPLETE: self._fire_complete,
+            EXIT: self._fire_exit,
+        }
+        if config.sample_interval > 0:
+            self._sample_event = self.engine.call_at(
+                config.sample_interval,
+                self._on_sample,
+                priority=EventPriority.MONITOR,
+            )
+
+    # -- stream ingestion ----------------------------------------------
+    def submit(self, event: StreamEvent) -> DecisionSlot:
+        """Queue one event; its decision lands in the returned slot
+        when :meth:`flush` advances the engine past it."""
+        if event.kind == ARRIVAL:
+            if event.traffic not in self._traffic:
+                raise ValueError(
+                    f"unknown traffic class {event.traffic!r}"
+                    f" (have: {', '.join(sorted(self._traffic))})"
+                )
+            if not 0 <= event.cell < self.network.topology.num_cells:
+                raise ValueError(f"no such cell {event.cell}")
+        elif event.kind == HANDOFF:
+            if not 0 <= event.cell < self.network.topology.num_cells:
+                raise ValueError(f"no such cell {event.cell}")
+        t = self.clock.monotonic(self.clock.stamp(event.t), self.engine.now)
+        slot = DecisionSlot()
+        self.engine.call_at(
+            t, self._dispatch[event.kind], event, slot,
+            priority=_PRIORITY[event.kind],
+        )
+        if t > self._frontier:
+            self._frontier = t
+        return slot
+
+    def flush(self) -> int:
+        """Advance the engine to the submitted frontier, firing every
+        queued event (stream and internal) in heap order.  Returns the
+        number of events fired."""
+        return self.engine.advance_to(self._frontier)
+
+    def apply(self, event: StreamEvent) -> Decision | None:
+        """Submit + flush one event (replay convenience)."""
+        slot = self.submit(event)
+        self.flush()
+        return slot.decision
+
+    def replay(self, events) -> list[Decision]:
+        """Apply a recorded stream; returns the decision per query
+        event (arrivals and hand-offs, in stream order)."""
+        out = []
+        for event in events:
+            decision = self.apply(event)
+            if event.kind in (ARRIVAL, HANDOFF):
+                out.append(decision)
+        return out
+
+    def finish(self) -> None:
+        """Advance to the horizon (fires trailing monitor samples)."""
+        if self.horizon is not None and self.horizon > self.engine.now:
+            self.engine.advance_to(self.horizon)
+
+    # -- event handlers (exact simulator call order, RNG-free) ---------
+    def _decision(self, kind, now, cell_id, admitted, conn):
+        cell = self.network.cell(cell_id)
+        self.decisions += 1
+        return Decision(
+            t=now,
+            kind=kind,
+            cell=cell_id,
+            admitted=admitted,
+            conn=conn,
+            reserved=cell.reserved_target,
+            used=cell.used_bandwidth,
+        )
+
+    def _fire_arrival(self, event: StreamEvent, slot: DecisionSlot) -> None:
+        now = self.engine.now
+        cell_id = event.cell
+        traffic_class = self._traffic[event.traffic]
+        decision = self.policy.admit_new(
+            self.network, cell_id, traffic_class.bandwidth, now
+        )
+        self.metrics.record_admission_test(
+            decision.calculations, decision.messages
+        )
+        admitted = decision.admitted
+        self.metrics.record_request(cell_id, now, blocked=not admitted)
+        conn_id = None
+        if admitted:
+            connection = Connection(
+                traffic_class,
+                start_time=now,
+                cell_id=cell_id,
+                mobile=None,
+                prev_cell=None,
+                cell_entry_time=now,
+            )
+            self.network.cell(cell_id).attach(connection)
+            if event.conn >= 0:
+                conn_id = event.conn
+            else:
+                conn_id = self._next_conn
+            self._next_conn = max(self._next_conn, conn_id) + 1
+            self._connections[conn_id] = connection
+            # Mirrored so checkpoints capture the live population.
+            self.sim.active_connections[connection.connection_id] = connection
+        slot.decision = self._decision(ARRIVAL, now, cell_id, admitted, conn_id)
+
+    def _fire_handoff(self, event: StreamEvent, slot: DecisionSlot) -> None:
+        connection = self._connections.get(event.conn)
+        if connection is None or not connection.is_active:
+            self.ignored += 1
+            return
+        now = self.engine.now
+        old_cell = connection.cell_id
+        new_cell = event.cell
+        allocation = self.policy.handoff_allocation(
+            self.network, new_cell, connection
+        )
+        admitted = allocation is not None
+        self.network.station(old_cell).record_departure(
+            now, connection.prev_cell, new_cell, connection.cell_entry_time
+        )
+        self.network.cell(old_cell).detach(connection)
+        self.network.station(new_cell).on_handoff_arrival(
+            dropped=not admitted, now=now
+        )
+        self.metrics.record_handoff(new_cell, now, dropped=not admitted)
+        self.policy.on_release(self.network, old_cell, now)
+        if not admitted:
+            connection.finish(ConnectionState.DROPPED, now)
+            self._forget(event.conn, connection)
+        else:
+            connection.allocated_bandwidth = allocation
+            connection.move_to(new_cell, now)
+            self.network.cell(new_cell).attach(connection)
+        slot.decision = self._decision(
+            HANDOFF, now, new_cell, admitted, event.conn
+        )
+
+    def _fire_exit(self, event: StreamEvent, slot: DecisionSlot) -> None:
+        connection = self._connections.get(event.conn)
+        if connection is None or not connection.is_active:
+            self.ignored += 1
+            return
+        now = self.engine.now
+        old_cell = connection.cell_id
+        self.network.station(old_cell).record_departure(
+            now, connection.prev_cell, EXIT_CELL, connection.cell_entry_time
+        )
+        self.network.cell(old_cell).detach(connection)
+        connection.finish(ConnectionState.EXITED, now)
+        self.metrics.record_exit(old_cell, now)
+        self.policy.on_release(self.network, old_cell, now)
+        self._forget(event.conn, connection)
+
+    def _fire_complete(self, event: StreamEvent, slot: DecisionSlot) -> None:
+        connection = self._connections.get(event.conn)
+        if connection is None or not connection.is_active:
+            self.ignored += 1
+            return
+        now = self.engine.now
+        cell_id = connection.cell_id
+        self.network.cell(cell_id).detach(connection)
+        connection.finish(ConnectionState.COMPLETED, now)
+        self.metrics.record_completion(cell_id, now)
+        self.policy.on_release(self.network, cell_id, now)
+        self._forget(event.conn, connection)
+
+    def _forget(self, conn_id: int, connection: Connection) -> None:
+        self._connections.pop(conn_id, None)
+        self.sim.active_connections.pop(connection.connection_id, None)
+
+    def _on_sample(self) -> None:
+        now = self.engine.now
+        for station in self.network.stations:
+            self.metrics.sample_cell(
+                station.cell_id,
+                now,
+                station.cell.reserved_target,
+                station.cell.used_bandwidth,
+                station.t_est,
+            )
+        next_time = now + self.config.sample_interval
+        if self.horizon is None or next_time <= self.horizon:
+            self._sample_event = self.engine.call_at(
+                next_time, self._on_sample, priority=EventPriority.MONITOR
+            )
+        else:
+            self._sample_event = None
+
+    # -- state & results -----------------------------------------------
+    @property
+    def active_connections(self) -> int:
+        return len(self._connections)
+
+    @property
+    def traffic_classes(self) -> tuple[str, ...]:
+        """Admissible traffic-class names for this scenario's mix."""
+        return tuple(self._traffic)
+
+    def result(self):
+        """The run's :class:`SimulationResult`, built the simulator's way."""
+        self.sim._finished = True
+        return self.sim._build_result(perf_counter() - self._started)
+
+    def save_state(self, path):
+        """Write a durable checkpoint of the live state.
+
+        The pending monitor sample is the driver's own (not a
+        simulator method), so it is parked during capture — the state
+        schema only serializes simulator-owned events — and re-armed at
+        the same timestamp afterwards.
+        """
+        from repro.state import save_checkpoint
+
+        pending = self._sample_event
+        resume_at = None
+        if pending is not None and not pending.cancelled:
+            resume_at = pending.time
+            pending.cancel()
+            self._sample_event = None
+        try:
+            return save_checkpoint(self.sim, path)
+        finally:
+            if resume_at is not None:
+                self._sample_event = self.engine.call_at(
+                    resume_at, self._on_sample, priority=EventPriority.MONITOR
+                )
+
+
+def comparable_counters(result) -> dict:
+    """A :meth:`metrics_key`-comparable view of a run's counters.
+
+    ``events_processed`` is dropped: the DES path fires its random
+    processes (Poisson renewals, lifetime draws, crossings) as engine
+    events while the streaming path receives them from outside, so the
+    raw event count is mode-dependent even when every decision and
+    counter matches.
+    """
+    key = result.metrics_key()
+    key.pop("events_processed", None)
+    return key
+
+
+def warm_start(path, carry_windows: bool = True):
+    """Warm-start handle for ``repro serve --load-state``.
+
+    Rebases the checkpoint's estimator history by its own final clock,
+    so a service starting its stream at ``t = 0`` sees the learned
+    quadruplets just in the past — the same shift the multi-day
+    campaign applies between simulated days.
+    """
+    from repro.state import CheckpointWarmStart
+    from repro.state.format import load_manifest
+
+    clock = float(load_manifest(path).get("clock", 0.0))
+    return CheckpointWarmStart(
+        path, rebase_seconds=clock, carry_windows=carry_windows
+    )

@@ -1,0 +1,192 @@
+"""The replayable event-stream format and the DES-side recorder.
+
+A live admission service and a virtual-time simulation are "the same
+run" exactly when they see the same *semantic* event stream: new
+connection requests, hand-off resolutions, completions and road exits,
+each with a timestamp.  :class:`StreamEvent` is that wire format (one
+JSON object per line when serialized); :class:`RunRecorder` hooks into
+:class:`~repro.simulation.simulator.CellularSimulator` and captures the
+stream a DES run *would have sent* to a service — including the
+decision the simulator actually made, so a replay can be checked
+decision-for-decision (the parity proof in ``tests/serve``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TextIO
+
+__all__ = [
+    "ARRIVAL",
+    "COMPLETE",
+    "EXIT",
+    "HANDOFF",
+    "RunRecorder",
+    "StreamEvent",
+    "decode_event",
+    "encode_event",
+    "read_events",
+    "record_run",
+    "write_events",
+]
+
+ARRIVAL = "arrival"
+HANDOFF = "handoff"
+COMPLETE = "complete"
+EXIT = "exit"
+
+_KINDS = frozenset({ARRIVAL, HANDOFF, COMPLETE, EXIT})
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """One timestamped event of a live (or recorded) session stream.
+
+    Attributes
+    ----------
+    t:
+        Stream timestamp in seconds (``None`` on live queries means
+        "stamp it on arrival" — see :mod:`repro.serve.clock`).
+    kind:
+        ``arrival`` (a new connection request in ``cell``),
+        ``handoff`` (connection ``conn`` reached the boundary into
+        ``cell``), ``complete`` (lifetime expired) or ``exit`` (the
+        mobile left the network).
+    cell:
+        Birth cell for arrivals, target cell for hand-offs; unused
+        (``-1``) otherwise.
+    conn:
+        Stream connection id.  For arrivals this is the id the sender
+        wants the admitted connection filed under (``-1`` lets the
+        driver allocate one); for the other kinds it names the
+        connection the event belongs to.
+    traffic:
+        Traffic class name for arrivals (``voice``/``video``/...).
+    admitted:
+        The *recorded* decision, carried only by recorder output so a
+        replay can be compared against it.  Never an input: the replay
+        makes its own decision.
+    """
+
+    t: float | None
+    kind: str
+    cell: int = -1
+    conn: int = -1
+    traffic: str = "voice"
+    admitted: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown stream event kind {self.kind!r}")
+
+
+def encode_event(event: StreamEvent) -> str:
+    """Serialize one event as a compact JSON object."""
+    payload: dict = {"t": event.t, "kind": event.kind}
+    if event.kind in (ARRIVAL, HANDOFF):
+        payload["cell"] = event.cell
+    if event.conn >= 0:
+        payload["conn"] = event.conn
+    if event.kind == ARRIVAL:
+        payload["traffic"] = event.traffic
+    if event.admitted is not None:
+        payload["admitted"] = event.admitted
+    return json.dumps(payload, sort_keys=True)
+
+
+def decode_event(text: str | dict) -> StreamEvent:
+    """Parse one event from JSON text (or an already-parsed object)."""
+    raw = json.loads(text) if isinstance(text, str) else text
+    if not isinstance(raw, dict):
+        raise ValueError(f"stream event must be a JSON object, got {raw!r}")
+    try:
+        kind = raw["kind"]
+    except KeyError:
+        raise ValueError(f"stream event without a kind: {raw!r}") from None
+    return StreamEvent(
+        t=raw.get("t"),
+        kind=kind,
+        cell=int(raw.get("cell", -1)),
+        conn=int(raw.get("conn", -1)),
+        traffic=raw.get("traffic", "voice"),
+        admitted=raw.get("admitted"),
+    )
+
+
+def write_events(handle: TextIO, events) -> int:
+    """Write events as JSON lines; returns the number written."""
+    count = 0
+    for event in events:
+        handle.write(encode_event(event) + "\n")
+        count += 1
+    return count
+
+
+def read_events(handle: TextIO) -> list[StreamEvent]:
+    """Read a JSONL event stream (blank lines skipped)."""
+    events = []
+    for line in handle:
+        line = line.strip()
+        if line:
+            events.append(decode_event(line))
+    return events
+
+
+class RunRecorder:
+    """Captures a DES run's semantic event stream for later replay.
+
+    Attach via ``simulator.recorder = RunRecorder()`` before calling
+    :meth:`~repro.simulation.simulator.CellularSimulator.run`.  Pure
+    observation: the simulator invokes the hooks *after* each decision
+    or departure is fully applied, so recording can never perturb the
+    run.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[StreamEvent] = []
+
+    def on_arrival(
+        self,
+        t: float,
+        cell: int,
+        traffic: str,
+        admitted: bool,
+        conn: int | None,
+    ) -> None:
+        self.events.append(
+            StreamEvent(
+                t=t,
+                kind=ARRIVAL,
+                cell=cell,
+                conn=-1 if conn is None else conn,
+                traffic=traffic,
+                admitted=admitted,
+            )
+        )
+
+    def on_handoff(self, t: float, conn: int, cell: int, admitted: bool) -> None:
+        self.events.append(
+            StreamEvent(t=t, kind=HANDOFF, cell=cell, conn=conn, admitted=admitted)
+        )
+
+    def on_complete(self, t: float, conn: int) -> None:
+        self.events.append(StreamEvent(t=t, kind=COMPLETE, conn=conn))
+
+    def on_exit(self, t: float, conn: int) -> None:
+        self.events.append(StreamEvent(t=t, kind=EXIT, conn=conn))
+
+
+def record_run(config, **simulator_kwargs):
+    """Run a DES simulation while recording its event stream.
+
+    Returns ``(events, result)``: the replayable stream and the run's
+    :class:`~repro.simulation.metrics.SimulationResult`.
+    """
+    from repro.simulation.simulator import CellularSimulator
+
+    simulator = CellularSimulator(config, **simulator_kwargs)
+    recorder = RunRecorder()
+    simulator.recorder = recorder
+    result = simulator.run()
+    return recorder.events, result

@@ -1,0 +1,455 @@
+"""A dependency-free RFC 6455 WebSocket endpoint for the service.
+
+No framework: the handshake is ~20 lines of HTTP and the frame codec a
+page of struct-free byte twiddling, which keeps the live service inside
+the repo's no-new-dependencies rule.  The server speaks a small JSON
+protocol:
+
+* ``{"op": "admit", "cell": 3, "traffic": "voice"}`` →
+  ``{"op": "decision", "admitted": true, "reserved": ..., ...}``
+* ``{"op": "event", "kind": "handoff"|"complete"|"exit", ...}`` →
+  a decision for hand-offs, ``{"op": "ok"}`` otherwise
+* ``{"op": "subscribe"}`` → the sampler's JSONL rows stream as text
+  frames (identical bytes to a ``--series-out`` file, so
+  ``repro dash ws://host:port`` renders them unchanged)
+* ``{"op": "stats"}`` → service counters (decisions/s, P50/P99, depth)
+
+:class:`SyncWsClient` is the bundled blocking client — what
+``repro dash`` and the smoke script use from outside the service
+process; :class:`AsyncWsClient` is its asyncio twin for in-loop tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import socket
+from urllib.parse import urlsplit
+
+from repro.serve.events import COMPLETE, EXIT, HANDOFF, StreamEvent
+
+__all__ = [
+    "AsyncWsClient",
+    "SyncWsClient",
+    "WebSocketGateway",
+    "encode_frame",
+    "handshake_accept",
+]
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+def handshake_accept(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """One final (unfragmented) frame.  Clients must mask, servers must
+    not — RFC 6455 §5.3."""
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def _unmask(payload: bytes, key: bytes) -> bytes:
+    return bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    head = await reader.readexactly(2)
+    if not head[0] & 0x80:
+        raise ConnectionError("fragmented frames are not supported")
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if length == 126:
+        length = int.from_bytes(await reader.readexactly(2), "big")
+    elif length == 127:
+        length = int.from_bytes(await reader.readexactly(8), "big")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if key:
+        payload = _unmask(payload, key)
+    return opcode, payload
+
+
+class WebSocketGateway:
+    """Serves the admission protocol + state stream over WebSocket."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._clients: set[asyncio.Task] = set()
+        self.connections_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*self._clients, return_exceptions=True)
+        self._clients.clear()
+
+    @property
+    def url(self) -> str:
+        return f"ws://{self.host}:{self.port}/"
+
+    # -- connection handling -------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._clients.add(task)
+        try:
+            if not await self._handshake(reader, writer):
+                return
+            self.connections_served += 1
+            await self._session(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._clients.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(self, reader, writer) -> bool:
+        request = await reader.readuntil(b"\r\n\r\n")
+        lines = request.decode("latin-1").split("\r\n")
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if value:
+                headers[name.strip().lower()] = value.strip()
+        key = headers.get("sec-websocket-key")
+        if (
+            key is None
+            or "websocket" not in headers.get("upgrade", "").lower()
+        ):
+            writer.write(
+                b"HTTP/1.1 400 Bad Request\r\n"
+                b"Content-Type: text/plain\r\n\r\n"
+                b"this endpoint speaks WebSocket (RFC 6455) only\n"
+            )
+            await writer.drain()
+            return False
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {handshake_accept(key)}\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        return True
+
+    async def _session(self, reader, writer) -> None:
+        # All outbound frames (replies and broadcast rows) funnel
+        # through one queue so concurrent tasks never interleave bytes
+        # on the socket.
+        outbound: asyncio.Queue = asyncio.Queue()
+        broadcast = self.service.broadcast
+        subscribed = False
+
+        def on_row(line: str) -> None:
+            outbound.put_nowait(line)
+
+        async def sender() -> None:
+            while True:
+                item = await outbound.get()
+                if item is None:
+                    break
+                writer.write(encode_frame(item.encode("utf-8")))
+                await writer.drain()
+
+        send_task = asyncio.create_task(sender())
+        try:
+            while True:
+                opcode, payload = await _read_frame(reader)
+                if opcode == OP_CLOSE:
+                    writer.write(encode_frame(payload, opcode=OP_CLOSE))
+                    await writer.drain()
+                    break
+                if opcode == OP_PING:
+                    writer.write(encode_frame(payload, opcode=OP_PONG))
+                    await writer.drain()
+                    continue
+                if opcode != OP_TEXT:
+                    continue
+                reply = await self._dispatch(payload, on_row)
+                if reply is _SUBSCRIBED:
+                    if not subscribed:
+                        subscribed = True
+                        for line in list(broadcast.backlog):
+                            outbound.put_nowait(line)
+                        broadcast.subscribe(on_row)
+                elif reply is not None:
+                    outbound.put_nowait(json.dumps(reply, sort_keys=True))
+        finally:
+            if subscribed:
+                broadcast.unsubscribe(on_row)
+            outbound.put_nowait(None)
+            await send_task
+
+    async def _dispatch(self, payload: bytes, on_row) -> dict | object | None:
+        try:
+            message = json.loads(payload.decode("utf-8"))
+            if not isinstance(message, dict):
+                raise ValueError("request must be a JSON object")
+            op = message.get("op")
+            if op == "admit":
+                decision = await self.service.admit(
+                    cell=int(message["cell"]),
+                    traffic=message.get("traffic", "voice"),
+                    t=message.get("t"),
+                    conn=int(message.get("conn", -1)),
+                )
+                reply = {"op": "decision", **decision.to_json()}
+            elif op == "event":
+                kind = message.get("kind")
+                if kind not in (HANDOFF, COMPLETE, EXIT):
+                    raise ValueError(f"unknown event kind {kind!r}")
+                decision = await self.service.submit(
+                    StreamEvent(
+                        t=message.get("t"),
+                        kind=kind,
+                        cell=int(message.get("cell", -1)),
+                        conn=int(message.get("conn", -1)),
+                    )
+                )
+                if decision is None:
+                    reply = {"op": "ok"}
+                else:
+                    reply = {"op": "decision", **decision.to_json()}
+            elif op == "subscribe":
+                return _SUBSCRIBED
+            elif op == "stats":
+                reply = {"op": "stats", **self.service.stats()}
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except (KeyError, TypeError, ValueError) as error:
+            reply = {"op": "error", "error": str(error)}
+        if "id" in (message if isinstance(message, dict) else {}):
+            reply["id"] = message["id"]
+        return reply
+
+
+_SUBSCRIBED = object()  # sentinel: _dispatch asks the session to subscribe
+
+
+# ----------------------------------------------------------------------
+# clients
+# ----------------------------------------------------------------------
+def _client_handshake_bytes(host: str, port: int, path: str, key: str) -> bytes:
+    return (
+        f"GET {path or '/'} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n\r\n"
+    ).encode("ascii")
+
+
+def _parse_ws_url(url: str) -> tuple[str, int, str]:
+    parts = urlsplit(url)
+    if parts.scheme not in ("ws", "http"):
+        raise ValueError(f"expected a ws:// URL, got {url!r}")
+    if parts.hostname is None:
+        raise ValueError(f"URL {url!r} has no host")
+    return parts.hostname, parts.port or 80, parts.path or "/"
+
+
+class SyncWsClient:
+    """Blocking WebSocket client (stdlib socket) — the bundled client.
+
+    ``repro dash ws://host:port`` and ``scripts/serve_smoke.py`` run in
+    a different process from the service, where blocking reads are the
+    simplest correct thing.
+    """
+
+    def __init__(self, url: str, timeout: float | None = 10.0) -> None:
+        host, port, path = _parse_ws_url(url)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self._sock.sendall(_client_handshake_bytes(host, port, path, key))
+        response = self._read_until(b"\r\n\r\n")
+        status = response.split(b"\r\n", 1)[0].decode("latin-1")
+        if "101" not in status:
+            raise ConnectionError(f"handshake refused: {status}")
+        expected = handshake_accept(key).encode("ascii")
+        if expected not in response:
+            raise ConnectionError("bad Sec-WebSocket-Accept in handshake")
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("connection closed during handshake")
+            self._buffer += chunk
+        index = self._buffer.index(marker) + len(marker)
+        head, self._buffer = self._buffer[:index], self._buffer[index:]
+        return head
+
+    def _read_exactly(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("connection closed mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def send_json(self, message: dict) -> None:
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        self._sock.sendall(encode_frame(payload, mask=True))
+
+    def recv_text(self) -> str | None:
+        """Next text frame; answers pings; ``None`` on close."""
+        while True:
+            head = self._read_exactly(2)
+            opcode = head[0] & 0x0F
+            length = head[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(self._read_exactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(self._read_exactly(8), "big")
+            payload = self._read_exactly(length) if length else b""
+            if opcode == OP_CLOSE:
+                return None
+            if opcode == OP_PING:
+                self._sock.sendall(
+                    encode_frame(payload, opcode=OP_PONG, mask=True)
+                )
+                continue
+            if opcode == OP_TEXT:
+                return payload.decode("utf-8")
+
+    def recv_json(self) -> dict | None:
+        text = self.recv_text()
+        return None if text is None else json.loads(text)
+
+    def request(self, message: dict) -> dict | None:
+        self.send_json(message)
+        return self.recv_json()
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(encode_frame(b"", opcode=OP_CLOSE, mask=True))
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "SyncWsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __iter__(self):
+        while True:
+            text = self.recv_text()
+            if text is None:
+                return
+            yield text
+
+
+class AsyncWsClient:
+    """Asyncio WebSocket client — in-loop tests against the gateway."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, url: str) -> "AsyncWsClient":
+        host, port, path = _parse_ws_url(url)
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        writer.write(_client_handshake_bytes(host, port, path, key))
+        await writer.drain()
+        response = await reader.readuntil(b"\r\n\r\n")
+        if b"101" not in response.split(b"\r\n", 1)[0]:
+            raise ConnectionError("handshake refused")
+        if handshake_accept(key).encode("ascii") not in response:
+            raise ConnectionError("bad Sec-WebSocket-Accept in handshake")
+        return cls(reader, writer)
+
+    async def send_json(self, message: dict) -> None:
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        self._writer.write(encode_frame(payload, mask=True))
+        await self._writer.drain()
+
+    async def recv_text(self) -> str | None:
+        while True:
+            opcode, payload = await _read_frame(self._reader)
+            if opcode == OP_CLOSE:
+                return None
+            if opcode == OP_PING:
+                self._writer.write(
+                    encode_frame(payload, opcode=OP_PONG, mask=True)
+                )
+                await self._writer.drain()
+                continue
+            if opcode == OP_TEXT:
+                return payload.decode("utf-8")
+
+    async def recv_json(self) -> dict | None:
+        text = await self.recv_text()
+        return None if text is None else json.loads(text)
+
+    async def request(self, message: dict) -> dict | None:
+        await self.send_json(message)
+        return await self.recv_json()
+
+    async def close(self) -> None:
+        self._writer.write(encode_frame(b"", opcode=OP_CLOSE, mask=True))
+        try:
+            await self._writer.drain()
+        except ConnectionError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

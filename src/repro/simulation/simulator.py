@@ -264,6 +264,12 @@ class CellularSimulator:
         #: In-run time-series sampler, built lazily by :meth:`run` when
         #: the config enables a cadence (checkpoints read it mid-run).
         self.sampler: TimeSeriesSampler | None = None
+        #: Optional :class:`repro.serve.events.RunRecorder`: captures
+        #: the run's semantic event stream (arrivals with their
+        #: decisions, hand-off resolutions, completions, exits) for
+        #: replay through the live-serving path.  Hooks fire after each
+        #: event is fully applied — pure observation.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # run control
@@ -407,6 +413,14 @@ class CellularSimulator:
             ):
                 admitted = False
         self.metrics.record_request(cell_id, now, blocked=not admitted)
+        if self.recorder is not None:
+            self.recorder.on_arrival(
+                now,
+                cell_id,
+                traffic_class.name,
+                admitted,
+                connection.connection_id if admitted else None,
+            )
         if not admitted:
             if self.retry.should_retry(attempt, self._retry_rng):
                 self.engine.call_in(
@@ -467,6 +481,8 @@ class CellularSimulator:
             self._cancel_end(connection)
             self.active_connections.pop(connection.connection_id, None)
             self.metrics.record_exit(old_cell, now)
+            if self.recorder is not None:
+                self.recorder.on_exit(now, connection.connection_id)
             self.policy.on_release(self.network, old_cell, now)
             self.extensions.on_connection_end(connection, now)
             self._forget_mobile(connection)
@@ -505,6 +521,10 @@ class CellularSimulator:
             dropped=not admitted, now=now
         )
         self.metrics.record_handoff(new_cell, now, dropped=not admitted)
+        if self.recorder is not None:
+            self.recorder.on_handoff(
+                now, connection.connection_id, new_cell, admitted
+            )
         # The departure freed bandwidth in the old cell either way.
         self.policy.on_release(self.network, old_cell, now)
         if not admitted:
@@ -560,6 +580,8 @@ class CellularSimulator:
         connection.finish(ConnectionState.COMPLETED, now)
         self.active_connections.pop(connection.connection_id, None)
         self.metrics.record_completion(connection.cell_id, now)
+        if self.recorder is not None:
+            self.recorder.on_complete(now, connection.connection_id)
         self.policy.on_release(self.network, connection.cell_id, now)
         self.extensions.on_connection_end(connection, now)
         self._forget_mobile(connection)

@@ -157,6 +157,32 @@ class TestMergeSeries:
 
     def test_nothing_contributed_returns_none(self):
         assert merge_series([None, [], None]) is None
+        assert merge_series([]) is None
+
+    def test_empty_shards_among_live_ones_are_skipped(self):
+        # A shard that sampled nothing (short run, coarse cadence) must
+        # not poison the merge.
+        rows = [{"t": 1.0, "shard": 4}]
+        assert merge_series([[], rows, None, []]) == rows
+
+    def test_single_shard_passes_through_as_copies(self):
+        rows = [{"t": 2.0, "shard": 0}, {"t": 1.0, "shard": 0}]
+        merged = merge_series([rows])
+        assert merged == sorted(rows, key=lambda row: row["t"])
+        # Rows are copied, not aliased: mutating the merge must not
+        # reach back into the shard's own series.
+        merged[0]["t"] = 99.0
+        assert rows[1]["t"] == 1.0
+
+    def test_wall_breaks_virtual_time_ties(self):
+        # Same virtual t, same shard: the wall timestamp orders the
+        # rows (live-mode samples share t=engine.now across a batch).
+        early = {"t": 5.0, "shard": 1, "wall": 10.0}
+        late = {"t": 5.0, "shard": 1, "wall": 20.0}
+        assert merge_series([[late], [early]]) == [early, late]
+        # ...but shard still outranks wall.
+        other_shard = {"t": 5.0, "shard": 0, "wall": 99.0}
+        assert merge_series([[late], [other_shard]]) == [other_shard, late]
 
     def test_deterministic_under_worker_order(self):
         streams = [

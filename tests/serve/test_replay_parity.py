@@ -1,0 +1,56 @@
+"""The parity proof: streaming mode == virtual-time DES, decision for
+decision and counter for counter, on the same event sequence."""
+
+import pytest
+
+from repro.serve import StreamDriver, comparable_counters, record_run
+from repro.serve.events import ARRIVAL, HANDOFF, read_events, write_events
+from repro.simulation.scenarios import stationary
+from repro.simulation.simulator import simulate
+
+
+def _config(**overrides):
+    defaults = dict(
+        offered_load=250.0, duration=300.0, seed=11, num_cells=6
+    )
+    defaults.update(overrides)
+    scheme = defaults.pop("scheme", "AC3")
+    return stationary(scheme, **defaults)
+
+
+@pytest.mark.parametrize("scheme", ["AC1", "AC2", "AC3", "static"])
+def test_replay_matches_des_decisions_and_counters(scheme):
+    events, des_result = record_run(_config(scheme=scheme))
+    assert events, "the recorded stream should not be empty"
+    assert any(event.kind == HANDOFF for event in events)
+
+    driver = StreamDriver(_config(scheme=scheme))
+    decisions = driver.replay(events)
+    driver.finish()
+    live_result = driver.result()
+
+    queries = [e for e in events if e.kind in (ARRIVAL, HANDOFF)]
+    assert [d.admitted for d in decisions] == [e.admitted for e in queries]
+    assert comparable_counters(live_result) == comparable_counters(des_result)
+
+
+def test_recording_does_not_perturb_the_run():
+    plain = simulate(_config())
+    _events, recorded = record_run(_config())
+    assert recorded.metrics_key() == plain.metrics_key()
+
+
+def test_stream_roundtrips_through_jsonl(tmp_path):
+    events, _ = record_run(_config(duration=60.0))
+    path = tmp_path / "events.jsonl"
+    with path.open("w") as handle:
+        write_events(handle, events)
+    with path.open() as handle:
+        assert read_events(handle) == events
+
+
+def test_streaming_mode_rejects_des_only_features():
+    with pytest.raises(ValueError, match="retry"):
+        StreamDriver(_config(retry_enabled=True))
+    with pytest.raises(ValueError, match="soft_handoff"):
+        StreamDriver(_config(soft_handoff_window=2.0))

@@ -1,0 +1,185 @@
+"""Unit tests for the asyncio :class:`AdmissionService` façade."""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.serve import AdmissionService, warm_start
+from repro.serve.driver import Decision
+from repro.serve.events import ARRIVAL, COMPLETE, StreamEvent
+from repro.simulation.scenarios import stationary
+
+
+def _config(**overrides):
+    defaults = dict(
+        offered_load=120.0, duration=3600.0, seed=9, num_cells=6
+    )
+    defaults.update(overrides)
+    scheme = defaults.pop("scheme", "AC3")
+    return stationary(scheme, **defaults)
+
+
+async def _with_service(body, config=None, **service_kwargs):
+    service = AdmissionService(config or _config(), **service_kwargs)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+def test_constructor_validates_budget_and_batch():
+    with pytest.raises(ValueError, match="budget_ms"):
+        AdmissionService(_config(), budget_ms=0.0)
+    with pytest.raises(ValueError, match="max_batch"):
+        AdmissionService(_config(), max_batch=0)
+
+
+def test_submit_requires_a_running_service():
+    service = AdmissionService(_config())
+
+    async def scenario():
+        with pytest.raises(RuntimeError, match="not running"):
+            await service.admit(cell=0)
+        await service.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            await service.start()
+        await service.stop()
+        await service.stop()  # idempotent
+
+    asyncio.run(scenario())
+
+
+def test_admit_round_trip_returns_a_decision():
+    async def body(service):
+        decision = await service.admit(cell=2, traffic="voice")
+        assert isinstance(decision, Decision)
+        assert decision.kind == ARRIVAL
+        assert decision.cell == 2
+        assert decision.admitted  # an empty cell always has room
+        assert decision.conn is not None
+        assert decision.used > 0
+        return decision
+
+    asyncio.run(_with_service(body))
+
+
+def test_submit_rejects_malformed_events():
+    async def body(service):
+        with pytest.raises(ValueError, match="no such cell"):
+            await service.submit(
+                StreamEvent(t=None, kind=ARRIVAL, cell=99)
+            )
+        with pytest.raises(ValueError, match="unknown traffic class"):
+            await service.admit(cell=0, traffic="hologram")
+
+    asyncio.run(_with_service(body))
+
+
+def test_submit_many_aligns_results_with_events():
+    async def body(service):
+        batch = (
+            StreamEvent(t=None, kind=ARRIVAL, cell=0),
+            StreamEvent(t=None, kind=ARRIVAL, cell=99),  # malformed
+            StreamEvent(t=None, kind=COMPLETE, conn=123456),  # notification
+            StreamEvent(t=None, kind=ARRIVAL, cell=1),
+        )
+        results = await service.submit_many(batch)
+        assert len(results) == len(batch)
+        assert isinstance(results[0], Decision) and results[0].cell == 0
+        # The malformed slot carries the error in place; the valid rest
+        # of the group was still applied.
+        assert isinstance(results[1], ValueError)
+        assert results[2] is None
+        assert isinstance(results[3], Decision) and results[3].cell == 1
+        assert service.driver.ignored == 1  # the unknown-conn complete
+
+    asyncio.run(_with_service(body))
+
+
+def test_stats_counts_decisions_and_percentiles():
+    async def body(service):
+        for cell in range(4):
+            await service.admit(cell=cell)
+        stats = service.stats()
+        assert stats["decisions"] == 4
+        assert stats["decisions_per_s"] > 0
+        assert 0 <= stats["p50_ms"] <= stats["p99_ms"]
+        assert stats["active_connections"] == 4
+        assert stats["queue_depth"] == 0
+        assert stats["checkpoints"] == 0
+
+    asyncio.run(_with_service(body))
+
+
+def test_budget_misses_are_observed_not_enforced():
+    async def body(service):
+        decision = await service.admit(cell=0)
+        assert decision.admitted  # late answers still answer
+
+    # Any real decision overshoots a 1-nanosecond budget.
+    asyncio.run(_with_service(body, budget_ms=1e-6))
+
+
+def test_periodic_checkpoints_write_and_prune(tmp_path):
+    state_dir = tmp_path / "serve-state"
+
+    async def body(service):
+        for round_ in range(4):
+            await service.admit(cell=round_ % 3)
+            await asyncio.sleep(0.002)
+        return service.checkpoints_written
+
+    written = asyncio.run(
+        _with_service(
+            body,
+            checkpoint_every=0.001,
+            checkpoint_dir=state_dir,
+            checkpoint_keep=2,
+        )
+    )
+    assert written >= 2
+    kept = sorted(state_dir.glob("serve_*"))
+    assert 1 <= len(kept) <= 2
+    # The newest checkpoint is the one retained.
+    assert kept[-1].name == f"serve_{written - 1:06d}"
+
+
+def test_warm_start_resumes_from_a_service_checkpoint(tmp_path):
+    state = tmp_path / "checkpoint"
+
+    async def first(service):
+        for cell in range(3):
+            await service.admit(cell=cell)
+        service.driver.save_state(state)
+
+    asyncio.run(_with_service(first))
+    assert state.exists()
+
+    config = replace(_config(), warm_state=warm_start(state))
+
+    async def second(service):
+        decision = await service.admit(cell=1)
+        assert decision.admitted
+
+    asyncio.run(_with_service(second, config=config))
+
+
+def test_broadcast_stream_fans_out_and_keeps_backlog():
+    from repro.serve.service import BroadcastStream
+
+    stream = BroadcastStream(backlog=2)
+    seen = []
+    stream.subscribe(seen.append)
+    stream.write('{"t": 1.0}\n')
+    stream.write('{"t": 2.0}\n')
+    stream.write('{"t": 3.0}\n')
+    stream.flush()
+    assert seen == ['{"t": 1.0}', '{"t": 2.0}', '{"t": 3.0}']
+    assert list(stream.backlog) == ['{"t": 2.0}', '{"t": 3.0}']
+    stream.unsubscribe(seen.append)
+    stream.unsubscribe(seen.append)  # tolerant of double removal
+    stream.write('{"t": 4.0}\n')
+    assert len(seen) == 3
+    assert stream.subscribers == 0

@@ -1,0 +1,222 @@
+"""Tests for the stdlib RFC 6455 endpoint: codec, handshake, protocol."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import AdmissionService
+from repro.serve.ws import (
+    OP_CLOSE,
+    OP_TEXT,
+    AsyncWsClient,
+    WebSocketGateway,
+    _parse_ws_url,
+    _read_frame,
+    encode_frame,
+    handshake_accept,
+)
+from repro.simulation.scenarios import stationary
+
+
+def _config():
+    return stationary(
+        "AC3", offered_load=120.0, duration=3600.0, seed=13, num_cells=6
+    )
+
+
+class TestFrameCodec:
+    def test_rfc_6455_handshake_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            handshake_accept("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize("size", [0, 5, 125, 126, 200, 65536, 70000])
+    def test_frame_round_trips_all_length_encodings(self, size, mask):
+        payload = bytes(range(256)) * (size // 256) + bytes(range(size % 256))
+        frame = encode_frame(payload, mask=mask)
+
+        async def decode():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await _read_frame(reader)
+
+        opcode, decoded = asyncio.run(decode())
+        assert opcode == OP_TEXT
+        assert decoded == payload
+
+    def test_masked_frames_obscure_the_wire_bytes(self):
+        payload = b"admission-control"
+        frame = encode_frame(payload, mask=True)
+        assert payload not in frame
+        assert payload in encode_frame(payload, mask=False)
+
+    def test_fragmented_frames_are_rejected(self):
+        frame = bytearray(encode_frame(b"partial"))
+        frame[0] &= 0x7F  # clear FIN
+
+        async def decode():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(frame))
+            reader.feed_eof()
+            return await _read_frame(reader)
+
+        with pytest.raises(ConnectionError, match="fragmented"):
+            asyncio.run(decode())
+
+    def test_url_parsing(self):
+        assert _parse_ws_url("ws://127.0.0.1:8766/") == (
+            "127.0.0.1", 8766, "/"
+        )
+        assert _parse_ws_url("ws://example.org") == ("example.org", 80, "/")
+        with pytest.raises(ValueError, match="ws://"):
+            _parse_ws_url("ftp://example.org/")
+
+
+async def _with_gateway(body):
+    service = AdmissionService(_config(), series_wall_interval=0.0)
+    await service.start()
+    gateway = WebSocketGateway(service, port=0)
+    await gateway.start()
+    try:
+        return await body(service, gateway)
+    finally:
+        await gateway.stop()
+        await service.stop()
+
+
+class TestGatewayProtocol:
+    def test_admit_event_stats_and_errors(self):
+        async def body(service, gateway):
+            client = await AsyncWsClient.connect(gateway.url)
+            decision = await client.request(
+                {"op": "admit", "cell": 3, "id": "q1"}
+            )
+            assert decision["op"] == "decision"
+            assert decision["id"] == "q1"
+            assert decision["kind"] == "arrival"
+            assert decision["admitted"] is True
+            conn = decision["conn"]
+
+            moved = await client.request(
+                {"op": "event", "kind": "handoff", "cell": 4, "conn": conn}
+            )
+            assert moved["op"] == "decision" and moved["kind"] == "handoff"
+
+            done = await client.request(
+                {"op": "event", "kind": "complete", "conn": conn}
+            )
+            assert done == {"op": "ok"}
+
+            stats = await client.request({"op": "stats"})
+            assert stats["op"] == "stats"
+            assert stats["decisions"] == 2
+
+            for bad in (
+                {"op": "admit"},  # missing cell
+                {"op": "admit", "cell": 99},  # out of range
+                {"op": "event", "kind": "teleport"},
+                {"op": "transmogrify"},
+            ):
+                reply = await client.request(bad)
+                assert reply["op"] == "error", reply
+                assert reply["error"]
+
+            # Error replies still echo the correlation id.
+            reply = await client.request({"op": "nope", "id": 42})
+            assert reply == {
+                "op": "error", "error": "unknown op 'nope'", "id": 42
+            }
+            await client.close()
+            assert gateway.connections_served == 1
+
+        asyncio.run(_with_gateway(body))
+
+    def test_subscribe_replays_backlog_then_streams_live(self):
+        async def body(service, gateway):
+            backlog_row = json.dumps({"t": 0.5, "events": 1})
+            service.broadcast.write(backlog_row + "\n")
+
+            client = await AsyncWsClient.connect(gateway.url)
+            await client.send_json({"op": "subscribe"})
+            replayed = await asyncio.wait_for(client.recv_json(), timeout=5.0)
+            assert replayed == {"t": 0.5, "events": 1}
+            assert "op" not in replayed  # series rows are not protocol frames
+
+            # A second subscribe is a no-op (no duplicate backlog replay):
+            # the next frame must be the live row, not the backlog again.
+            await client.send_json({"op": "subscribe"})
+            live_row = json.dumps({"t": 1.5, "events": 2})
+            service.broadcast.write(live_row + "\n")
+            live = await asyncio.wait_for(client.recv_json(), timeout=5.0)
+            assert live == {"t": 1.5, "events": 2}
+
+            assert service.broadcast.subscribers == 1
+            await client.close()
+
+        asyncio.run(_with_gateway(body))
+
+    def test_subscriber_detaches_on_disconnect(self):
+        async def body(service, gateway):
+            client = await AsyncWsClient.connect(gateway.url)
+            await client.send_json({"op": "subscribe"})
+            # Round-trip an op so the subscribe is definitely processed.
+            stats = await client.request({"op": "stats"})
+            assert stats["op"] == "stats"
+            assert service.broadcast.subscribers == 1
+            await client.close()
+            for _ in range(100):
+                if service.broadcast.subscribers == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.broadcast.subscribers == 0
+
+        asyncio.run(_with_gateway(body))
+
+    def test_ping_is_answered_with_pong(self):
+        async def body(service, gateway):
+            host, port, _ = _parse_ws_url(gateway.url)
+            client = await AsyncWsClient.connect(gateway.url)
+            client._writer.write(
+                encode_frame(b"are-you-there", opcode=0x9, mask=True)
+            )
+            await client._writer.drain()
+            opcode, payload = await _read_frame(client._reader)
+            assert opcode == 0xA and payload == b"are-you-there"
+            await client.close()
+
+        asyncio.run(_with_gateway(body))
+
+    def test_close_frame_is_echoed(self):
+        async def body(service, gateway):
+            client = await AsyncWsClient.connect(gateway.url)
+            client._writer.write(
+                encode_frame(b"", opcode=OP_CLOSE, mask=True)
+            )
+            await client._writer.drain()
+            opcode, _payload = await _read_frame(client._reader)
+            assert opcode == OP_CLOSE
+
+        asyncio.run(_with_gateway(body))
+
+    def test_plain_http_request_gets_a_400(self):
+        async def body(service, gateway):
+            reader, writer = await asyncio.open_connection(
+                gateway.host, gateway.port
+            )
+            writer.write(
+                b"GET / HTTP/1.1\r\nHost: localhost\r\n\r\n"
+            )
+            await writer.drain()
+            response = await reader.read(4096)
+            assert response.startswith(b"HTTP/1.1 400")
+            assert b"RFC 6455" in response
+            writer.close()
+            await writer.wait_closed()
+            assert gateway.connections_served == 0
+
+        asyncio.run(_with_gateway(body))

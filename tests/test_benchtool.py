@@ -1,0 +1,167 @@
+"""Tests for the benchmark harness plumbing (history + compare gates)."""
+
+import json
+
+from repro.benchtool import (
+    _spatial_oversubscribed,
+    compare_reports,
+    print_history,
+)
+
+
+def _report(date: str, **overrides) -> dict:
+    report = {
+        "date": date,
+        "kernel": "numpy",
+        "smoke": False,
+        "micro": {
+            "event_loop": {
+                "events_per_sec": 500_000.0, "ops_per_sec": 500_000.0
+            },
+            "handoff_probability": {"ops_per_sec": 40_000.0},
+        },
+        "simulation": {
+            "ac3_load200": {"events_per_sec": 90_000.0},
+        },
+        "serve_latency": {
+            "static": {"decisions_per_s": 22_000.0, "p99_ms": 4.5},
+            "ac3": {"decisions_per_s": 2_500.0, "p99_ms": 30.0},
+        },
+    }
+    report.update(overrides)
+    return report
+
+
+def _write(tmp_path, date: str, payload) -> "Path":
+    path = tmp_path / f"BENCH_{date}.json"
+    path.write_text(
+        payload if isinstance(payload, str) else json.dumps(payload)
+    )
+    return path
+
+
+class TestPrintHistory:
+    def run(self, paths):
+        lines = []
+        code = print_history(paths, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_no_reports_is_a_pointer_not_an_error(self):
+        code, out = self.run([])
+        assert code == 0
+        assert "no BENCH_<date>.json reports found" in out
+        assert "repro-bench" in out
+        assert "|" not in out  # no empty table
+
+    def test_only_unreadable_reports_fails(self, tmp_path):
+        garbage = _write(tmp_path, "2026-08-01", "{not json")
+        code, out = self.run([garbage])
+        assert code == 2
+        assert "skipping" in out
+        assert "no readable benchmark reports" in out
+
+    def test_single_report_renders_with_trend_note(self, tmp_path):
+        path = _write(tmp_path, "2026-08-01", _report("2026-08-01"))
+        code, out = self.run([path])
+        assert code == 0
+        assert "| 2026-08-01 | numpy |" in out
+        assert "only one report" in out
+
+    def test_serve_columns_present_and_dash_for_old_reports(self, tmp_path):
+        old = _report("2026-08-01")
+        old.pop("serve_latency")
+        paths = [
+            _write(tmp_path, "2026-08-01", old),
+            _write(tmp_path, "2026-08-02", _report("2026-08-02")),
+        ]
+        code, out = self.run(paths)
+        assert code == 0
+        header = next(line for line in out.splitlines() if "date" in line)
+        assert "serve dec/s" in header and "serve p99" in header
+        rows = [line for line in out.splitlines() if line.startswith("| 2026")]
+        assert len(rows) == 2
+        # Pre-serve reports degrade to "-", new ones carry the numbers.
+        assert "| - | - |" in rows[0]
+        assert "22,000" in rows[1] and "4.5 ms" in rows[1]
+        assert "only one report" not in out
+
+    def test_rows_sort_oldest_first_and_flag_smoke(self, tmp_path):
+        paths = [
+            _write(tmp_path, "2026-08-02", _report("2026-08-02", smoke=True)),
+            _write(tmp_path, "2026-08-01", _report("2026-08-01")),
+        ]
+        code, out = self.run(paths)
+        assert code == 0
+        rows = [line for line in out.splitlines() if line.startswith("| 2026")]
+        assert rows[0].startswith("| 2026-08-01 |")
+        assert rows[1].startswith("| 2026-08-02 (smoke) |")
+
+
+class TestSpatialOversubscription:
+    def test_single_shard_runs_in_process_and_is_never_oversubscribed(self):
+        assert not _spatial_oversubscribed(1, 1)
+        assert not _spatial_oversubscribed(1, 2)
+
+    def test_multi_shard_counts_the_coordinating_parent(self):
+        # shards workers + 1 parent must fit in the core count.
+        assert _spatial_oversubscribed(2, 2)
+        assert not _spatial_oversubscribed(2, 4)
+        assert _spatial_oversubscribed(4, 4)
+        assert not _spatial_oversubscribed(4, 8)
+        assert _spatial_oversubscribed(8, 8)
+
+
+class TestServeFloorGate:
+    def test_full_run_below_floor_regresses(self):
+        baseline = _report("2026-08-01")
+        current = _report("2026-08-02")
+        current["serve_latency"]["static"]["decisions_per_s"] = 5_000.0
+        regressions = compare_reports(baseline, current, 0.15)
+        assert "serve_decisions_floor" in regressions
+
+    def test_smoke_runs_are_exempt(self):
+        baseline = _report("2026-08-01")
+        current = _report("2026-08-02", smoke=True)
+        current["serve_latency"]["static"]["decisions_per_s"] = 5_000.0
+        regressions = compare_reports(baseline, current, 0.15)
+        assert "serve_decisions_floor" not in regressions
+
+    def test_at_or_above_floor_passes(self):
+        baseline = _report("2026-08-01")
+        regressions = compare_reports(baseline, _report("2026-08-02"), 0.15)
+        assert "serve_decisions_floor" not in regressions
+
+    def test_oversubscribed_spatial_legs_are_not_gated(self):
+        # On a 2-core host a 2-shard leg is 3 processes (workers plus
+        # the coordinator); its wall time tracks scheduler contention,
+        # so it must vanish from the relative gate, not regress.
+        baseline = _report("2026-08-01")
+        baseline["simulation"]["ac3_spatial"] = {
+            "runs": [
+                {"shards": 1, "events_per_sec": 20_000.0,
+                 "oversubscribed": _spatial_oversubscribed(1, 2)},
+                {"shards": 2, "events_per_sec": 30_000.0,
+                 "oversubscribed": _spatial_oversubscribed(2, 2)},
+            ],
+        }
+        current = _report("2026-08-02")
+        current["simulation"]["ac3_spatial"] = {
+            "runs": [
+                {"shards": 1, "events_per_sec": 19_000.0,
+                 "oversubscribed": _spatial_oversubscribed(1, 2)},
+                {"shards": 2, "events_per_sec": 15_000.0,
+                 "oversubscribed": _spatial_oversubscribed(2, 2)},
+            ],
+        }
+        regressions = compare_reports(baseline, current, 0.15)
+        assert regressions == []
+
+    def test_serve_variants_skip_the_relative_gate(self):
+        # A smoke-scale CI run measures serve startup amortisation, not
+        # the service; only the absolute floor gates serve throughput.
+        baseline = _report("2026-08-01")
+        current = _report("2026-08-02")
+        current["serve_latency"]["ac3"]["decisions_per_s"] = 100.0
+        current["serve_latency"]["static"]["decisions_per_s"] = 11_000.0
+        regressions = compare_reports(baseline, current, 0.15)
+        assert regressions == []

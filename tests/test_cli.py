@@ -154,3 +154,61 @@ def test_progress_flag_emits_heartbeat_and_keeps_metrics(capsys):
     # progress reporting; heartbeats go to stderr.
     assert out_quiet == out_progress
     assert "events/s" in err
+
+
+class TestHotspotValidation:
+    """--hotspots must reject bad segments with errors naming them."""
+
+    def test_valid_spec_parses(self):
+        from repro.cli import _parse_hotspots
+
+        assert _parse_hotspots(None) == ()
+        assert _parse_hotspots("") == ()
+        assert _parse_hotspots("1,2,3.0; 4,5,2.5,1.5;") == (
+            (1.0, 2.0, 3.0),
+            (4.0, 5.0, 2.5, 1.5),
+        )
+
+    def test_non_numeric_segment_is_named(self):
+        from repro.cli import _parse_hotspots
+
+        with pytest.raises(ValueError, match=r"'1,two,3' does not parse"):
+            _parse_hotspots("0,0,2;1,two,3")
+
+    def test_wrong_arity_is_named(self):
+        from repro.cli import _parse_hotspots
+
+        with pytest.raises(ValueError, match=r"got '1,2'"):
+            _parse_hotspots("1,2")
+        with pytest.raises(ValueError, match=r"got '1,2,3,4,5'"):
+            _parse_hotspots("1,2,3,4,5")
+
+    def test_gain_and_radius_must_be_positive(self):
+        from repro.cli import _parse_hotspots
+
+        with pytest.raises(ValueError, match=r"gain.*'1,2,0'"):
+            _parse_hotspots("1,2,0")
+        with pytest.raises(ValueError, match=r"radius.*'1,2,3,-1'"):
+            _parse_hotspots("1,2,3,-1")
+
+    def test_out_of_grid_cell_is_named_with_bounds(self):
+        from repro.cli import _parse_hotspots
+
+        with pytest.raises(
+            ValueError,
+            match=r"\(12,3\) in '12,3,2' is outside the 12x12 grid"
+            r" \(rows 0\.\.11, cols 0\.\.11\)",
+        ):
+            _parse_hotspots("5,5,2;12,3,2", grid=(12, 12))
+        # In-grid cells pass the same check.
+        assert _parse_hotspots("11,11,2", grid=(12, 12)) == ((11.0, 11.0, 2.0),)
+
+    def test_cli_rejects_bad_hotspots_before_running(self, capsys):
+        code = main([
+            "run", "--shards", "2", "--hex", "6x6", "--duration", "60",
+            "--hotspots", "9,9,2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "'9,9,2'" in captured.err and "6x6 grid" in captured.err
